@@ -1,0 +1,75 @@
+// Command flashbench regenerates the evaluation figures of the Flash
+// paper (USENIX 1999, Figures 6-12) on the simulated testbed and prints
+// each as an aligned text table (optionally CSV).
+//
+// Usage:
+//
+//	flashbench                 # run every figure at full fidelity
+//	flashbench -fig fig9       # run one figure
+//	flashbench -quick          # trimmed sweeps (same code, fewer points)
+//	flashbench -csv out/       # also write one CSV per table
+//	flashbench -list           # list figures with expected shapes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run (fig6..fig12, or all)")
+	quick := flag.Bool("quick", false, "trimmed sweeps and shorter windows")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
+	list := flag.Bool("list", false, "list available figures and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-6s %s\n       expect: %s\n", e.ID, e.Title, e.Expect)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *fig == "all" {
+		selected = experiments.All
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			e := experiments.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "flashbench: unknown figure %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	q := experiments.Quality{Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(q)
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+		fmt.Printf("paper expectation: %s\n\n", e.Expect)
+		for _, t := range tables {
+			fmt.Println(t.Render())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "flashbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

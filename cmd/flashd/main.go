@@ -1,0 +1,110 @@
+// Command flashd runs the Flash web server: an AMPED-architecture
+// static file server with pathname/header/chunk caching, helper-based
+// disk I/O, and an optional status endpoint.
+//
+// Usage:
+//
+//	flashd -root ./public [-addr :8080] [-helpers 8] [-status]
+//	       [-userdir-base /home -userdir-suffix public_html]
+//	       [-access-log access.log] [-map-cache-mb 64] [-path-cache 6000]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/flash"
+	"repro/internal/httpmsg"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		root       = flag.String("root", "", "document root (required)")
+		helpers    = flag.Int("helpers", 8, "disk helper goroutines")
+		pathCache  = flag.Int("path-cache", 6000, "pathname cache entries")
+		mapCacheMB = flag.Int64("map-cache-mb", 64, "mapped-chunk cache size (MB)")
+		userBase   = flag.String("userdir-base", "", "base directory for /~user/ translation")
+		userSuffix = flag.String("userdir-suffix", "public_html", "suffix for /~user/ translation")
+		accessLog  = flag.String("access-log", "", "Common Log Format access log file")
+		status     = flag.Bool("status", false, "serve live statistics at /server-status")
+		noAlign    = flag.Bool("no-align", false, "disable 32-byte response header alignment")
+	)
+	flag.Parse()
+	if *root == "" {
+		fmt.Fprintln(os.Stderr, "flashd: -root is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := flash.Config{
+		DocRoot:            *root,
+		NumHelpers:         *helpers,
+		PathCacheEntries:   *pathCache,
+		HeaderCacheEntries: *pathCache,
+		MapCacheBytes:      *mapCacheMB << 20,
+		UserDirBase:        *userBase,
+		UserDirSuffix:      *userSuffix,
+		DisableHeaderAlign: *noAlign,
+	}
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("flashd: %v", err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		cfg.AccessLog = bw
+	}
+
+	srv, err := flash.New(cfg)
+	if err != nil {
+		log.Fatalf("flashd: %v", err)
+	}
+	if *status {
+		srv.HandleDynamic("/server-status", flash.DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				st := srv.Stats()
+				var b strings.Builder
+				fmt.Fprintf(&b, "flashd status\n=============\n")
+				fmt.Fprintf(&b, "accepted:      %d\n", st.Accepted)
+				fmt.Fprintf(&b, "active:        %d\n", st.Active)
+				fmt.Fprintf(&b, "responses:     %d\n", st.Responses)
+				fmt.Fprintf(&b, "not found:     %d\n", st.NotFound)
+				fmt.Fprintf(&b, "errors:        %d\n", st.Errors)
+				fmt.Fprintf(&b, "bytes sent:    %d\n", st.BytesSent)
+				fmt.Fprintf(&b, "helper jobs:   %d\n", st.HelperJobs)
+				fmt.Fprintf(&b, "dynamic calls: %d\n", st.DynamicCalls)
+				fmt.Fprintf(&b, "path cache:    %.1f%% hit (%d/%d)\n",
+					100*st.PathCache.HitRate(), st.PathCache.Hits, st.PathCache.Hits+st.PathCache.Misses)
+				fmt.Fprintf(&b, "header cache:  %.1f%% hit\n", 100*st.HeaderCache.HitRate())
+				fmt.Fprintf(&b, "map cache:     %.1f%% hit, %d bytes mapped\n",
+					100*st.MapCache.HitRate(), st.MapCache.BytesMapped-st.MapCache.BytesUnmapped)
+				return 200, "text/plain", io.NopCloser(strings.NewReader(b.String())), nil
+			}))
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Println("flashd: shutting down")
+		srv.Shutdown(5 * time.Second)
+		os.Exit(0)
+	}()
+
+	log.Printf("flashd: serving %s on %s (%d helpers)", *root, *addr, *helpers)
+	if err := srv.ListenAndServe(*addr); err != nil && err != flash.ErrServerClosed {
+		log.Fatalf("flashd: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+// Command loadgen is a closed-loop HTTP load generator in the style of
+// the paper's client program: N simulated clients each issue requests
+// "as fast as the server can handle them", replaying either a single
+// path or a Common Log Format trace.
+//
+// Usage:
+//
+//	loadgen -addr localhost:8080 [-clients 64] [-duration 10s]
+//	        [-path /index.html | -trace access.log] [-keepalive]
+//
+// It reports throughput (Mb/s), request rate, and latency percentiles.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpmsg"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+type counters struct {
+	responses atomic.Uint64
+	bytes     atomic.Int64
+	errors    atomic.Uint64
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "server host:port")
+		clients   = flag.Int("clients", 64, "concurrent closed-loop clients")
+		duration  = flag.Duration("duration", 10*time.Second, "measurement duration")
+		path      = flag.String("path", "/index.html", "single path to request")
+		traceFile = flag.String("trace", "", "CLF access log to replay (overrides -path)")
+		keepAlive = flag.Bool("keepalive", false, "use persistent connections")
+	)
+	flag.Parse()
+
+	paths := []string{*path}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		tr, skipped, err := workload.FromCLF("replay", f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		paths = paths[:0]
+		for _, e := range tr.Entries {
+			paths = append(paths, e.Path)
+		}
+		fmt.Printf("loaded %d requests over %d files (%d lines skipped)\n",
+			len(tr.Entries), tr.NumFiles(), skipped)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: nothing to request")
+		os.Exit(1)
+	}
+
+	var (
+		c      counters
+		cursor atomic.Int64
+		hist   = &metrics.Histogram{}
+		histMu sync.Mutex
+		stop   = make(chan struct{})
+		wg     sync.WaitGroup
+	)
+	next := func() string {
+		i := cursor.Add(1) - 1
+		return paths[int(i)%len(paths)]
+	}
+
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runClient(*addr, *keepAlive, next, stop, &c, func(d time.Duration) {
+				histMu.Lock()
+				hist.Observe(d)
+				histMu.Unlock()
+			})
+		}()
+	}
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := metrics.Summary{
+		Duration:  elapsed,
+		Responses: c.responses.Load(),
+		Bytes:     c.bytes.Load(),
+		Errors:    c.errors.Load(),
+	}
+	fmt.Printf("clients:     %d (keepalive=%v)\n", *clients, *keepAlive)
+	fmt.Printf("duration:    %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("responses:   %d (%.1f req/s)\n", sum.Responses, sum.RequestsPerSec())
+	fmt.Printf("bandwidth:   %.2f Mb/s\n", sum.MbitPerSec())
+	fmt.Printf("errors:      %d\n", sum.Errors)
+	fmt.Printf("latency:     mean=%v p50=%v p90=%v p99=%v max=%v\n",
+		hist.Mean().Round(time.Microsecond),
+		hist.Quantile(0.5).Round(time.Microsecond),
+		hist.Quantile(0.9).Round(time.Microsecond),
+		hist.Quantile(0.99).Round(time.Microsecond),
+		hist.Max().Round(time.Microsecond))
+}
+
+// runClient is one closed-loop client.
+func runClient(addr string, keepAlive bool, next func() string,
+	stop <-chan struct{}, c *counters, observe func(time.Duration)) {
+	var conn net.Conn
+	var br *bufio.Reader
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if conn == nil {
+			nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				c.errors.Add(1)
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			conn = nc
+			br = bufio.NewReader(conn)
+		}
+		path := next()
+		begin := time.Now()
+		n, keep, err := doRequest(conn, br, path, keepAlive)
+		if err != nil {
+			c.errors.Add(1)
+			conn.Close()
+			conn = nil
+			continue
+		}
+		observe(time.Since(begin))
+		c.responses.Add(1)
+		c.bytes.Add(n)
+		if !keep {
+			conn.Close()
+			conn = nil
+		}
+	}
+}
+
+// doRequest writes one GET and reads the complete response, returning
+// body bytes read and whether the connection remains usable.
+func doRequest(conn net.Conn, br *bufio.Reader, path string, keepAlive bool) (int64, bool, error) {
+	connHdr := "close"
+	proto := "HTTP/1.0"
+	if keepAlive {
+		connHdr = "keep-alive"
+		proto = "HTTP/1.1"
+	}
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := fmt.Fprintf(conn, "GET %s %s\r\nHost: loadgen\r\nConnection: %s\r\n\r\n",
+		path, proto, connHdr); err != nil {
+		return 0, false, err
+	}
+
+	// Read the response header.
+	var hdr []byte
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return 0, false, err
+		}
+		hdr = append(hdr, line...)
+		if len(hdr) > httpmsg.MaxHeaderLen {
+			return 0, false, fmt.Errorf("header too large")
+		}
+		if string(line) == "\r\n" || string(line) == "\n" {
+			break
+		}
+	}
+	length, hasLength := int64(-1), false
+	keep := false
+	for _, line := range strings.Split(string(hdr), "\n") {
+		line = strings.TrimRight(line, "\r")
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		val := strings.TrimSpace(line[colon+1:])
+		switch key {
+		case "content-length":
+			if v, err := httpmsg.ParseContentLength(val); err == nil {
+				length, hasLength = v, true
+			}
+		case "connection":
+			keep = strings.Contains(strings.ToLower(val), "keep-alive")
+		}
+	}
+
+	if hasLength {
+		n, err := io.CopyN(io.Discard, br, length)
+		return n, keep && keepAlive, err
+	}
+	// Close-delimited body.
+	n, err := io.Copy(io.Discard, br)
+	if err != nil && err != io.EOF {
+		return n, false, err
+	}
+	return n, false, nil
+}

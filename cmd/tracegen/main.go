@@ -1,0 +1,145 @@
+// Command tracegen synthesizes web-server access traces with the
+// statistical character of the paper's Rice CS, Owlnet, and ECE logs,
+// writes them as Common Log Format, and can materialize the file
+// population into a document root for replay against a real server.
+//
+// Usage:
+//
+//	tracegen -profile ece [-dataset-mb 90] [-out trace.log]
+//	         [-materialize ./docroot] [-stats]
+//	tracegen -inspect access.log        # summarize an existing CLF log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		profile     = flag.String("profile", "ece", "trace profile: cs, owlnet, ece")
+		datasetMB   = flag.Int64("dataset-mb", 0, "truncate to this dataset size (0 = full)")
+		out         = flag.String("out", "", "write the trace as CLF to this file (- for stdout)")
+		materialize = flag.String("materialize", "", "create the trace's files under this directory")
+		stats       = flag.Bool("stats", true, "print trace statistics")
+		inspect     = flag.String("inspect", "", "summarize an existing CLF log instead of generating")
+		seed        = flag.Uint64("seed", 0, "override the profile's generation seed")
+	)
+	flag.Parse()
+
+	var tr *workload.Trace
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		var skipped int
+		tr, skipped, err = workload.FromCLF(filepath.Base(*inspect), f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("skipped lines: %d\n", skipped)
+	} else {
+		var cfg workload.SyntheticConfig
+		switch *profile {
+		case "cs":
+			cfg = workload.RiceCS()
+		case "owlnet":
+			cfg = workload.Owlnet()
+		case "ece":
+			cfg = workload.RiceECE()
+		default:
+			fatal(fmt.Errorf("unknown profile %q (cs, owlnet, ece)", *profile))
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		tr = workload.Generate(cfg)
+	}
+
+	if *datasetMB > 0 {
+		tr = tr.Truncate(*datasetMB << 20)
+	}
+
+	if *stats {
+		fmt.Printf("trace:          %s\n", tr.Name)
+		fmt.Printf("requests:       %d\n", len(tr.Entries))
+		fmt.Printf("distinct files: %d\n", tr.NumFiles())
+		fmt.Printf("dataset:        %.1f MB\n", float64(tr.DatasetBytes())/(1<<20))
+		fmt.Printf("mean transfer:  %.1f KB\n", tr.MeanTransfer()/1024)
+		fmt.Printf("90%% working set: %.1f MB\n", float64(tr.WorkingSetBytes(0.9))/(1<<20))
+	}
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := workload.ToCLF(tr, w); err != nil {
+			fatal(err)
+		}
+		if *out != "-" {
+			fmt.Printf("wrote %d CLF lines to %s\n", len(tr.Entries), *out)
+		}
+	}
+
+	if *materialize != "" {
+		n, err := materializeFiles(tr, *materialize)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("materialized %d files under %s\n", n, *materialize)
+	}
+}
+
+// materializeFiles writes each distinct file of the trace, filled with a
+// repeating pattern, so a real server can serve the trace.
+func materializeFiles(tr *workload.Trace, root string) (int, error) {
+	n := 0
+	block := make([]byte, 64<<10)
+	for i := range block {
+		block[i] = byte('a' + i%26)
+	}
+	for path, size := range tr.Files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return n, err
+		}
+		f, err := os.Create(full)
+		if err != nil {
+			return n, err
+		}
+		remaining := size
+		for remaining > 0 {
+			chunk := int64(len(block))
+			if chunk > remaining {
+				chunk = remaining
+			}
+			if _, err := f.Write(block[:chunk]); err != nil {
+				f.Close()
+				return n, err
+			}
+			remaining -= chunk
+		}
+		if err := f.Close(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Package repro is a reproduction of "Flash: An Efficient and Portable
+// Web Server" (Pai, Druschel, Zwaenepoel — USENIX Annual Technical
+// Conference, 1999).
+//
+// The module contains two halves:
+//
+//   - A real, runnable web server in the paper's AMPED architecture
+//     (internal/flash), whose public API this package re-exports: a
+//     single event-loop goroutine owning the pathname/header/chunk
+//     caches with zero locks, helper goroutines absorbing all blocking
+//     disk I/O, 32-byte-aligned response headers, and CGI-style dynamic
+//     content handlers.
+//
+//   - A deterministic simulation of the paper's 1999 testbed
+//     (internal/sim*, internal/arch, internal/experiments) that rebuilds
+//     the four server architectures — AMPED, SPED, MP, MT — from one
+//     request-processing code base plus Apache and Zeus behavioural
+//     models, and regenerates every evaluation figure (6-12).
+//     Run `go run ./cmd/flashbench` to reproduce them.
+//
+// Quick start:
+//
+//	srv, err := repro.New(repro.Config{DocRoot: "./public"})
+//	if err != nil { ... }
+//	log.Fatal(srv.ListenAndServe(":8080"))
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured results.
+package repro
+
+import "repro/internal/flash"
+
+// Server is an AMPED-architecture web server (see flash.Server).
+type Server = flash.Server
+
+// Config configures a Server (see flash.Config).
+type Config = flash.Config
+
+// Stats is a snapshot of server counters (see flash.Stats).
+type Stats = flash.Stats
+
+// DynamicHandler produces dynamic content on its own goroutine, the
+// stand-in for the paper's CGI-bin processes (see flash.DynamicHandler).
+type DynamicHandler = flash.DynamicHandler
+
+// DynamicFunc adapts a function to DynamicHandler.
+type DynamicFunc = flash.DynamicFunc
+
+// ErrServerClosed is returned by Serve after Close or Shutdown.
+var ErrServerClosed = flash.ErrServerClosed
+
+// New creates a Flash server from cfg.
+func New(cfg Config) (*Server, error) { return flash.New(cfg) }

@@ -1,0 +1,73 @@
+// Quickstart: start a Flash server on a generated document root, fetch
+// a few files over real HTTP, and print the cache statistics — the
+// smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	// A small document root.
+	root, err := os.MkdirTemp("", "flash-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	files := map[string]string{
+		"index.html":     "<html><body><h1>Flash quickstart</h1></body></html>",
+		"about.html":     "<html><body>About this server.</body></html>",
+		"notes/todo.txt": "1. read the paper\n2. run the benchmarks\n",
+	}
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		os.MkdirAll(filepath.Dir(path), 0o755)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The server: AMPED architecture, defaults everywhere.
+	srv, err := repro.New(repro.Config{DocRoot: root})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	base := "http://" + l.Addr().String()
+	fmt.Printf("serving %s at %s\n\n", root, base)
+
+	// Fetch everything twice: the second pass hits all three caches.
+	for pass := 1; pass <= 2; pass++ {
+		for _, path := range []string{"/", "/about.html", "/notes/todo.txt"} {
+			resp, err := http.Get(base + path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			fmt.Printf("pass %d  GET %-16s -> %d (%d bytes)\n",
+				pass, path, resp.StatusCode, len(body))
+		}
+	}
+
+	st := srv.Stats()
+	fmt.Printf("\nresponses:    %d\n", st.Responses)
+	fmt.Printf("path cache:   %.0f%% hit rate\n", 100*st.PathCache.HitRate())
+	fmt.Printf("header cache: %.0f%% hit rate\n", 100*st.HeaderCache.HitRate())
+	fmt.Printf("map cache:    %.0f%% hit rate\n", 100*st.MapCache.HitRate())
+	fmt.Printf("helper jobs:  %d (first pass only — hits bypass the helpers)\n", st.HelperJobs)
+}

@@ -1,0 +1,105 @@
+// Tracereplay: synthesize a small ECE-profile trace, materialize its
+// files into a document root, serve them with the real Flash server,
+// and replay the trace with closed-loop clients — the paper's
+// trace-driven methodology (§6.2) against the real implementation.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A scaled-down ECE trace (the full profile would write 220 MB).
+	cfg := workload.RiceECE()
+	cfg.NumFiles = 400
+	cfg.DatasetBytes = 8 << 20
+	cfg.Requests = 4000
+	tr := workload.Generate(cfg)
+	fmt.Printf("trace: %d requests, %d files, %.1f MB dataset, %.1f KB mean transfer\n",
+		len(tr.Entries), tr.NumFiles(), float64(tr.DatasetBytes())/(1<<20), tr.MeanTransfer()/1024)
+
+	// Materialize the file population.
+	root, err := os.MkdirTemp("", "flash-tracereplay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	for path, size := range tr.Files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		os.MkdirAll(filepath.Dir(full), 0o755)
+		f, err := os.Create(full)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for i := int64(0); i < size; i++ {
+			w.WriteByte(byte('a' + i%26))
+		}
+		w.Flush()
+		f.Close()
+	}
+
+	// Serve it.
+	srv, err := repro.New(repro.Config{DocRoot: root})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	base := "http://" + l.Addr().String()
+
+	// Replay with 16 closed-loop clients sharing a cursor.
+	var cursor, responses atomic.Int64
+	var bytes atomic.Int64
+	const clients = 16
+	deadline := time.Now().Add(3 * time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for time.Now().Before(deadline) {
+				e := tr.Entries[int(cursor.Add(1)-1)%len(tr.Entries)]
+				resp, err := client.Get(base + e.Path)
+				if err != nil {
+					continue
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				responses.Add(1)
+				bytes.Add(n)
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := srv.Stats()
+	fmt.Printf("\nreplayed %d requests in %v with %d clients\n",
+		responses.Load(), elapsed.Round(time.Millisecond), clients)
+	fmt.Printf("throughput:  %.1f req/s, %.2f Mb/s\n",
+		float64(responses.Load())/elapsed.Seconds(),
+		float64(bytes.Load())*8/1e6/elapsed.Seconds())
+	fmt.Printf("cache hits:  path %.0f%%, header %.0f%%, chunks %.0f%%\n",
+		100*st.PathCache.HitRate(), 100*st.HeaderCache.HitRate(), 100*st.MapCache.HitRate())
+	fmt.Printf("helper jobs: %d for %d distinct files\n", st.HelperJobs, tr.NumFiles())
+}

@@ -1,0 +1,370 @@
+package arch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simos"
+	"repro/internal/workload"
+)
+
+// testRun drives a server with a client population and returns the
+// measurement after a warmup.
+type testRun struct {
+	eng    *sim.Engine
+	m      *simos.Machine
+	srv    *Server
+	driver *client.Driver
+}
+
+func setup(t testing.TB, prof simos.Profile, o Options, tr *workload.Trace, ccfg client.Config) *testRun {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := simos.NewMachine(eng, prof, 42)
+	for path, size := range tr.Files {
+		m.FS.AddFile(path, size)
+	}
+	srv := New(m, o)
+	srv.Start()
+	d := client.New(eng, m.Net, srv.Listener(), tr, ccfg)
+	return &testRun{eng: eng, m: m, srv: srv, driver: d}
+}
+
+// measure runs warmup then a measurement window, returning the window
+// summary.
+func (r *testRun) measure(warmup, window time.Duration) metrics.Summary {
+	r.driver.Start()
+	r.eng.RunFor(warmup)
+	before := r.driver.Summary()
+	r.eng.RunFor(window)
+	return r.driver.Summary().Sub(before)
+}
+
+func lanClients(n int) client.Config {
+	return client.Config{NumClients: n}
+}
+
+func allKindsOptions() []Options {
+	return []Options{FlashOptions(), SPEDOptions(), MPOptions(), MTOptions(), ApacheOptions(), ZeusOptions(2)}
+}
+
+func TestAllArchitecturesServeCachedWorkload(t *testing.T) {
+	tr := workload.SingleFile(8 << 10)
+	for _, o := range allKindsOptions() {
+		o := o
+		t.Run(o.Name, func(t *testing.T) {
+			r := setup(t, simos.Solaris(), o, tr, lanClients(16))
+			s := r.measure(2*time.Second, 4*time.Second)
+			if s.Responses == 0 {
+				t.Fatalf("%s served no responses", o.Name)
+			}
+			if s.MbitPerSec() <= 0 {
+				t.Fatalf("%s no bandwidth", o.Name)
+			}
+			// Sanity: bytes per response at least the file size.
+			bpr := float64(s.Bytes) / float64(s.Responses)
+			if bpr < 8<<10 {
+				t.Fatalf("%s bytes/response = %.0f < file size", o.Name, bpr)
+			}
+		})
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	tr := workload.SingleFile(4 << 10)
+	run := func() uint64 {
+		r := setup(t, simos.FreeBSD(), FlashOptions(), tr, lanClients(8))
+		s := r.measure(time.Second, 2*time.Second)
+		return s.Responses
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d responses", a, b)
+	}
+}
+
+func TestMTRequiresKernelThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MT on FreeBSD 2.2.6 must panic (no kernel threads)")
+		}
+	}()
+	eng := sim.NewEngine()
+	m := simos.NewMachine(eng, simos.FreeBSD(), 1)
+	New(m, MTOptions())
+}
+
+func TestFreeBSDFasterThanSolaris(t *testing.T) {
+	tr := workload.SingleFile(64 << 10)
+	rate := func(prof simos.Profile) float64 {
+		r := setup(t, prof, FlashOptions(), tr, lanClients(32))
+		return r.measure(2*time.Second, 4*time.Second).MbitPerSec()
+	}
+	fb, sol := rate(simos.FreeBSD()), rate(simos.Solaris())
+	if fb <= sol {
+		t.Fatalf("FreeBSD (%.1f Mb/s) not faster than Solaris (%.1f Mb/s)", fb, sol)
+	}
+}
+
+func TestSPEDBeatsFlashSlightlyOnCached(t *testing.T) {
+	// §6.1: "Flash-SPED slightly outperforms Flash because the AMPED
+	// model tests the memory residency of files before sending."
+	tr := workload.SingleFile(2 << 10)
+	rate := func(o Options) float64 {
+		r := setup(t, simos.FreeBSD(), o, tr, lanClients(32))
+		return r.measure(2*time.Second, 6*time.Second).RequestsPerSec()
+	}
+	sped, flash := rate(SPEDOptions()), rate(FlashOptions())
+	if sped <= flash {
+		t.Fatalf("SPED (%.0f r/s) not above Flash (%.0f r/s) on cached load", sped, flash)
+	}
+	if sped > flash*1.2 {
+		t.Fatalf("SPED (%.0f r/s) too far above Flash (%.0f r/s) — mincore cost overstated", sped, flash)
+	}
+}
+
+func TestFlashBeatsSPEDOnDiskBound(t *testing.T) {
+	// The core AMPED claim: on workloads exceeding the cache, SPED's
+	// whole-server disk stalls collapse its throughput while Flash's
+	// helpers overlap disk with request processing.
+	cfg := workload.SyntheticConfig{
+		Name: "diskbound", NumFiles: 4000, DatasetBytes: 400 << 20,
+		ZipfAlpha: 0.6, SizeMeanBytes: 50 << 10, SizeSigma: 1.2,
+		MinSize: 4 << 10, MaxSize: 1 << 20, Requests: 60000, Seed: 99,
+	}
+	tr := workload.Generate(cfg)
+	rate := func(o Options) float64 {
+		r := setup(t, simos.FreeBSD(), o, tr, lanClients(32))
+		return r.measure(5*time.Second, 15*time.Second).MbitPerSec()
+	}
+	flash, sped := rate(FlashOptions()), rate(SPEDOptions())
+	if flash <= sped*1.3 {
+		t.Fatalf("Flash (%.1f Mb/s) not well above SPED (%.1f Mb/s) on disk-bound load", flash, sped)
+	}
+}
+
+func TestApacheSlowerThanFlashOnCached(t *testing.T) {
+	tr := workload.SingleFile(6 << 10)
+	rate := func(o Options) float64 {
+		r := setup(t, simos.Solaris(), o, tr, lanClients(32))
+		return r.measure(2*time.Second, 5*time.Second).RequestsPerSec()
+	}
+	flash, apache := rate(FlashOptions()), rate(ApacheOptions())
+	if apache >= flash*0.8 {
+		t.Fatalf("Apache (%.0f r/s) not well below Flash (%.0f r/s)", apache, flash)
+	}
+}
+
+func TestNotFoundResponses(t *testing.T) {
+	tr := &workload.Trace{
+		Name:    "missing",
+		Entries: []workload.Entry{{Path: "/nope.html", Size: 0}},
+		Files:   map[string]int64{},
+	}
+	// Bypass Validate (the file deliberately doesn't exist on the
+	// server): add a different file so the FS isn't empty.
+	eng := sim.NewEngine()
+	m := simos.NewMachine(eng, simos.FreeBSD(), 7)
+	m.FS.AddFile("/exists.html", 100)
+	srv := New(m, FlashOptions())
+	srv.Start()
+	d := client.New(eng, m.Net, srv.Listener(), tr, lanClients(4))
+	d.Start()
+	eng.RunFor(2 * time.Second)
+	if srv.Stats().NotFound == 0 {
+		t.Fatal("no 404s recorded")
+	}
+	if d.Responses() == 0 {
+		t.Fatal("clients never received the 404 responses")
+	}
+}
+
+func TestKeepAliveServesManyRequestsPerConn(t *testing.T) {
+	tr := workload.SingleFile(1 << 10)
+	r := setup(t, simos.FreeBSD(), FlashOptions(), tr,
+		client.Config{NumClients: 4, KeepAlive: true})
+	s := r.measure(time.Second, 3*time.Second)
+	if s.Responses == 0 {
+		t.Fatal("no keep-alive responses")
+	}
+	st := r.srv.Stats()
+	if st.Accepted == 0 {
+		t.Fatal("no connections accepted")
+	}
+	if float64(st.Responses)/float64(st.Accepted) < 10 {
+		t.Fatalf("responses/conn = %.1f, want many (keep-alive)",
+			float64(st.Responses)/float64(st.Accepted))
+	}
+}
+
+func TestSpawnPerConnGrowsPool(t *testing.T) {
+	tr := workload.SingleFile(1 << 10)
+	o := MPOptions()
+	o.NumProcs = 4
+	o.SpawnPerConn = true
+	o.MaxProcs = 64
+	r := setup(t, simos.Solaris(), o, tr,
+		client.Config{NumClients: 32, KeepAlive: true})
+	r.driver.Start()
+	r.eng.RunFor(3 * time.Second)
+	if live := r.srv.pool.Live(); live <= 4 {
+		t.Fatalf("pool did not grow: live = %d", live)
+	}
+	if live := r.srv.pool.Live(); live > 64 {
+		t.Fatalf("pool exceeded MaxProcs: %d", live)
+	}
+}
+
+func TestFixedPoolHandlesMoreClientsThanProcs(t *testing.T) {
+	tr := workload.SingleFile(2 << 10)
+	o := MPOptions()
+	o.NumProcs = 8
+	r := setup(t, simos.FreeBSD(), o, tr, lanClients(32))
+	s := r.measure(2*time.Second, 3*time.Second)
+	if s.Responses == 0 {
+		t.Fatal("fixed pool starved")
+	}
+	if r.srv.pool.Live() != 8 {
+		t.Fatalf("pool size changed: %d", r.srv.pool.Live())
+	}
+}
+
+func TestHelpersSpawnOnDemand(t *testing.T) {
+	cfg := workload.SyntheticConfig{
+		Name: "cold", NumFiles: 2000, DatasetBytes: 300 << 20,
+		ZipfAlpha: 0.5, SizeMeanBytes: 60 << 10, SizeSigma: 1.0,
+		MinSize: 8 << 10, MaxSize: 1 << 20, Requests: 20000, Seed: 5,
+	}
+	tr := workload.Generate(cfg)
+	r := setup(t, simos.FreeBSD(), FlashOptions(), tr, lanClients(32))
+	r.driver.Start()
+	r.eng.RunFor(5 * time.Second)
+	st := r.srv.Stats()
+	if st.HelperSpawns == 0 {
+		t.Fatal("no helpers spawned on a disk-bound workload")
+	}
+	if st.HelperSpawns > uint64(FlashOptions().MaxHelpers) {
+		t.Fatalf("helper spawns %d exceed max %d", st.HelperSpawns, FlashOptions().MaxHelpers)
+	}
+	if st.HelperDispatches == 0 {
+		t.Fatal("no helper dispatches")
+	}
+	// And SPED on the same load must do blocking fetches instead.
+	r2 := setup(t, simos.FreeBSD(), SPEDOptions(), tr, lanClients(32))
+	r2.driver.Start()
+	r2.eng.RunFor(5 * time.Second)
+	if r2.srv.Stats().BlockingFetches == 0 {
+		t.Fatal("SPED recorded no blocking fetches")
+	}
+	if r2.srv.Stats().HelperDispatches != 0 {
+		t.Fatal("SPED dispatched helpers")
+	}
+}
+
+func TestCachingOptimizationsHelp(t *testing.T) {
+	// Figure 11's premise: disabling all three caches roughly halves
+	// small-file throughput.
+	tr := workload.SingleFile(1 << 10)
+	rate := func(o Options) float64 {
+		r := setup(t, simos.FreeBSD(), o, tr, lanClients(32))
+		return r.measure(2*time.Second, 5*time.Second).RequestsPerSec()
+	}
+	full := FlashOptions()
+	none := FlashOptions()
+	none.UsePathCache, none.UseRespCache, none.UseMapCache = false, false, false
+	fr, nr := rate(full), rate(none)
+	if nr >= fr*0.85 {
+		t.Fatalf("no-caching (%.0f r/s) not well below full Flash (%.0f r/s)", nr, fr)
+	}
+}
+
+func TestMincoreOnlyInAMPED(t *testing.T) {
+	tr := workload.SingleFile(4 << 10)
+	for _, o := range []Options{FlashOptions(), SPEDOptions(), MPOptions()} {
+		r := setup(t, simos.Solaris(), o, tr, lanClients(8))
+		r.driver.Start()
+		r.eng.RunFor(2 * time.Second)
+		calls := r.srv.Stats().MincoreCalls
+		if o.Kind == AMPED && calls == 0 {
+			t.Errorf("%s: no mincore calls", o.Name)
+		}
+		if o.Kind != AMPED && calls != 0 {
+			t.Errorf("%s: unexpected mincore calls %d", o.Name, calls)
+		}
+	}
+}
+
+func TestLargeFileChunkedSend(t *testing.T) {
+	tr := workload.SingleFile(1 << 20) // 16 chunks of 64 KB
+	r := setup(t, simos.FreeBSD(), FlashOptions(), tr, lanClients(4))
+	s := r.measure(2*time.Second, 4*time.Second)
+	if s.Responses == 0 {
+		t.Fatal("no large-file responses")
+	}
+	// Window edges cut responses mid-flight, so allow a small margin.
+	bpr := float64(s.Bytes) / float64(s.Responses)
+	if bpr < 0.95*(1<<20) {
+		t.Fatalf("bytes/response %.0f well below file size", bpr)
+	}
+}
+
+func TestZeusTwoProcessConfig(t *testing.T) {
+	tr := workload.SingleFile(8 << 10)
+	r := setup(t, simos.FreeBSD(), ZeusOptions(2), tr, lanClients(16))
+	s := r.measure(2*time.Second, 3*time.Second)
+	if s.Responses == 0 {
+		t.Fatal("Zeus 2-proc served nothing")
+	}
+	if len(r.srv.loop) != 2 {
+		t.Fatalf("Zeus loops = %d, want 2", len(r.srv.loop))
+	}
+	// Both loops should own connections.
+	if r.srv.loop[0].conns+r.srv.loop[1].conns == 0 {
+		t.Fatal("no connections registered")
+	}
+}
+
+func TestMisalignedHeadersCostBandwidth(t *testing.T) {
+	// Zeus's missing §5.5 alignment must show up on large cached files.
+	tr := workload.SingleFile(128 << 10)
+	rate := func(aligned bool) float64 {
+		o := FlashOptions()
+		o.Kind = SPED
+		o.AlignedHeaders = aligned
+		r := setup(t, simos.FreeBSD(), o, tr, lanClients(32))
+		return r.measure(2*time.Second, 4*time.Second).MbitPerSec()
+	}
+	al, mis := rate(true), rate(false)
+	if mis >= al {
+		t.Fatalf("misaligned (%.1f Mb/s) not below aligned (%.1f Mb/s)", mis, al)
+	}
+}
+
+func TestConnMemReleasedOnClose(t *testing.T) {
+	tr := workload.SingleFile(1 << 10)
+	r := setup(t, simos.FreeBSD(), FlashOptions(), tr, lanClients(8))
+	r.driver.Start()
+	r.eng.RunFor(3 * time.Second)
+	st := r.srv.Stats()
+	if st.Closed == 0 {
+		t.Fatal("no closes")
+	}
+	if st.Accepted < st.Closed {
+		t.Fatalf("closed %d > accepted %d", st.Closed, st.Accepted)
+	}
+	// Open connections bounded by the client population.
+	if open := st.Accepted - st.Closed; open > 16 {
+		t.Fatalf("connection leak: %d open", open)
+	}
+}
+
+func BenchmarkSimulatedFlashCachedSecond(b *testing.B) {
+	tr := workload.SingleFile(8 << 10)
+	for i := 0; i < b.N; i++ {
+		r := setup(b, simos.FreeBSD(), FlashOptions(), tr, lanClients(32))
+		r.driver.Start()
+		r.eng.RunFor(time.Second)
+	}
+}

@@ -1,0 +1,328 @@
+package arch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simos"
+)
+
+// eventLoop is one select-driven server process (SPED and AMPED have
+// one; the Zeus model may run two). It owns a cache set and serializes
+// all request processing for its connections. Dispatch discipline:
+// every dequeued event runs a continuation chain that calls eventDone
+// exactly once — when the chain parks (awaiting readability/writability
+// or an AMPED helper) or completes.
+type eventLoop struct {
+	s   *Server
+	p   *simos.Proc
+	idx int
+
+	ready     []func()
+	readyHigh []func() // accepts, helper replies, small-file requests
+	waiting   bool     // parked in select with nothing ready
+	inCycle   bool
+	nextK     func() // continuation to the next event of the batch
+
+	conns int
+	ca    *cacheSet
+
+	// AMPED helper machinery (used when s.o.Kind == AMPED).
+	helpers []*helper
+	jobQ    []*helperJob
+}
+
+// helper is one AMPED helper process.
+type helper struct {
+	p    *simos.Proc
+	busy bool
+}
+
+// helperJob is one unit of blocking work shipped to a helper.
+type helperJob struct {
+	cc     *connCtx
+	file   *simos.File
+	off, n int64
+	isMeta bool
+	k      func()
+}
+
+func newEventLoop(s *Server, idx int) *eventLoop {
+	mem := s.prof().ProcMemOverhead + s.o.cacheMemBytes()
+	l := &eventLoop{
+		s:   s,
+		p:   s.m.NewProcess(fmt.Sprintf("%s-loop%d", s.o.Name, idx), mem),
+		idx: idx,
+	}
+	l.ca = s.newCacheSet()
+	l.waiting = true
+	return l
+}
+
+// nfds approximates the descriptor count scanned by select.
+func (l *eventLoop) nfds() int {
+	return l.conns + 1 + 2*len(l.helpers)
+}
+
+// enqueue adds a ready event, kicking the loop if it was parked.
+func (l *eventLoop) enqueue(high bool, fn func()) {
+	if high {
+		l.readyHigh = append(l.readyHigh, fn)
+	} else {
+		l.ready = append(l.ready, fn)
+	}
+	if l.waiting {
+		l.waiting = false
+		l.cycle()
+	}
+}
+
+// cycle runs one select round: charge select cost, then dispatch the
+// ready events. Without SmallFilePriority both queues drain together;
+// with it (the Zeus model), high-priority events are served to
+// exhaustion before any low-priority event runs, so under full load
+// requests for large documents starve — which shrinks the server's
+// effective working set (the Figure 9 late-knee behaviour, §6.2).
+func (l *eventLoop) cycle() {
+	if l.inCycle {
+		return
+	}
+	if len(l.ready) == 0 && len(l.readyHigh) == 0 {
+		l.waiting = true
+		return
+	}
+	l.inCycle = true
+	var batch []func()
+	switch {
+	case l.s.o.SmallFilePriority && len(l.readyHigh) > 0:
+		batch = l.readyHigh
+		l.readyHigh = nil
+	case l.s.o.SmallFilePriority:
+		// A quiet round admits a single large-document event; the next
+		// select re-checks for small-document work first.
+		batch = []func(){l.ready[0]}
+		copy(l.ready, l.ready[1:])
+		l.ready = l.ready[:len(l.ready)-1]
+	default:
+		batch = append(l.readyHigh, l.ready...)
+		l.readyHigh = nil
+		l.ready = nil
+	}
+	cost := l.s.prof().SelectBase + time.Duration(l.nfds())*l.s.prof().SelectPerFD
+	l.p.Use(cost, func() { l.dispatch(batch, 0) })
+}
+
+func (l *eventLoop) dispatch(batch []func(), i int) {
+	if i == len(batch) {
+		l.inCycle = false
+		l.cycle()
+		return
+	}
+	l.nextK = func() { l.dispatch(batch, i+1) }
+	batch[i]()
+}
+
+// eventDone ends the current event's chain and moves to the next.
+func (l *eventLoop) eventDone() {
+	k := l.nextK
+	l.nextK = nil
+	if k == nil {
+		panic("arch: eventDone without a dispatched event")
+	}
+	k()
+}
+
+// noteListener enqueues an accept event (routed here by Server.Start).
+func (l *eventLoop) noteListener() {
+	l.enqueue(true, l.acceptOne)
+}
+
+// acceptOne accepts a single pending connection.
+func (l *eventLoop) acceptOne() {
+	if l.s.lis.PendingConns() == 0 {
+		l.eventDone()
+		return
+	}
+	l.p.Use(l.s.prof().AcceptCost, func() {
+		c := l.s.lis.Accept()
+		if c == nil {
+			l.eventDone()
+			return
+		}
+		l.s.stats.Accepted++
+		l.s.m.AddConnMem()
+		l.conns++
+		cc := &connCtx{s: l.s, c: c, p: l.p, ca: l.ca, loop: l}
+		c.OnReadable = func() {
+			if cc.wantRead && !cc.closed {
+				cc.wantRead = false
+				l.enqueue(l.smallRequest(cc), func() { l.runParked(cc, &cc.loopReadK) })
+			}
+		}
+		c.OnWritable = func() {
+			if cc.wantWrite && !cc.closed {
+				cc.wantWrite = false
+				l.enqueue(l.smallRequest(cc), func() { l.runParked(cc, &cc.loopWriteK) })
+			}
+		}
+		// Park for the first request; it may already be readable.
+		cc.wantRead = true
+		cc.loopReadK = func() { cc.handleNextRequest(l.eventDone) }
+		if c.PendingRequests() > 0 || c.ClientEOF() {
+			c.OnReadable()
+		}
+		l.eventDone()
+	})
+}
+
+// runParked resumes a parked continuation slot.
+func (l *eventLoop) runParked(cc *connCtx, slot *func()) {
+	k := *slot
+	*slot = nil
+	if k == nil || cc.closed {
+		l.eventDone()
+		return
+	}
+	k()
+}
+
+// smallRequest classifies a connection for Zeus's small-file priority.
+func (l *eventLoop) smallRequest(cc *connCtx) bool {
+	if !l.s.o.SmallFilePriority {
+		return false
+	}
+	if cc.file != nil {
+		return cc.file.Size < l.s.o.SmallFileThreshold
+	}
+	if r := cc.c.PeekRequest(); r != nil {
+		return r.Size < l.s.o.SmallFileThreshold
+	}
+	return false
+}
+
+// --- AMPED helpers ---
+
+// helperFetch ships blocking work to a helper and exits the event chain;
+// job.k resumes it when the helper's completion notification arrives.
+func (s *Server) helperFetch(cc *connCtx, off, n int64, k func()) {
+	l := cc.loop
+	job := &helperJob{cc: cc, file: cc.file, off: off, n: n, k: k}
+	s.stats.HelperDispatches++
+	// The server writes the request down the helper pipe.
+	l.p.Use(s.prof().PipeIOCost, func() {
+		l.submitJob(job)
+		l.eventDone()
+	})
+}
+
+// helperMeta ships a metadata (pathname translation) job to a helper.
+func (s *Server) helperMeta(cc *connCtx, f *simos.File, k func()) {
+	l := cc.loop
+	job := &helperJob{cc: cc, file: f, isMeta: true, k: k}
+	s.stats.HelperDispatches++
+	l.p.Use(s.prof().PipeIOCost, func() {
+		l.submitJob(job)
+		l.eventDone()
+	})
+}
+
+// submitJob assigns a job to an idle helper, spawning one if allowed,
+// otherwise queueing it.
+func (l *eventLoop) submitJob(job *helperJob) {
+	for _, h := range l.helpers {
+		if !h.busy {
+			l.runHelper(h, job)
+			return
+		}
+	}
+	if len(l.helpers) < l.s.o.MaxHelpers {
+		h := &helper{p: l.s.m.NewProcess(
+			fmt.Sprintf("%s-helper%d", l.s.o.Name, len(l.helpers)),
+			l.s.prof().HelperMemOverhead)}
+		l.helpers = append(l.helpers, h)
+		l.s.stats.HelperSpawns++
+		// Fork cost is paid by the new process before its first job
+		// (spawned dynamically, kept in reserve afterwards).
+		h.busy = true
+		h.p.Use(l.s.prof().ForkCost, func() {
+			h.busy = false
+			l.runHelper(h, job)
+		})
+		return
+	}
+	l.jobQ = append(l.jobQ, job)
+}
+
+// runHelper executes one job on a helper process: read the request from
+// the pipe, mmap, touch the pages (blocking on disk), notify.
+func (l *eventLoop) runHelper(h *helper, job *helperJob) {
+	s := l.s
+	h.busy = true
+	finish := func() {
+		// Reply down the notification pipe, then pick up queued work.
+		h.p.Use(s.prof().PipeIOCost, func() {
+			h.busy = false
+			if len(l.jobQ) > 0 {
+				next := l.jobQ[0]
+				l.jobQ = l.jobQ[1:]
+				l.runHelper(h, next)
+			}
+			// Completion event for the main loop (readable pipe).
+			l.enqueue(true, func() {
+				l.p.Use(s.prof().PipeIOCost, func() {
+					if job.cc.closed {
+						l.eventDone()
+						return
+					}
+					job.k()
+				})
+			})
+		})
+	}
+	h.p.Use(s.prof().PipeIOCost, func() { // helper reads the request
+		if job.isMeta {
+			s.m.FS.EnsureMeta(job.file, finish)
+			return
+		}
+		h.p.Use(s.prof().MmapCost, func() { // helper's own mapping
+			s.m.FS.EnsureResident(job.file, job.off, job.n, func() {
+				pages := (job.n + int64(s.prof().PageSize) - 1) / int64(s.prof().PageSize)
+				h.p.Use(time.Duration(pages)*s.o.App.TouchPage, finish)
+			})
+		})
+	})
+}
+
+// --- Architecture-specific blocking disciplines ---
+
+// fetch brings a file range into memory. AMPED ships it to a helper
+// (never blocking the loop); every other architecture blocks the calling
+// proc — which for SPED is the whole server.
+func (s *Server) fetch(cc *connCtx, off, n int64, k func()) {
+	if s.o.Kind == AMPED {
+		s.helperFetch(cc, off, n, k)
+		return
+	}
+	s.stats.BlockingFetches++
+	s.m.FS.EnsureResident(cc.file, off, n, func() {
+		pages := (n + int64(s.prof().PageSize) - 1) / int64(s.prof().PageSize)
+		cc.p.Use(time.Duration(pages)*s.o.App.TouchPage, k)
+	})
+}
+
+// translateBlocking performs the potentially blocking part of pathname
+// translation. AMPED always uses a helper (a directory walk's blocking
+// cannot be predicted); the other architectures walk inline, blocking
+// the calling proc only when metadata is not resident.
+func (s *Server) translateBlocking(cc *connCtx, f *simos.File, k func()) {
+	if s.o.Kind == AMPED {
+		s.helperMeta(cc, f, k)
+		return
+	}
+	if s.m.FS.MetaResident(f) {
+		s.m.FS.EnsureMeta(f, k) // synchronous touch
+		return
+	}
+	s.stats.BlockingFetches++
+	s.m.FS.EnsureMeta(f, k)
+}

@@ -1,0 +1,148 @@
+package arch
+
+import "time"
+
+// This file implements two variants the paper describes beyond the four
+// base architectures:
+//
+//   - Coarse-grained MT locking (§6.2, Figure 10's note): "This result
+//     was achieved by carefully minimizing lock contention ... Without
+//     this effort the disk-bound results otherwise resembled
+//     Flash-SPED." The untuned variant holds the shared-cache lock
+//     across blocking disk operations, serializing all threads behind
+//     any miss.
+//
+//   - The feedback-based memory-residency heuristic (§5.7): on systems
+//     without mincore, Flash can predict residency with an app-level
+//     clock over its mappings, adapting via page-fault feedback. A
+//     predicted-resident chunk is sent directly (no mincore cost); a
+//     misprediction faults, blocking the event loop like SPED for that
+//     one read, and pushes the predictor toward conservatism (helper
+//     dispatch).
+
+// --- Coarse-grained cache lock (untuned MT) ---
+
+// acquireCacheLock takes the server-wide cache lock when CoarseLocks is
+// enabled, parking the caller FIFO behind the holder. k runs with the
+// lock held.
+func (cc *connCtx) acquireCacheLock(k func()) {
+	s := cc.s
+	if !s.o.CoarseLocks {
+		k()
+		return
+	}
+	if !s.lockHeld {
+		s.lockHeld = true
+		cc.p.Use(s.prof().LockUncontended, k)
+		return
+	}
+	s.lockWaiters = append(s.lockWaiters, func() {
+		// Contended acquisition: the waiter pays the contended cost.
+		s.lockHeld = true
+		cc.p.Use(s.prof().LockContended, k)
+	})
+}
+
+// releaseCacheLock hands the lock to the next waiter, if any.
+func (cc *connCtx) releaseCacheLock() {
+	s := cc.s
+	if !s.o.CoarseLocks || !s.lockHeld {
+		return
+	}
+	s.lockHeld = false
+	if len(s.lockWaiters) > 0 {
+		next := s.lockWaiters[0]
+		copy(s.lockWaiters, s.lockWaiters[1:])
+		s.lockWaiters[len(s.lockWaiters)-1] = nil
+		s.lockWaiters = s.lockWaiters[:len(s.lockWaiters)-1]
+		next()
+	}
+}
+
+// MTUntunedOptions returns the MT configuration before the paper's
+// lock-contention tuning: one coarse lock protects the shared caches
+// and is held for a request's entire processing, including blocking
+// disk reads.
+func MTUntunedOptions() Options {
+	o := MTOptions()
+	o.Name = "MT-untuned"
+	o.CoarseLocks = true
+	return o
+}
+
+// --- §5.7 residency heuristic ---
+
+// residencyPredictor is the app-level clock stand-in: it predicts that
+// chunks found in the mapped-file cache are memory resident, and turns
+// conservative (routing reads through helpers) when recent fault
+// feedback says the buffer cache no longer backs the mappings.
+type residencyPredictor struct {
+	predictions  uint64
+	faults       uint64
+	conservative bool
+}
+
+// predictorWindow is the feedback evaluation period.
+const predictorWindow = 512
+
+// faultTolerance is the fault fraction (per window) beyond which the
+// predictor turns conservative: 1/32 ≈ 3%.
+const faultTolerance = 32
+
+// observe records one prediction outcome and re-evaluates the mode at
+// window boundaries.
+func (rp *residencyPredictor) observe(fault bool) {
+	rp.predictions++
+	if fault {
+		rp.faults++
+	}
+	if rp.predictions >= predictorWindow {
+		rp.conservative = rp.faults*faultTolerance > rp.predictions
+		rp.predictions = 0
+		rp.faults = 0
+	}
+}
+
+// FlashHeuristicOptions returns Flash configured for an OS without
+// mincore (§5.7): residency is predicted from the mapped-file cache
+// plus fault feedback instead of being tested per send.
+func FlashHeuristicOptions() Options {
+	o := FlashOptions()
+	o.Name = "Flash-heur"
+	o.ResidencyHeuristic = true
+	return o
+}
+
+// heuristicSend applies the §5.7 policy for a mapped chunk. wasCached
+// reports whether the chunk was already in the map cache (the app's
+// clock believes it hot). then runs once the range is sendable.
+func (cc *connCtx) heuristicSend(off, n int64, wasCached bool, then func()) {
+	s := cc.s
+	pred := &s.predictor
+	if wasCached && !pred.conservative {
+		// Predicted resident: send without testing.
+		if s.m.FS.Resident(cc.file, off, n) {
+			pred.observe(false)
+			s.m.BC.Touch(cc.file.ID, off, n)
+			then()
+			return
+		}
+		// Misprediction: the write faults and blocks the event loop —
+		// exactly the SPED pathology the heuristic risks.
+		pred.observe(true)
+		s.stats.HeuristicFaults++
+		s.stats.BlockingFetches++
+		s.m.FS.EnsureResident(cc.file, off, n, func() {
+			pages := (n + int64(s.prof().PageSize) - 1) / int64(s.prof().PageSize)
+			cc.p.Use(time.Duration(pages)*s.o.App.TouchPage, then)
+		})
+		return
+	}
+	// Cold or conservative: fetch through a helper as usual.
+	if s.m.FS.Resident(cc.file, off, n) {
+		s.m.BC.Touch(cc.file.ID, off, n)
+		then()
+		return
+	}
+	s.helperFetch(cc, off, n, then)
+}

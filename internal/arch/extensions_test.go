@@ -1,0 +1,178 @@
+package arch
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/simos"
+	"repro/internal/workload"
+)
+
+// diskBoundECE is a trace well past the ~110 MB cache.
+func diskBoundECE() *workload.Trace {
+	return workload.Generate(workload.RiceECE()).Truncate(140 << 20)
+}
+
+// prewarmRun measures one server on one trace with a prewarmed cache.
+func prewarmRun(t testing.TB, prof simos.Profile, o Options, tr *workload.Trace, warm, win time.Duration) (float64, Stats) {
+	t.Helper()
+	r := setup(t, prof, o, tr, lanClients(64))
+	// Local prewarm (mirrors experiments.PrewarmCache without the
+	// import cycle).
+	counts := map[string]int{}
+	for _, e := range tr.Entries {
+		counts[e.Path]++
+	}
+	budget := r.m.BC.Capacity() * 9 / 10
+	best := make([]string, 0, len(counts))
+	for p := range counts {
+		best = append(best, p)
+	}
+	// Simple selection by popularity: repeatedly take the max. The
+	// trace profiles have few enough files that O(n log n) sorting is
+	// unnecessary precision; use sort for determinism.
+	sortByCount(best, counts)
+	for _, p := range best {
+		f := r.m.FS.Lookup(p)
+		if f == nil || r.m.BC.Used()+f.Size > budget {
+			continue
+		}
+		r.m.FS.WarmFile(f)
+	}
+	s := r.measure(warm, win)
+	return s.MbitPerSec(), r.srv.Stats()
+}
+
+func sortByCount(paths []string, counts map[string]int) {
+	sort.Slice(paths, func(i, j int) bool {
+		if counts[paths[i]] != counts[paths[j]] {
+			return counts[paths[i]] > counts[paths[j]]
+		}
+		return paths[i] < paths[j]
+	})
+}
+
+func TestUntunedMTResemblesSPEDOnDiskBound(t *testing.T) {
+	// Figure 10's note: without lock tuning, MT's disk-bound results
+	// "resembled Flash-SPED" — far below tuned MT.
+	tr := diskBoundECE()
+	prof := simos.Solaris()
+	tuned, _ := prewarmRun(t, prof, MTOptions(), tr, 5*time.Second, 15*time.Second)
+	untuned, _ := prewarmRun(t, prof, MTUntunedOptions(), tr, 5*time.Second, 15*time.Second)
+	sped, _ := prewarmRun(t, prof, SPEDOptions(), tr, 5*time.Second, 15*time.Second)
+
+	if untuned >= tuned*0.8 {
+		t.Fatalf("untuned MT (%.1f) not well below tuned MT (%.1f)", untuned, tuned)
+	}
+	// "Resembles SPED": within ±40% of SPED, far closer to SPED than to
+	// tuned MT.
+	if untuned > sped*1.5 {
+		t.Fatalf("untuned MT (%.1f) does not resemble SPED (%.1f)", untuned, sped)
+	}
+}
+
+func TestCoarseLocksHarmlessOnCached(t *testing.T) {
+	// With everything cached, no thread blocks while holding the lock,
+	// so coarse locking costs little.
+	tr := workload.SingleFile(8 << 10)
+	run := func(o Options) float64 {
+		r := setup(t, simos.Solaris(), o, tr, lanClients(32))
+		return r.measure(2*time.Second, 4*time.Second).MbitPerSec()
+	}
+	tuned := run(MTOptions())
+	untuned := run(MTUntunedOptions())
+	if untuned < tuned*0.85 {
+		t.Fatalf("coarse locks cost too much on cached load: %.1f vs %.1f", untuned, tuned)
+	}
+}
+
+func TestHeuristicMatchesMincoreOnCached(t *testing.T) {
+	// §5.7: with everything resident, the predictor stays optimistic
+	// and Flash-heur skips the mincore cost — at least matching Flash.
+	tr := workload.SingleFile(4 << 10)
+	run := func(o Options) (float64, Stats) {
+		r := setup(t, simos.FreeBSD(), o, tr, lanClients(32))
+		s := r.measure(2*time.Second, 5*time.Second)
+		return s.RequestsPerSec(), r.srv.Stats()
+	}
+	mincore, _ := run(FlashOptions())
+	heur, hst := run(FlashHeuristicOptions())
+	if heur < mincore {
+		t.Fatalf("heuristic (%.0f r/s) below mincore Flash (%.0f r/s) on cached load", heur, mincore)
+	}
+	if hst.MincoreCalls != 0 {
+		t.Fatalf("heuristic mode made %d mincore calls", hst.MincoreCalls)
+	}
+	// A couple of startup faults are expected: clients racing the very
+	// first chunk load find it mapped before the helper's read lands.
+	if hst.HeuristicFaults > 3 {
+		t.Fatalf("cached load produced %d heuristic faults", hst.HeuristicFaults)
+	}
+}
+
+func TestHeuristicSurvivesDiskBound(t *testing.T) {
+	// Under memory pressure the predictor must fault occasionally but
+	// turn conservative rather than collapsing to SPED.
+	tr := diskBoundECE()
+	prof := simos.FreeBSD()
+	flash, _ := prewarmRun(t, prof, FlashOptions(), tr, 5*time.Second, 15*time.Second)
+	heur, hst := prewarmRun(t, prof, FlashHeuristicOptions(), tr, 5*time.Second, 15*time.Second)
+	sped, _ := prewarmRun(t, prof, SPEDOptions(), tr, 5*time.Second, 15*time.Second)
+
+	if heur < sped {
+		t.Fatalf("heuristic Flash (%.1f) below SPED (%.1f): predictor never adapted", heur, sped)
+	}
+	if heur < flash*0.6 {
+		t.Fatalf("heuristic Flash (%.1f) too far below mincore Flash (%.1f)", heur, flash)
+	}
+	if hst.HeuristicFaults == 0 {
+		t.Fatal("disk-bound run recorded no heuristic faults (predictor untested)")
+	}
+	if hst.HelperDispatches == 0 {
+		t.Fatal("conservative mode never dispatched helpers")
+	}
+}
+
+func TestPredictorWindowing(t *testing.T) {
+	var rp residencyPredictor
+	// Faults above tolerance flip it conservative at the window edge.
+	for i := 0; i < predictorWindow; i++ {
+		rp.observe(i%8 == 0) // 12.5% faults > 1/32
+	}
+	if !rp.conservative {
+		t.Fatal("predictor not conservative after a faulty window")
+	}
+	// A clean window flips it back.
+	for i := 0; i < predictorWindow; i++ {
+		rp.observe(false)
+	}
+	if rp.conservative {
+		t.Fatal("predictor stuck conservative after a clean window")
+	}
+}
+
+func TestMultipleDisksRewardConcurrentArchitectures(t *testing.T) {
+	// §4.1 "Disk utilization": MP/MT/AMPED can generate one disk
+	// request per process/thread/helper, so a second spindle helps
+	// them; SPED can only ever have one outstanding request, so a
+	// second spindle is wasted on it.
+	tr := diskBoundECE()
+	run := func(o Options, disks int) float64 {
+		prof := simos.FreeBSD()
+		prof.NumDisks = disks
+		bw, _ := prewarmRun(t, prof, o, tr, 5*time.Second, 15*time.Second)
+		return bw
+	}
+	flash1 := run(FlashOptions(), 1)
+	flash2 := run(FlashOptions(), 2)
+	sped1 := run(SPEDOptions(), 1)
+	sped2 := run(SPEDOptions(), 2)
+
+	if flash2 < flash1*1.25 {
+		t.Errorf("second disk did not help Flash: %.1f -> %.1f Mb/s", flash1, flash2)
+	}
+	if sped2 > sped1*1.15 {
+		t.Errorf("second disk helped SPED too much: %.1f -> %.1f Mb/s (it can only keep one busy)", sped1, sped2)
+	}
+}

@@ -1,0 +1,131 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/simos"
+)
+
+// procPool implements the MP and MT architectures: a pool of workers
+// (processes or kernel threads), each executing the request-processing
+// steps sequentially for one connection at a time, with blocking I/O.
+// With SpawnPerConn the pool grows toward MaxProcs as concurrent
+// connections demand it (the per-connection overhead of §4.2).
+type procPool struct {
+	s      *Server
+	main   *simos.Proc // MT address space anchor
+	shared *cacheSet   // MT: one cache set, lock-protected
+	idle   []func()    // parked workers awaiting connections
+	live   int
+	nextID int
+}
+
+func newProcPool(s *Server) *procPool {
+	p := &procPool{s: s}
+	if s.o.Kind == MT {
+		p.shared = s.newCacheSet()
+		// The address space itself (cache memory lives here once, not
+		// per thread).
+		p.main = s.m.NewProcess(s.o.Name+"-main", s.prof().ProcMemOverhead+s.o.cacheMemBytes())
+	}
+	for i := 0; i < s.o.NumProcs; i++ {
+		p.spawnWorker(false)
+	}
+	s.lis.OnReadable = p.onListenerReadable
+	return p
+}
+
+func (p *procPool) onListenerReadable() {
+	if len(p.idle) > 0 {
+		k := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		k()
+		return
+	}
+	if p.s.o.SpawnPerConn && p.live < p.s.o.MaxProcs {
+		p.spawnWorker(true)
+	}
+	// Otherwise the connection waits in the accept queue until a worker
+	// frees up.
+}
+
+// spawnWorker creates one worker process/thread and starts its accept
+// loop. Dynamic spawns pay fork cost before serving.
+func (p *procPool) spawnWorker(dynamic bool) {
+	s := p.s
+	p.nextID++
+	p.live++
+	var proc *simos.Proc
+	var ca *cacheSet
+	name := fmt.Sprintf("%s-w%d", s.o.Name, p.nextID)
+	if s.o.Kind == MT {
+		proc = s.m.NewThread(name, p.main, s.prof().ThreadMemOverhead)
+		ca = p.shared
+	} else {
+		mem := s.prof().ProcMemOverhead
+		if dynamic {
+			// A freshly forked worker shares most pages copy-on-write;
+			// only the statically configured pool carries full private
+			// footprints.
+			mem /= 4
+		}
+		proc = s.m.NewProcess(name, mem+s.o.cacheMemBytes())
+		ca = s.newCacheSet()
+	}
+	start := func() { p.acceptLoop(proc, ca) }
+	if dynamic {
+		proc.Use(s.prof().ForkCost, start)
+		return
+	}
+	start()
+}
+
+// acceptLoop is a worker's life: accept a connection, serve it to
+// completion, repeat (or retire, if the pool over-grew).
+func (p *procPool) acceptLoop(proc *simos.Proc, ca *cacheSet) {
+	s := p.s
+	if s.lis.PendingConns() == 0 {
+		p.idle = append(p.idle, func() { p.acceptLoop(proc, ca) })
+		return
+	}
+	proc.Use(s.prof().AcceptCost, func() {
+		c := s.lis.Accept()
+		if c == nil {
+			p.acceptLoop(proc, ca)
+			return
+		}
+		s.stats.Accepted++
+		s.m.AddConnMem()
+		cc := &connCtx{s: s, c: c, p: proc, ca: ca}
+		c.OnReadable = func() {
+			if k := cc.waitRead; k != nil {
+				cc.waitRead = nil
+				k()
+			}
+		}
+		c.OnWritable = func() {
+			if k := cc.waitWrite; k != nil {
+				cc.waitWrite = nil
+				k()
+			}
+		}
+		cc.awaitReadable(func() {
+			cc.handleNextRequest(func() { p.connDone(proc, ca) })
+		})
+	})
+}
+
+// connDone runs after a worker's connection closes.
+func (p *procPool) connDone(proc *simos.Proc, ca *cacheSet) {
+	s := p.s
+	if p.live > s.o.NumProcs {
+		// Shrink an over-grown pool (its connection is gone).
+		p.live--
+		s.m.Exit(proc)
+		return
+	}
+	p.acceptLoop(proc, ca)
+}
+
+// Live returns the number of live workers (for tests).
+func (p *procPool) Live() int { return p.live }

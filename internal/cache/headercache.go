@@ -1,0 +1,54 @@
+package cache
+
+// HeaderEntry is a precomputed HTTP response header for one file (§5.3).
+// The header is tied to the file's identity: when the mapping cache
+// detects the file changed, the header is regenerated rather than
+// invalidated by its own mechanism.
+type HeaderEntry struct {
+	// Header is the exact response header bytes, already padded for
+	// byte-position alignment (§5.5).
+	Header []byte
+	// Size is the Content-Length encoded in the header.
+	Size int64
+	// ModTime is the file modification time the header was built from,
+	// in Unix seconds (HTTP has second granularity).
+	ModTime int64
+}
+
+// HeaderCache caches response headers by translated path.
+type HeaderCache struct {
+	l *lru[string, HeaderEntry]
+}
+
+// NewHeaderCache creates a cache of at most capacity headers. Zero
+// capacity disables the cache.
+func NewHeaderCache(capacity int) *HeaderCache {
+	return &HeaderCache{l: newLRU[string, HeaderEntry](capacity, nil)}
+}
+
+// Get returns the cached header if it is still valid for a file with
+// the given modification time; a stale entry is dropped and reported as
+// a miss (the regeneration path of §5.3).
+func (c *HeaderCache) Get(path string, modTime int64) (HeaderEntry, bool) {
+	e, ok := c.l.get(path)
+	if !ok {
+		return HeaderEntry{}, false
+	}
+	if e.ModTime != modTime {
+		c.l.remove(path)
+		return HeaderEntry{}, false
+	}
+	return e, true
+}
+
+// Put records a header.
+func (c *HeaderCache) Put(path string, e HeaderEntry) { c.l.put(path, e) }
+
+// Len returns the number of cached headers.
+func (c *HeaderCache) Len() int { return c.l.len() }
+
+// Stats returns cumulative counters.
+func (c *HeaderCache) Stats() Stats { return c.l.stats }
+
+// Clear empties the cache.
+func (c *HeaderCache) Clear() { c.l.clear() }

@@ -1,0 +1,144 @@
+// Package cache implements the three application-level caches of the
+// Flash web server (§5 of the paper):
+//
+//   - PathCache: pathname translation cache (requested name → file)
+//   - HeaderCache: precomputed HTTP response headers, invalidated when
+//     the underlying file changes
+//   - MapCache: memory-mapped file chunks with reference counting and a
+//     lazy-unmap LRU free list
+//
+// The same data structures serve both the real Flash server (where
+// chunks hold file bytes) and the simulated architectures (where chunks
+// hold only sizes), so the Figure 11 optimization-breakdown experiment
+// toggles exactly the code a production build would run.
+//
+// None of the caches are safe for concurrent use: in the AMPED design
+// they are owned by the single event-driven server process, which is the
+// architecture's point — shared state without synchronization (§4.2).
+package cache
+
+import "container/list"
+
+// Stats holds cumulative counters common to all caches.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Inserts   uint64
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// lruEntry pairs a key with its value inside the intrusive list.
+type lruEntry[K comparable, V any] struct {
+	key   K
+	value V
+}
+
+// lru is a generic LRU map bounded by entry count. The zero value is not
+// usable; construct with newLRU.
+type lru[K comparable, V any] struct {
+	capacity int
+	items    map[K]*list.Element
+	order    *list.List // front = most recently used
+	stats    Stats
+	onEvict  func(K, V)
+}
+
+func newLRU[K comparable, V any](capacity int, onEvict func(K, V)) *lru[K, V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &lru[K, V]{
+		capacity: capacity,
+		items:    make(map[K]*list.Element),
+		order:    list.New(),
+		onEvict:  onEvict,
+	}
+}
+
+// get looks up key, promoting it to MRU on hit.
+func (l *lru[K, V]) get(key K) (V, bool) {
+	if el, ok := l.items[key]; ok {
+		l.order.MoveToFront(el)
+		l.stats.Hits++
+		return el.Value.(*lruEntry[K, V]).value, true
+	}
+	l.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// peek looks up key without promoting or counting.
+func (l *lru[K, V]) peek(key K) (V, bool) {
+	if el, ok := l.items[key]; ok {
+		return el.Value.(*lruEntry[K, V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or replaces key, evicting LRU entries beyond capacity.
+func (l *lru[K, V]) put(key K, value V) {
+	if l.capacity == 0 {
+		return
+	}
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruEntry[K, V]).value = value
+		l.order.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.order.PushFront(&lruEntry[K, V]{key: key, value: value})
+	l.stats.Inserts++
+	for l.order.Len() > l.capacity {
+		l.evictOldest()
+	}
+}
+
+// remove deletes key if present, reporting whether it was.
+func (l *lru[K, V]) remove(key K) bool {
+	el, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	l.order.Remove(el)
+	delete(l.items, key)
+	return true
+}
+
+func (l *lru[K, V]) evictOldest() {
+	el := l.order.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*lruEntry[K, V])
+	l.order.Remove(el)
+	delete(l.items, ent.key)
+	l.stats.Evictions++
+	if l.onEvict != nil {
+		l.onEvict(ent.key, ent.value)
+	}
+}
+
+func (l *lru[K, V]) len() int { return l.order.Len() }
+
+// each visits entries from most to least recently used.
+func (l *lru[K, V]) each(fn func(K, V)) {
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*lruEntry[K, V])
+		fn(ent.key, ent.value)
+	}
+}
+
+// clear drops every entry without invoking onEvict.
+func (l *lru[K, V]) clear() {
+	l.items = make(map[K]*list.Element)
+	l.order.Init()
+}

@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// ChunkKey identifies one chunk of one file. Small files occupy a single
+// chunk (index 0); large files are split into ChunkSize pieces (§5.4).
+type ChunkKey struct {
+	Path  string
+	Index int
+}
+
+// Chunk is a cached file mapping. In the real server Data holds the
+// file bytes (immutable once inserted — the garbage collector plays the
+// role of munmap); in the simulator Data is nil and only Size is used.
+type Chunk struct {
+	Key  ChunkKey
+	Data []byte
+	Size int64
+
+	refs int
+	elem *list.Element // position on the free list when refs == 0
+	dead bool          // detached by InvalidateFile while pinned
+}
+
+// Refs returns the current pin count (for tests and introspection).
+func (c *Chunk) Refs() int { return c.refs }
+
+// MapCacheStats extends the common counters with byte-level accounting.
+type MapCacheStats struct {
+	Stats
+	BytesMapped   int64 // cumulative bytes inserted
+	BytesUnmapped int64 // cumulative bytes evicted
+}
+
+// MapCache is the mapped-file cache (§5.4): chunks of files are kept
+// mapped between requests; chunks not currently in use by any request
+// sit on an LRU free list and are lazily unmapped only when the total
+// mapped size exceeds the limit. Pinned (in-use) chunks are never
+// evicted, mirroring the safety rule that a mapping being transmitted
+// must stay valid.
+type MapCache struct {
+	limit     int64
+	chunkSize int64
+	used      int64
+	chunks    map[ChunkKey]*Chunk
+	free      *list.List // front = most recently released
+	stats     MapCacheStats
+	// OnEvict, if set, observes evictions (the simulator charges munmap
+	// costs; the real server lets the GC reclaim).
+	OnEvict func(*Chunk)
+}
+
+// DefaultChunkSize splits large files into 64 KB chunks, matching the
+// filesystem's read-ahead clustering.
+const DefaultChunkSize = 64 << 10
+
+// NewMapCache creates a cache limited to limit bytes of mappings with
+// the given chunk size. A zero limit disables caching: Insert still
+// returns a pinned chunk (the request in progress needs it), but the
+// chunk is dropped as soon as it is released.
+func NewMapCache(limit int64, chunkSize int64) *MapCache {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &MapCache{
+		limit:     limit,
+		chunkSize: chunkSize,
+		chunks:    make(map[ChunkKey]*Chunk),
+		free:      list.New(),
+	}
+}
+
+// ChunkSize returns the chunk granularity in bytes.
+func (m *MapCache) ChunkSize() int64 { return m.chunkSize }
+
+// NumChunks returns how many chunks a file of size bytes occupies.
+func (m *MapCache) NumChunks(size int64) int {
+	if size <= 0 {
+		return 1
+	}
+	return int((size + m.chunkSize - 1) / m.chunkSize)
+}
+
+// ChunkRange returns the byte range [off, off+n) of chunk index within a
+// file of the given size.
+func (m *MapCache) ChunkRange(size int64, index int) (off, n int64) {
+	off = int64(index) * m.chunkSize
+	if off >= size {
+		return off, 0
+	}
+	n = m.chunkSize
+	if off+n > size {
+		n = size - off
+	}
+	return off, n
+}
+
+// Lookup returns the chunk for key, pinned, or nil on miss. A chunk on
+// the free list is removed from it (it is active again).
+func (m *MapCache) Lookup(key ChunkKey) *Chunk {
+	c, ok := m.chunks[key]
+	if !ok {
+		m.stats.Misses++
+		return nil
+	}
+	m.stats.Hits++
+	m.pin(c)
+	return c
+}
+
+// Contains reports whether key is cached, without pinning or counting.
+func (m *MapCache) Contains(key ChunkKey) bool {
+	_, ok := m.chunks[key]
+	return ok
+}
+
+// Insert adds a chunk (after the owner mapped/loaded it) and returns it
+// pinned. Inserting over an existing key returns the existing chunk
+// pinned instead (merged concurrent loads). Inactive chunks are evicted
+// as needed to respect the byte limit.
+func (m *MapCache) Insert(key ChunkKey, data []byte, size int64) *Chunk {
+	if c, ok := m.chunks[key]; ok {
+		m.pin(c)
+		return c
+	}
+	c := &Chunk{Key: key, Data: data, Size: size, refs: 1}
+	m.chunks[key] = c
+	m.used += size
+	m.stats.Inserts++
+	m.stats.BytesMapped += size
+	m.evictOver()
+	return c
+}
+
+// Release unpins a chunk. When the pin count reaches zero the chunk
+// moves to the head of the free list — or is dropped immediately if the
+// cache is over its limit (lazy unmapping).
+func (m *MapCache) Release(c *Chunk) {
+	if c.refs <= 0 {
+		panic(fmt.Sprintf("cache: Release of unpinned chunk %v", c.Key))
+	}
+	c.refs--
+	if c.refs > 0 {
+		return
+	}
+	if c.dead {
+		// Detached while pinned; its accounting was already removed.
+		if m.OnEvict != nil {
+			m.OnEvict(c)
+		}
+		return
+	}
+	c.elem = m.free.PushFront(c)
+	m.evictOver()
+}
+
+// pin marks a chunk active.
+func (m *MapCache) pin(c *Chunk) {
+	if c.refs == 0 && c.elem != nil {
+		m.free.Remove(c.elem)
+		c.elem = nil
+	}
+	c.refs++
+}
+
+// evictOver unmaps LRU inactive chunks until within the limit.
+func (m *MapCache) evictOver() {
+	for m.used > m.limit {
+		el := m.free.Back()
+		if el == nil {
+			return // everything is pinned; stay over limit
+		}
+		c := el.Value.(*Chunk)
+		m.free.Remove(el)
+		c.elem = nil
+		delete(m.chunks, c.Key)
+		m.used -= c.Size
+		m.stats.Evictions++
+		m.stats.BytesUnmapped += c.Size
+		if m.OnEvict != nil {
+			m.OnEvict(c)
+		}
+	}
+}
+
+// InvalidateFile drops all inactive chunks of a path (used when a file
+// changed). Pinned chunks survive until released; they are marked so
+// they are dropped rather than recycled.
+func (m *MapCache) InvalidateFile(path string, maxChunks int) {
+	for i := 0; i < maxChunks; i++ {
+		key := ChunkKey{Path: path, Index: i}
+		c, ok := m.chunks[key]
+		if !ok {
+			continue
+		}
+		if c.refs == 0 {
+			if c.elem != nil {
+				m.free.Remove(c.elem)
+				c.elem = nil
+			}
+			delete(m.chunks, key)
+			m.used -= c.Size
+			m.stats.Evictions++
+			m.stats.BytesUnmapped += c.Size
+			if m.OnEvict != nil {
+				m.OnEvict(c)
+			}
+		} else {
+			// Detach from the index so new lookups miss; the pinned
+			// chunk is dropped when its last holder releases it.
+			delete(m.chunks, key)
+			m.used -= c.Size
+			m.stats.Evictions++
+			m.stats.BytesUnmapped += c.Size
+			c.dead = true
+		}
+	}
+}
+
+// Used returns the total bytes currently mapped.
+func (m *MapCache) Used() int64 { return m.used }
+
+// Limit returns the byte limit.
+func (m *MapCache) Limit() int64 { return m.limit }
+
+// Len returns the number of mapped chunks.
+func (m *MapCache) Len() int { return len(m.chunks) }
+
+// FreeLen returns the number of inactive chunks on the free list.
+func (m *MapCache) FreeLen() int { return m.free.Len() }
+
+// Stats returns cumulative counters.
+func (m *MapCache) Stats() MapCacheStats { return m.stats }

@@ -1,0 +1,154 @@
+// Package client implements the paper's load generator: an event-driven
+// program simulating multiple HTTP clients, each making requests "as
+// fast as the server can handle them" (closed loop). Clients replay a
+// workload trace — either one request per connection (HTTP/1.0 style,
+// the LAN experiments) or many requests per persistent connection (the
+// WAN-concurrency experiment of Figure 12).
+package client
+
+import (
+	"time"
+
+	"repro/internal/httpmsg"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the client population.
+type Config struct {
+	// NumClients is the number of concurrent simulated clients.
+	NumClients int
+	// KeepAlive reuses connections for many requests (persistent
+	// connections).
+	KeepAlive bool
+	// LinkRate is the per-client link bandwidth in bytes/sec (0 =
+	// LAN-fast).
+	LinkRate int64
+	// RTT is the client-server round-trip time.
+	RTT time.Duration
+	// RequestsPerConn bounds requests per persistent connection
+	// (0 = unlimited).
+	RequestsPerConn int
+}
+
+// Driver runs a client population against a listener, replaying a trace
+// from a shared cursor (the workload's global request order is
+// preserved across clients).
+type Driver struct {
+	eng    *sim.Engine
+	net    *simnet.Net
+	lis    *simnet.Listener
+	cfg    Config
+	trace  *workload.Trace
+	cursor int
+
+	responses uint64
+	errors    uint64
+	started   sim.Time
+	baseBytes int64
+	lat       metrics.Histogram
+}
+
+// New creates a driver. Start begins issuing load.
+func New(eng *sim.Engine, net *simnet.Net, lis *simnet.Listener, tr *workload.Trace, cfg Config) *Driver {
+	if cfg.NumClients <= 0 {
+		panic("client: NumClients must be positive")
+	}
+	if len(tr.Entries) == 0 {
+		panic("client: empty trace")
+	}
+	return &Driver{eng: eng, net: net, lis: lis, cfg: cfg, trace: tr}
+}
+
+// Start launches all clients.
+func (d *Driver) Start() {
+	d.started = d.eng.Now()
+	d.baseBytes = d.net.Stats().BytesDelivered
+	for i := 0; i < d.cfg.NumClients; i++ {
+		d.connect()
+	}
+}
+
+// next returns the next trace entry (shared cursor, looping).
+func (d *Driver) next() workload.Entry {
+	e := d.trace.Entries[d.cursor]
+	d.cursor++
+	if d.cursor == len(d.trace.Entries) {
+		d.cursor = 0
+	}
+	return e
+}
+
+// connect establishes one client connection and starts its request loop.
+func (d *Driver) connect() {
+	d.net.Connect(d.lis, d.cfg.LinkRate, d.cfg.RTT, func(c *simnet.Conn) {
+		d.runConn(c, 0)
+	})
+}
+
+// runConn issues requests on an established connection.
+func (d *Driver) runConn(c *simnet.Conn, served int) {
+	e := d.next()
+	issued := d.eng.Now()
+	req := &simnet.Request{
+		Path:      e.Path,
+		Size:      e.Size,
+		WireBytes: httpmsg.WireSize("GET", e.Path),
+		KeepAlive: d.cfg.KeepAlive,
+	}
+	responded := false
+	c.OnResponse = func() {
+		if responded {
+			return
+		}
+		responded = true
+		d.responses++
+		d.lat.Observe(time.Duration(d.eng.Now() - issued))
+		n := served + 1
+		if d.cfg.KeepAlive && !c.Closed() &&
+			(d.cfg.RequestsPerConn == 0 || n < d.cfg.RequestsPerConn) {
+			d.runConn(c, n)
+			return
+		}
+		if !c.Closed() {
+			c.CloseClient()
+		}
+		d.connect()
+	}
+	c.OnClosed = func() {
+		// Server closed the connection (HTTP/1.0 response delimiting or
+		// keep-alive teardown). If it closed before responding, count an
+		// error; either way keep the population constant.
+		if !responded {
+			responded = true
+			d.errors++
+			d.connect()
+			return
+		}
+		if d.cfg.KeepAlive {
+			// Connection died under a keep-alive client that already
+			// moved on; nothing to do — runConn's OnResponse handler
+			// owns progress.
+			return
+		}
+	}
+	c.SendRequest(req)
+}
+
+// Summary returns cumulative results since Start.
+func (d *Driver) Summary() metrics.Summary {
+	return metrics.Summary{
+		Duration:  time.Duration(d.eng.Now() - d.started),
+		Responses: d.responses,
+		Bytes:     d.net.Stats().BytesDelivered - d.baseBytes,
+		Errors:    d.errors,
+	}
+}
+
+// Latency returns the response-latency histogram.
+func (d *Driver) Latency() *metrics.Histogram { return &d.lat }
+
+// Responses returns the number of completed responses.
+func (d *Driver) Responses() uint64 { return d.responses }

@@ -1,0 +1,189 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// echoServer is a minimal simulated server: it answers every request
+// with its advertised size and honors keep-alive.
+type echoServer struct {
+	eng *sim.Engine
+	lis *simnet.Listener
+}
+
+func newEchoServer(eng *sim.Engine, n *simnet.Net) *echoServer {
+	s := &echoServer{eng: eng, lis: n.Listen()}
+	s.lis.OnReadable = s.acceptAll
+	return s
+}
+
+func (s *echoServer) acceptAll() {
+	for {
+		c := s.lis.Accept()
+		if c == nil {
+			return
+		}
+		conn := c
+		conn.OnReadable = func() { s.serve(conn) }
+		s.serve(conn)
+	}
+}
+
+func (s *echoServer) serve(c *simnet.Conn) {
+	for {
+		req := c.ReadRequest()
+		if req == nil {
+			if c.ClientEOF() && !c.Closed() {
+				c.Close()
+			}
+			return
+		}
+		remaining := req.Size + 200 // header-ish bytes
+		var pump func()
+		keep := req.KeepAlive
+		pump = func() {
+			for remaining > 0 {
+				nw := c.Write(int(remaining))
+				if nw == 0 {
+					c.OnWritable = pump
+					return
+				}
+				remaining -= int64(nw)
+			}
+			c.OnWritable = nil
+			c.EndResponse()
+			if !keep {
+				c.Close()
+			}
+		}
+		pump()
+		if remaining > 0 {
+			return // resume via OnWritable
+		}
+	}
+}
+
+func run(t *testing.T, tr *workload.Trace, cfg Config, d time.Duration) (*Driver, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultConfig())
+	srv := newEchoServer(eng, net)
+	drv := New(eng, net, srv.lis, tr, cfg)
+	drv.Start()
+	eng.RunFor(d)
+	return drv, eng
+}
+
+func TestClosedLoopServesRequests(t *testing.T) {
+	tr := workload.SingleFile(10 << 10)
+	drv, _ := run(t, tr, Config{NumClients: 8}, 2*time.Second)
+	s := drv.Summary()
+	if s.Responses == 0 {
+		t.Fatal("no responses")
+	}
+	if s.Errors != 0 {
+		t.Fatalf("errors = %d", s.Errors)
+	}
+	if s.MbitPerSec() <= 0 {
+		t.Fatal("no bandwidth")
+	}
+}
+
+func TestKeepAliveFewerConnections(t *testing.T) {
+	tr := workload.SingleFile(1 << 10)
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultConfig())
+	srv := newEchoServer(eng, net)
+	drv := New(eng, net, srv.lis, tr, Config{NumClients: 4, KeepAlive: true})
+	drv.Start()
+	eng.RunFor(2 * time.Second)
+	if drv.Responses() == 0 {
+		t.Fatal("no responses")
+	}
+	conns := net.Stats().ConnsEstablished
+	if conns > 8 {
+		t.Fatalf("keep-alive established %d conns for %d clients", conns, 4)
+	}
+}
+
+func TestRequestsPerConnLimit(t *testing.T) {
+	tr := workload.SingleFile(1 << 10)
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultConfig())
+	srv := newEchoServer(eng, net)
+	drv := New(eng, net, srv.lis, tr, Config{NumClients: 2, KeepAlive: true, RequestsPerConn: 3})
+	drv.Start()
+	eng.RunFor(time.Second)
+	resp := float64(drv.Responses())
+	conns := float64(net.Stats().ConnsEstablished)
+	if conns == 0 {
+		t.Fatal("no connections")
+	}
+	perConn := resp / conns
+	if perConn > 3.5 {
+		t.Fatalf("requests/conn = %.1f, want <= ~3", perConn)
+	}
+}
+
+func TestLatencyHistogramFills(t *testing.T) {
+	tr := workload.SingleFile(4 << 10)
+	drv, _ := run(t, tr, Config{NumClients: 4, RTT: 10 * time.Millisecond}, 2*time.Second)
+	h := drv.Latency()
+	if h.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+	// RTT bounds the minimum latency.
+	if h.Min() < 10*time.Millisecond {
+		t.Fatalf("min latency %v below the RTT", h.Min())
+	}
+}
+
+func TestSlowLinkReducesThroughput(t *testing.T) {
+	tr := workload.SingleFile(64 << 10)
+	fast, _ := run(t, tr, Config{NumClients: 4}, 2*time.Second)
+	slow, _ := run(t, tr, Config{NumClients: 4, LinkRate: 32 << 10}, 2*time.Second)
+	if slow.Summary().MbitPerSec() >= fast.Summary().MbitPerSec()/4 {
+		t.Fatalf("slow links (%.2f) not well below fast (%.2f)",
+			slow.Summary().MbitPerSec(), fast.Summary().MbitPerSec())
+	}
+}
+
+func TestSharedCursorCoversTrace(t *testing.T) {
+	cfg := workload.SyntheticConfig{
+		Name: "c", NumFiles: 50, DatasetBytes: 1 << 20, ZipfAlpha: 0.5,
+		SizeMeanBytes: 4 << 10, SizeSigma: 0.8, MinSize: 512, MaxSize: 64 << 10,
+		Requests: 200, Seed: 3,
+	}
+	tr := workload.Generate(cfg)
+	drv, _ := run(t, tr, Config{NumClients: 8}, 5*time.Second)
+	if drv.Responses() < uint64(len(tr.Entries)) {
+		t.Fatalf("responses %d < trace length %d (cursor should loop)",
+			drv.Responses(), len(tr.Entries))
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	eng := sim.NewEngine()
+	net := simnet.New(eng, simnet.DefaultConfig())
+	lis := net.Listen()
+	tr := workload.SingleFile(1)
+	assertPanics(t, func() { New(eng, net, lis, tr, Config{NumClients: 0}) })
+	assertPanics(t, func() {
+		New(eng, net, lis, &workload.Trace{Name: "empty"}, Config{NumClients: 1})
+	})
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/client"
+	"repro/internal/metrics"
+	"repro/internal/simos"
+	"repro/internal/workload"
+)
+
+// Quick-mode figure runs are cached across assertions: each figure runs
+// at most once per test binary.
+var (
+	figOnce   = map[string]*sync.Once{}
+	figTables = map[string][]*metrics.Table{}
+	figMu     sync.Mutex
+)
+
+func tables(t *testing.T, id string) []*metrics.Table {
+	t.Helper()
+	figMu.Lock()
+	once, ok := figOnce[id]
+	if !ok {
+		once = &sync.Once{}
+		figOnce[id] = once
+	}
+	figMu.Unlock()
+	once.Do(func() {
+		e := ByID(id)
+		if e == nil {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		out := e.Run(Quality{Quick: true})
+		figMu.Lock()
+		figTables[id] = out
+		figMu.Unlock()
+	})
+	figMu.Lock()
+	defer figMu.Unlock()
+	return figTables[id]
+}
+
+// y reads one value or fails.
+func y(t *testing.T, tb *metrics.Table, series string, x float64) float64 {
+	t.Helper()
+	s := tb.Get(series)
+	if s == nil {
+		t.Fatalf("%s: no series %q", tb.ID, series)
+	}
+	v := s.Y(x)
+	if math.IsNaN(v) {
+		t.Fatalf("%s/%s: no point at x=%v", tb.ID, series, x)
+	}
+	return v
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All) != 7 {
+		t.Fatalf("experiments = %d, want 7 (figures 6-12)", len(All))
+	}
+	for _, e := range All {
+		if ByID(e.ID) == nil {
+			t.Errorf("ByID(%s) = nil", e.ID)
+		}
+		if e.Run == nil || e.Title == "" || e.Expect == "" {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID(nope) != nil")
+	}
+}
+
+func TestFig6SolarisShape(t *testing.T) {
+	tbs := tables(t, "fig6")
+	bw, rate := tbs[0], tbs[1]
+
+	// Trivial cached workload: architecture has little impact — the
+	// Flash family clusters within ~20%.
+	for _, name := range []string{"Flash", "Zeus", "MT", "MP"} {
+		sped := y(t, bw, "SPED", 200)
+		v := y(t, bw, name, 200)
+		if v < 0.75*sped {
+			t.Errorf("%s bandwidth %.1f too far below SPED %.1f", name, v, sped)
+		}
+	}
+	// Apache well below the rest.
+	if apache, flash := y(t, bw, "Apache", 200), y(t, bw, "Flash", 200); apache > 0.75*flash {
+		t.Errorf("Apache %.1f not well below Flash %.1f", apache, flash)
+	}
+	// SPED at or slightly above Flash on small cached files (mincore).
+	if sped, flash := y(t, rate, "SPED", 0.5), y(t, rate, "Flash", 0.5); sped < flash {
+		t.Errorf("SPED rate %.0f below Flash %.0f on cached small files", sped, flash)
+	}
+	// Absolute band: peak conn rate ~1200/s, peak bandwidth ~120 Mb/s.
+	if v := y(t, rate, "SPED", 0.5); v < 800 || v > 2000 {
+		t.Errorf("Solaris small-file rate %.0f outside the paper's regime (~1200)", v)
+	}
+	if v := y(t, bw, "SPED", 200); v < 90 || v > 160 {
+		t.Errorf("Solaris 200KB bandwidth %.1f outside the paper's regime (~120)", v)
+	}
+}
+
+func TestFig7FreeBSDShape(t *testing.T) {
+	tbs := tables(t, "fig7")
+	bw, rate := tbs[0], tbs[1]
+
+	// No MT series on FreeBSD 2.2.6.
+	if bw.Get("MT") != nil {
+		t.Error("MT present on FreeBSD (no kernel threads)")
+	}
+	// Roughly 2x Solaris absolutes.
+	if v := y(t, rate, "Flash", 0.5); v < 2500 || v > 5000 {
+		t.Errorf("FreeBSD small-file rate %.0f outside the paper's regime (~3500)", v)
+	}
+	if v := y(t, bw, "Flash", 200); v < 200 || v > 300 {
+		t.Errorf("FreeBSD 200KB bandwidth %.1f outside the paper's regime (~250)", v)
+	}
+	// Zeus's misalignment dip above 100 KB.
+	zeus, flash := y(t, bw, "Zeus", 200), y(t, bw, "Flash", 200)
+	if zeus > 0.9*flash {
+		t.Errorf("Zeus %.1f missing the >100KB alignment dip (Flash %.1f)", zeus, flash)
+	}
+	zeus50, flash50 := y(t, bw, "Zeus", 50), y(t, bw, "Flash", 50)
+	if zeus50 < 0.85*flash50 {
+		t.Errorf("Zeus %.1f dips below Flash %.1f already at 50KB (5-digit sizes are aligned)", zeus50, flash50)
+	}
+}
+
+func TestFig8TraceShape(t *testing.T) {
+	tb := tables(t, "fig8")[0]
+	servers := []string{"Apache", "MP", "MT", "SPED", "Flash"}
+	get := func(trace string, server string) float64 {
+		for i, s := range servers {
+			if s == server {
+				return y(t, tb, trace+" trace", float64(i))
+			}
+		}
+		t.Fatalf("no server %s", server)
+		return 0
+	}
+
+	// Flash at or near the top on both traces.
+	for _, trace := range []string{"CS", "Owlnet"} {
+		flash := get(trace, "Flash")
+		for _, s := range []string{"Apache", "MP"} {
+			if v := get(trace, s); v > flash {
+				t.Errorf("%s: %s (%.1f) above Flash (%.1f)", trace, s, v, flash)
+			}
+		}
+	}
+	// Apache lowest on both.
+	for _, trace := range []string{"CS", "Owlnet"} {
+		apache := get(trace, "Apache")
+		for _, s := range []string{"MP", "MT", "Flash"} {
+			if v := get(trace, s); v < apache {
+				t.Errorf("%s: %s (%.1f) below Apache (%.1f)", trace, s, v, apache)
+			}
+		}
+	}
+	// SPED relatively better on the cache-friendly Owlnet trace, MP
+	// relatively better on the disk-intensive CS trace.
+	spedRatioCS := get("CS", "SPED") / get("CS", "Flash")
+	spedRatioOwl := get("Owlnet", "SPED") / get("Owlnet", "Flash")
+	if spedRatioOwl <= spedRatioCS {
+		t.Errorf("SPED/Flash ratio on Owlnet (%.2f) not above CS (%.2f)", spedRatioOwl, spedRatioCS)
+	}
+	if get("CS", "MP") <= get("CS", "SPED") {
+		t.Errorf("MP (%.1f) not above SPED (%.1f) on the disk-intensive CS trace",
+			get("CS", "MP"), get("CS", "SPED"))
+	}
+}
+
+func TestFig9RealWorkloadShape(t *testing.T) {
+	tb := tables(t, "fig9")[0]
+	// Cached region: Flash within a few percent of SPED.
+	if flash, sped := y(t, tb, "Flash", 15), y(t, tb, "SPED", 15); flash < 0.9*sped {
+		t.Errorf("cached: Flash %.1f too far below SPED %.1f", flash, sped)
+	}
+	// Knee: everything declines substantially by 150 MB.
+	for _, s := range []string{"SPED", "Flash", "Zeus", "MP"} {
+		if v15, v150 := y(t, tb, s, 15), y(t, tb, s, 150); v150 > 0.7*v15 {
+			t.Errorf("%s shows no knee: %.1f -> %.1f", s, v15, v150)
+		}
+	}
+	// Disk-bound: Flash leads; SPED collapses to the bottom.
+	flash150, sped150, mp150 := y(t, tb, "Flash", 150), y(t, tb, "SPED", 150), y(t, tb, "MP", 150)
+	if flash150 < mp150 {
+		t.Errorf("disk-bound: Flash %.1f below MP %.1f", flash150, mp150)
+	}
+	if sped150 > 0.8*mp150 {
+		t.Errorf("disk-bound: SPED %.1f not well below MP %.1f", sped150, mp150)
+	}
+}
+
+func TestFig10SolarisRealWorkloadShape(t *testing.T) {
+	tb := tables(t, "fig10")[0]
+	if tb.Get("MT") == nil {
+		t.Fatal("MT missing from the Solaris sweep")
+	}
+	// MT comparable to Flash on both cached and disk-bound regions.
+	for _, x := range []float64{15, 150} {
+		mt, flash := y(t, tb, "MT", x), y(t, tb, "Flash", x)
+		if mt < 0.6*flash || mt > 1.4*flash {
+			t.Errorf("at %vMB: MT %.1f not comparable to Flash %.1f", x, mt, flash)
+		}
+	}
+	// Solaris absolutes below FreeBSD's.
+	fb := tables(t, "fig9")[0]
+	if sol, free := y(t, tb, "Flash", 15), y(t, fb, "Flash", 15); sol >= free {
+		t.Errorf("Solaris cached %.1f not below FreeBSD %.1f", sol, free)
+	}
+}
+
+func TestFig11BreakdownShape(t *testing.T) {
+	tb := tables(t, "fig11")[0]
+	if len(tb.Series) != 8 {
+		t.Fatalf("series = %d, want 8 combinations", len(tb.Series))
+	}
+	full := y(t, tb, "all (Flash)", 0.5)
+	none := y(t, tb, "no caching", 0.5)
+	// "Without optimizations Flash's small file performance would drop
+	// in half."
+	if none > 0.65*full || none < 0.35*full {
+		t.Errorf("no-caching %.0f vs full %.0f: ratio %.2f outside [0.35, 0.65]",
+			none, full, none/full)
+	}
+	// Every configuration below full Flash; every single-cache config
+	// above no-caching.
+	for _, s := range tb.Series {
+		v := y(t, tb, s.Name, 0.5)
+		if s.Name != "all (Flash)" && v > full {
+			t.Errorf("%s (%.0f) above full Flash (%.0f)", s.Name, v, full)
+		}
+		if s.Name != "no caching" && v < none {
+			t.Errorf("%s (%.0f) below no caching (%.0f)", s.Name, v, none)
+		}
+	}
+	// Pathname translation caching provides the largest benefit.
+	pathOnly := y(t, tb, "path only", 0.5)
+	for _, other := range []string{"mmap only", "resp only"} {
+		if v := y(t, tb, other, 0.5); v > pathOnly {
+			t.Errorf("%s (%.0f) above path only (%.0f): path caching must matter most", other, v, pathOnly)
+		}
+	}
+}
+
+func TestFig12ConcurrencyShape(t *testing.T) {
+	tb := tables(t, "fig12")[0]
+	// Initial rise for the event-driven servers.
+	for _, s := range []string{"SPED", "Flash"} {
+		if v16, v100 := y(t, tb, s, 16), y(t, tb, s, 100); v100 < v16 {
+			t.Errorf("%s: no initial rise (%.1f at 16, %.1f at 100)", s, v16, v100)
+		}
+	}
+	// SPED/Flash stable out to 500 clients.
+	for _, s := range []string{"SPED", "Flash"} {
+		if v100, v500 := y(t, tb, s, 100), y(t, tb, s, 500); v500 < 0.9*v100 {
+			t.Errorf("%s declines under concurrency: %.1f -> %.1f", s, v100, v500)
+		}
+	}
+	// MP suffers a significant decline; MT at most a gradual one.
+	mp100, mp500 := y(t, tb, "MP", 100), y(t, tb, "MP", 500)
+	flash500 := y(t, tb, "Flash", 500)
+	if mp500 > 0.75*flash500 {
+		t.Errorf("MP at 500 (%.1f) not well below Flash (%.1f)", mp500, flash500)
+	}
+	_ = mp100
+	mt100, mt500 := y(t, tb, "MT", 100), y(t, tb, "MT", 500)
+	if mt500 > mt100*1.1 {
+		t.Errorf("MT rises under concurrency: %.1f -> %.1f", mt100, mt500)
+	}
+	if mt500 < mp500 {
+		t.Errorf("MT at 500 (%.1f) below MP (%.1f): thread overhead must be milder", mt500, mp500)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	tr := workload.SingleFile(4096)
+	run := func() metrics.Summary {
+		return Run(RunConfig{
+			Profile: simos.FreeBSD(),
+			Server:  arch.FlashOptions(),
+			Trace:   tr,
+			Clients: client.Config{NumClients: 8},
+			Warmup:  time.Second,
+			Window:  2 * time.Second,
+		}).Summary
+	}
+	a, b := run(), run()
+	if a.Responses != b.Responses || a.Bytes != b.Bytes {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPrewarmFillsCache(t *testing.T) {
+	tr := workload.Generate(workload.Owlnet())
+	r := Run(RunConfig{
+		Profile: simos.FreeBSD(),
+		Server:  arch.FlashOptions(),
+		Trace:   tr,
+		Clients: client.Config{NumClients: 4},
+		Warmup:  0,
+		Window:  time.Second,
+		Prewarm: true,
+	})
+	bc := r.Machine.BC
+	if bc.Used() < bc.Capacity()/2 {
+		t.Fatalf("prewarm left cache at %d of %d", bc.Used(), bc.Capacity())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := tables(t, "fig11")[0]
+	text := tb.Render()
+	if len(text) == 0 {
+		t.Fatal("empty render")
+	}
+	csv := tb.CSV()
+	if len(csv) == 0 {
+		t.Fatal("empty CSV")
+	}
+}

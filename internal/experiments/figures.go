@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/client"
+	"repro/internal/metrics"
+	"repro/internal/simos"
+	"repro/internal/workload"
+)
+
+// lanClients is the paper's LAN test population: two client machines
+// with 32 event-driven clients each.
+const lanClients = 64
+
+// singleFileServers returns the server set of Figures 6/7 for one OS.
+func singleFileServers(prof simos.Profile) []arch.Options {
+	list := []arch.Options{
+		arch.SPEDOptions(),
+		arch.FlashOptions(),
+		arch.ZeusOptions(1), // single process for synthetic workloads (§6)
+	}
+	if prof.HasKernelThreads {
+		list = append(list, arch.MTOptions())
+	}
+	list = append(list, arch.MPOptions(), arch.ApacheOptions())
+	return list
+}
+
+// singleFile runs the Figure 6/7 experiment for one OS profile.
+func singleFile(id, osName string, prof simos.Profile, q Quality) []*metrics.Table {
+	bwSizes := q.points(
+		[]float64{1, 5, 10, 20, 35, 50, 75, 100, 125, 150, 175, 200},
+		[]float64{5, 50, 200})
+	rateSizes := q.points(
+		[]float64{0.5, 1, 2, 3, 5, 7, 10, 12, 15, 17, 20},
+		[]float64{0.5, 5, 20})
+
+	bw := &metrics.Table{
+		ID:     id + "a",
+		Title:  osName + " single file test: total output bandwidth",
+		XLabel: "File size (KB)",
+		YLabel: "Bandwidth (Mb/s)",
+	}
+	rate := &metrics.Table{
+		ID:     id + "b",
+		Title:  osName + " single file test: connection rate for small files",
+		XLabel: "File size (KB)",
+		YLabel: "Connection rate (reqs/sec)",
+	}
+	for _, o := range singleFileServers(prof) {
+		for _, kb := range bwSizes {
+			r := Run(RunConfig{
+				Profile: prof,
+				Server:  o,
+				Trace:   workload.SingleFile(int64(kb * 1024)),
+				Clients: client.Config{NumClients: lanClients},
+				Warmup:  q.window(2 * time.Second),
+				Window:  q.window(5 * time.Second),
+			})
+			bw.AddPoint(o.Name, kb, r.Summary.MbitPerSec())
+		}
+		for _, kb := range rateSizes {
+			r := Run(RunConfig{
+				Profile: prof,
+				Server:  o,
+				Trace:   workload.SingleFile(int64(kb * 1024)),
+				Clients: client.Config{NumClients: lanClients},
+				Warmup:  q.window(2 * time.Second),
+				Window:  q.window(5 * time.Second),
+			})
+			rate.AddPoint(o.Name, kb, r.Summary.RequestsPerSec())
+		}
+	}
+	return []*metrics.Table{bw, rate}
+}
+
+// Fig6 regenerates Figure 6: the Solaris single-file test.
+func Fig6(q Quality) []*metrics.Table {
+	return singleFile("fig6", "Solaris", simos.Solaris(), q)
+}
+
+// Fig7 regenerates Figure 7: the FreeBSD single-file test.
+func Fig7(q Quality) []*metrics.Table {
+	return singleFile("fig7", "FreeBSD", simos.FreeBSD(), q)
+}
+
+// traceServers is the server set of Figure 8 (Solaris, so MT runs).
+func traceServers() []arch.Options {
+	return []arch.Options{
+		arch.ApacheOptions(),
+		arch.MPOptions(),
+		arch.MTOptions(),
+		arch.SPEDOptions(),
+		arch.FlashOptions(),
+	}
+}
+
+// Fig8 regenerates Figure 8: Rice server traces on Solaris.
+func Fig8(q Quality) []*metrics.Table {
+	t := &metrics.Table{
+		ID:     "fig8",
+		Title:  "Performance on Rice Server Traces (Solaris)",
+		XLabel: "Server",
+		YLabel: "Bandwidth (Mb/s)",
+		XTicks: map[float64]string{},
+	}
+	traces := []*workload.Trace{
+		workload.Generate(workload.RiceCS()),
+		workload.Generate(workload.Owlnet()),
+	}
+	for i, o := range traceServers() {
+		x := float64(i)
+		t.XTicks[x] = o.Name
+		for _, tr := range traces {
+			r := Run(RunConfig{
+				Profile: simos.Solaris(),
+				Server:  o,
+				Trace:   tr,
+				Clients: client.Config{NumClients: lanClients},
+				Warmup:  q.window(8 * time.Second),
+				Window:  q.window(20 * time.Second),
+				Prewarm: true,
+			})
+			t.AddPoint(tr.Name+" trace", x, r.Summary.MbitPerSec())
+		}
+	}
+	return []*metrics.Table{t}
+}
+
+// realWorkloadServers is the server set of Figures 9/10. Zeus runs its
+// vendor-advised two-process configuration for real workloads (§6).
+func realWorkloadServers(prof simos.Profile) []arch.Options {
+	list := []arch.Options{
+		arch.SPEDOptions(),
+		arch.FlashOptions(),
+		arch.ZeusOptions(2),
+	}
+	if prof.HasKernelThreads {
+		list = append(list, arch.MTOptions())
+	}
+	list = append(list, arch.MPOptions(), arch.ApacheOptions())
+	return list
+}
+
+// realWorkload runs the Figure 9/10 dataset-size sweep for one OS.
+func realWorkload(id, osName string, prof simos.Profile, q Quality) []*metrics.Table {
+	sizesMB := q.points(
+		[]float64{15, 30, 45, 60, 75, 90, 105, 120, 135, 150},
+		[]float64{15, 90, 150})
+	t := &metrics.Table{
+		ID:     id,
+		Title:  osName + " real workload (ECE logs truncated to dataset size)",
+		XLabel: "Data set size (MB)",
+		YLabel: "Bandwidth (Mb/s)",
+	}
+	base := workload.Generate(workload.RiceECE())
+	for _, o := range realWorkloadServers(prof) {
+		for _, mb := range sizesMB {
+			tr := base.Truncate(int64(mb) << 20)
+			r := Run(RunConfig{
+				Profile: prof,
+				Server:  o,
+				Trace:   tr,
+				Clients: client.Config{NumClients: lanClients},
+				Warmup:  q.window(8 * time.Second),
+				Window:  q.window(20 * time.Second),
+				Prewarm: true,
+			})
+			t.AddPoint(o.Name, mb, r.Summary.MbitPerSec())
+		}
+	}
+	return []*metrics.Table{t}
+}
+
+// Fig9 regenerates Figure 9: the FreeBSD dataset-size sweep.
+func Fig9(q Quality) []*metrics.Table {
+	return realWorkload("fig9", "FreeBSD", simos.FreeBSD(), q)
+}
+
+// Fig10 regenerates Figure 10: the Solaris dataset-size sweep.
+func Fig10(q Quality) []*metrics.Table {
+	return realWorkload("fig10", "Solaris", simos.Solaris(), q)
+}
+
+// Fig11 regenerates Figure 11: the optimization breakdown. Eight Flash
+// configurations (every combination of pathname, mmap, and response
+// caching) serve the FreeBSD single-file workload.
+func Fig11(q Quality) []*metrics.Table {
+	sizes := q.points(
+		[]float64{0.5, 1, 2, 3, 5, 7, 10, 12, 15, 17, 20},
+		[]float64{0.5, 5, 20})
+	t := &metrics.Table{
+		ID:     "fig11",
+		Title:  "Flash performance breakdown (FreeBSD, cached single file)",
+		XLabel: "File size (KB)",
+		YLabel: "Connection rate (reqs/sec)",
+	}
+	type combo struct {
+		name             string
+		path, mmap, resp bool
+	}
+	combos := []combo{
+		{"all (Flash)", true, true, true},
+		{"path & mmap", true, true, false},
+		{"path & resp", true, false, true},
+		{"path only", true, false, false},
+		{"mmap & resp", false, true, true},
+		{"mmap only", false, true, false},
+		{"resp only", false, false, true},
+		{"no caching", false, false, false},
+	}
+	for _, c := range combos {
+		o := arch.FlashOptions()
+		o.Name = c.name
+		o.UsePathCache = c.path
+		o.UseMapCache = c.mmap
+		o.UseRespCache = c.resp
+		for _, kb := range sizes {
+			r := Run(RunConfig{
+				Profile: simos.FreeBSD(),
+				Server:  o,
+				Trace:   workload.SingleFile(int64(kb * 1024)),
+				Clients: client.Config{NumClients: lanClients},
+				Warmup:  q.window(2 * time.Second),
+				Window:  q.window(5 * time.Second),
+			})
+			t.AddPoint(c.name, kb, r.Summary.RequestsPerSec())
+		}
+	}
+	return []*metrics.Table{t}
+}
+
+// Fig12 regenerates Figure 12: performance under increasing concurrent
+// clients with persistent connections (the WAN-concurrency proxy), on
+// Solaris with the ECE logs truncated to 90 MB.
+func Fig12(q Quality) []*metrics.Table {
+	clients := q.points(
+		[]float64{16, 32, 64, 100, 150, 200, 300, 400, 500},
+		[]float64{16, 100, 500})
+	t := &metrics.Table{
+		ID:     "fig12",
+		Title:  "Adding clients (Solaris, ECE 90 MB, persistent connections)",
+		XLabel: "# of simultaneous clients",
+		YLabel: "Bandwidth (Mb/s)",
+	}
+	tr := workload.Generate(workload.RiceECE()).Truncate(90 << 20)
+	// Long-lived connections with wide-area round-trip times: at low
+	// client counts the server is client-bound (the initial rise); past
+	// ~100 clients it is server-bound and per-connection overheads
+	// dominate.
+	const wanRTT = 25 * time.Millisecond
+	servers := []arch.Options{
+		arch.SPEDOptions(),
+		arch.FlashOptions(),
+		arch.MTOptions(),
+		arch.MPOptions(),
+	}
+	for _, o := range servers {
+		// MP and MT commit a process/thread per connection (§4.2);
+		// the pool must be allowed to grow to the client population.
+		if o.Kind == arch.MP || o.Kind == arch.MT {
+			o.SpawnPerConn = true
+			o.MaxProcs = 600
+		}
+		for _, n := range clients {
+			r := Run(RunConfig{
+				Profile: simos.Solaris(),
+				Server:  o,
+				Trace:   tr,
+				Clients: client.Config{NumClients: int(n), KeepAlive: true, RTT: wanRTT},
+				Warmup:  q.window(8 * time.Second),
+				Window:  q.window(20 * time.Second),
+				Prewarm: true,
+			})
+			t.AddPoint(o.Name, n, r.Summary.MbitPerSec())
+		}
+	}
+	return []*metrics.Table{t}
+}
+
+// Render renders a set of tables to one string.
+func Render(tables []*metrics.Table) string {
+	out := ""
+	for i, t := range tables {
+		if i > 0 {
+			out += "\n"
+		}
+		out += t.Render()
+	}
+	return out
+}
+
+// check at compile time that every experiment has a distinct ID.
+var _ = func() struct{} {
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			panic(fmt.Sprintf("experiments: duplicate ID %s", e.ID))
+		}
+		seen[e.ID] = true
+	}
+	return struct{}{}
+}()

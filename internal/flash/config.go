@@ -1,0 +1,165 @@
+// Package flash implements a real, runnable web server in the AMPED
+// (asymmetric multi-process event-driven) architecture of the Flash
+// paper, mapped onto Go's runtime:
+//
+//   - One event-loop goroutine owns the pathname, response-header, and
+//     mapped-chunk caches. It is the only goroutine that touches them,
+//     so — exactly as the paper argues for SPED/AMPED (§4.2) — no locks
+//     guard any shared state.
+//   - A pool of helper goroutines performs every filesystem operation
+//     (stat, open, chunk reads). The loop never blocks on disk: misses
+//     are dispatched to helpers and the request parks until the
+//     completion message arrives, like the paper's helper processes
+//     notifying the server over a pipe.
+//   - Per-connection reader and writer goroutines stand in for
+//     select-driven non-blocking socket code; Go's netpoller parks them
+//     without consuming threads.
+//   - File chunks are immutable []byte buffers; cache eviction drops
+//     the reference while in-flight writers keep theirs, so the garbage
+//     collector plays the role of munmap.
+//
+// The three caches and the 32-byte response-header alignment are the
+// paper's §5 optimizations, byte-for-byte the same data structures the
+// simulator benchmarks.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/httpmsg"
+)
+
+// Config configures a Server. The zero value is not valid: DocRoot is
+// required; every other field has a sensible default.
+type Config struct {
+	// DocRoot is the directory served at "/".
+	DocRoot string
+
+	// IndexFile is appended to directory requests (default "index.html").
+	IndexFile string
+
+	// EnableListings serves a generated HTML listing for directories
+	// without an index file (off by default: a 1999 server's behaviour
+	// is configurable, its default is conservative).
+	EnableListings bool
+
+	// UserDirBase and UserDirSuffix enable "/~user/..." translation to
+	// UserDirBase/user/UserDirSuffix/... (the paper's §5.2 example:
+	// /~bob → /home/users/bob/public_html). Empty disables it.
+	UserDirBase   string
+	UserDirSuffix string
+
+	// PathCacheEntries bounds the pathname translation cache
+	// (default 6000, the reconstructed paper configuration).
+	PathCacheEntries int
+	// HeaderCacheEntries bounds the response header cache (default 6000).
+	HeaderCacheEntries int
+	// MapCacheBytes bounds the mapped-chunk cache (default 64 MB).
+	MapCacheBytes int64
+	// ChunkBytes is the mapping granularity (default 64 KB).
+	ChunkBytes int64
+
+	// NumHelpers bounds the disk helper pool (default 8).
+	NumHelpers int
+
+	// AlignHeaders pads response headers to 32-byte boundaries (§5.5;
+	// default on — set DisableHeaderAlign to turn off).
+	DisableHeaderAlign bool
+
+	// ServerName is the Server header token.
+	ServerName string
+
+	// MaxHeaderBytes bounds a request header block (default 32 KB).
+	MaxHeaderBytes int
+
+	// IdleTimeout closes keep-alive connections with no request
+	// (default 30s). ReadTimeout and WriteTimeout bound single I/O
+	// operations (default 30s each).
+	IdleTimeout  time.Duration
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// RevalidateInterval bounds how stale a pathname-cache entry may
+	// be before the next request re-stats the file (detecting size and
+	// mtime changes). Zero defaults to 2s; negative disables
+	// revalidation entirely (the paper's semantics: cached identities
+	// are trusted until chunk reloads notice a change).
+	RevalidateInterval time.Duration
+
+	// AccessLog, if non-nil, receives one Common Log Format line per
+	// completed request. Writes happen on the event loop; use an
+	// in-memory or buffered writer.
+	AccessLog io.Writer
+
+	// Clock supplies response Date headers and log timestamps
+	// (default time.Now; tests inject fixed clocks).
+	Clock func() time.Time
+}
+
+// Errors returned by configuration validation.
+var (
+	ErrNoDocRoot  = errors.New("flash: Config.DocRoot is required")
+	ErrBadDocRoot = errors.New("flash: Config.DocRoot is not a directory")
+)
+
+// withDefaults validates cfg and fills defaults.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.DocRoot == "" {
+		return cfg, ErrNoDocRoot
+	}
+	abs, err := filepath.Abs(cfg.DocRoot)
+	if err != nil {
+		return cfg, fmt.Errorf("flash: resolving DocRoot: %w", err)
+	}
+	st, err := os.Stat(abs)
+	if err != nil || !st.IsDir() {
+		return cfg, ErrBadDocRoot
+	}
+	cfg.DocRoot = abs
+	if cfg.IndexFile == "" {
+		cfg.IndexFile = "index.html"
+	}
+	if cfg.PathCacheEntries == 0 {
+		cfg.PathCacheEntries = 6000
+	}
+	if cfg.HeaderCacheEntries == 0 {
+		cfg.HeaderCacheEntries = 6000
+	}
+	if cfg.MapCacheBytes == 0 {
+		cfg.MapCacheBytes = 64 << 20
+	}
+	if cfg.ChunkBytes == 0 {
+		cfg.ChunkBytes = cache.DefaultChunkSize
+	}
+	if cfg.NumHelpers == 0 {
+		cfg.NumHelpers = 8
+	}
+	if cfg.ServerName == "" {
+		cfg.ServerName = httpmsg.DefaultServerName
+	}
+	if cfg.MaxHeaderBytes == 0 {
+		cfg.MaxHeaderBytes = httpmsg.MaxHeaderLen
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 30 * time.Second
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.RevalidateInterval == 0 {
+		cfg.RevalidateInterval = 2 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return cfg, nil
+}

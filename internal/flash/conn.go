@@ -1,0 +1,173 @@
+package flash
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/httpmsg"
+)
+
+// writeItem is one unit of work for a connection's writer goroutine:
+// optional inline bytes (header, error body, dynamic data) followed by
+// an optional immutable file chunk.
+type writeItem struct {
+	data  []byte
+	chunk *cache.Chunk
+	last  bool // response ends after this item
+	// onDone, if non-nil, runs on the event loop after the item is
+	// written (or discarded on failure); used by dynamic handlers for
+	// flow control.
+	onDone func(ok bool)
+}
+
+// loopState is the per-connection state owned by the event loop.
+type loopState struct {
+	req        *httpmsg.Request
+	pe         cache.PathEntry
+	totalItems int
+	nextChunk  int
+	hdr        []byte // pending header bytes for the first item
+	status     int
+	bytesSent  int64
+	inFlight   bool
+	failed     bool
+	writeDone  bool // writeCh has been closed
+	endPending bool // close writeCh when the in-flight item completes
+}
+
+// conn is one client connection: a reader goroutine (the serve method),
+// a writer goroutine, and loop-owned state.
+type conn struct {
+	s  *Server
+	nc net.Conn
+
+	writeCh chan writeItem
+	nextCh  chan bool // loop → reader: response done; proceed if true
+	done    chan struct{}
+
+	ls loopState // loop-owned
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		s:       s,
+		nc:      nc,
+		writeCh: make(chan writeItem, 1),
+		nextCh:  make(chan bool, 1),
+		done:    make(chan struct{}),
+	}
+}
+
+// abort force-closes the connection (server shutdown).
+func (c *conn) abort() {
+	defer func() { recover() }() // double close(done) race on shutdown
+	close(c.done)
+	c.nc.Close()
+}
+
+// serve is the reader goroutine: parse requests, hand them to the event
+// loop, and wait for each response to finish before reading the next
+// (Flash serves one request per connection at a time).
+func (c *conn) serve() {
+	go c.writeLoop()
+	defer func() {
+		c.nc.Close()
+		c.s.post(func() { c.s.connEnd(c) })
+	}()
+
+	buf := make([]byte, 0, 4096)
+	tmp := make([]byte, 4096)
+	for {
+		// Read one request header block.
+		buf = buf[:0]
+		c.nc.SetReadDeadline(time.Now().Add(c.s.cfg.IdleTimeout))
+		for httpmsg.HeaderEnd(buf) < 0 {
+			if len(buf) > c.s.cfg.MaxHeaderBytes {
+				c.s.post(func() { c.s.errorResponse(c, 400, false) })
+				c.waitResponse()
+				return
+			}
+			n, err := c.nc.Read(tmp)
+			if n > 0 {
+				buf = append(buf, tmp[:n]...)
+				c.nc.SetReadDeadline(time.Now().Add(c.s.cfg.ReadTimeout))
+			}
+			if err != nil {
+				return // EOF or timeout between requests
+			}
+		}
+		req, err := httpmsg.ParseRequest(buf)
+		if err != nil {
+			status := 400
+			if err == httpmsg.ErrTargetTooBig {
+				status = 414
+			} else if err == httpmsg.ErrUnsupported {
+				status = 501
+			}
+			c.s.post(func() { c.s.errorResponse(c, status, false) })
+			c.waitResponse()
+			return
+		}
+		c.s.post(func() { c.s.handleRequest(c, req) })
+		if !c.waitResponse() {
+			return
+		}
+	}
+}
+
+// waitResponse blocks until the loop reports the response finished,
+// returning whether the connection persists.
+func (c *conn) waitResponse() bool {
+	select {
+	case keep := <-c.nextCh:
+		return keep
+	case <-c.done:
+		return false
+	}
+}
+
+// writeLoop is the writer goroutine: it performs the (potentially
+// blocking) socket writes so the event loop never does. After a write
+// error it keeps draining items, releasing their chunks, until the loop
+// closes the channel.
+func (c *conn) writeLoop() {
+	failed := false
+	for {
+		var item writeItem
+		var open bool
+		select {
+		case item, open = <-c.writeCh:
+			if !open {
+				return
+			}
+		case <-c.done:
+			// Forced shutdown; the caches die with the server, so
+			// in-flight pins need no release.
+			return
+		}
+		var wrote int64
+		if !failed {
+			c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
+			// Gather header and chunk into one writev (the §5.5 pattern:
+			// aligned header followed by file data in a single call).
+			var bufs net.Buffers
+			if len(item.data) > 0 {
+				bufs = append(bufs, item.data)
+			}
+			if item.chunk != nil && len(item.chunk.Data) > 0 {
+				bufs = append(bufs, item.chunk.Data)
+			}
+			if len(bufs) > 0 {
+				n, err := bufs.WriteTo(c.nc)
+				wrote += n
+				if err != nil {
+					failed = true
+				}
+			}
+		}
+		done := item
+		nowFailed := failed
+		c.s.post(func() { c.s.itemDone(c, done, wrote, !nowFailed) })
+	}
+}

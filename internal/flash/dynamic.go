@@ -1,0 +1,122 @@
+package flash
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/httpmsg"
+)
+
+// DynamicHandler produces dynamic content (§5.6). Each invocation runs
+// on its own goroutine — the stand-in for the paper's persistent
+// CGI-bin processes connected by pipes — so a handler may block on disk,
+// the network, or long computations without affecting the server's
+// event loop.
+type DynamicHandler interface {
+	// ServeDynamic handles one request. The returned reader streams the
+	// response body; it is drained and closed by the server. A nil
+	// reader sends an empty body. Returning an error produces a 500.
+	ServeDynamic(req *httpmsg.Request) (status int, contentType string, body io.ReadCloser, err error)
+}
+
+// DynamicFunc adapts a function to DynamicHandler.
+type DynamicFunc func(req *httpmsg.Request) (int, string, io.ReadCloser, error)
+
+// ServeDynamic implements DynamicHandler.
+func (f DynamicFunc) ServeDynamic(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+	return f(req)
+}
+
+// dynBufSize is the pipe buffer between a dynamic producer and the
+// connection writer.
+const dynBufSize = 32 << 10
+
+// startDynamic launches the handler goroutine and streams its output.
+// Runs on the event loop.
+func (s *Server) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
+	s.stats.DynamicCalls++
+	c.ls.totalItems = -1 // unknown; close-delimited body
+
+	// The "CGI process": runs the handler and pumps its output through
+	// the loop to the connection writer, one buffer at a time, with
+	// per-buffer acknowledgement for flow control (the pipe).
+	go func() {
+		status, ctype, body, err := h.ServeDynamic(req)
+		if err != nil || status == 0 {
+			s.post(func() { s.errorResponse(c, 500, false) })
+			if body != nil {
+				body.Close()
+			}
+			return
+		}
+		if ctype == "" {
+			ctype = "text/html"
+		}
+		hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
+			Status:        status,
+			Proto:         req.Proto,
+			ContentType:   ctype,
+			ContentLength: -1, // length unknown: the close delimits
+			Date:          s.cfg.Clock(),
+			KeepAlive:     false,
+			ServerName:    s.cfg.ServerName,
+		}, !s.cfg.DisableHeaderAlign)
+
+		ack := make(chan bool, 1)
+		send := func(data []byte, last bool) bool {
+			s.post(func() {
+				c.ls.status = status
+				c.ls.req = req
+				req.KeepAlive = false
+				s.queueItem(c, writeItem{
+					data: data,
+					last: last,
+					onDone: func(ok bool) {
+						select {
+						case ack <- ok:
+						default:
+						}
+					},
+				})
+			})
+			select {
+			case ok := <-ack:
+				return ok
+			case <-c.done:
+				return false
+			}
+		}
+
+		if body == nil {
+			send(hdr, true)
+			return
+		}
+		defer body.Close()
+
+		pending := hdr
+		buf := make([]byte, dynBufSize)
+		for {
+			n, rerr := body.Read(buf)
+			if n > 0 {
+				chunk := append(pending, buf[:n]...)
+				pending = nil
+				if !send(chunk, false) {
+					return
+				}
+			}
+			if rerr != nil {
+				// Trailing (possibly empty) item carries the last flag.
+				send(pending, true)
+				return
+			}
+			if pending == nil {
+				pending = []byte{}
+			}
+		}
+	}()
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Server) String() string {
+	return fmt.Sprintf("flash.Server{docroot=%s}", s.cfg.DocRoot)
+}

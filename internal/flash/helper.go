@@ -1,0 +1,198 @@
+package flash
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// jobKind selects the helper operation.
+type jobKind int
+
+const (
+	// jobStat resolves a path: stat, directory/index handling,
+	// permission checks — the pathname translation helper of §5.2.
+	jobStat jobKind = iota
+	// jobChunk reads one chunk of file data into memory — the
+	// disk-read helper of §3.4 (mmap + touch in the paper; an explicit
+	// read here, since Go buffers stand in for mappings).
+	jobChunk
+)
+
+// helperJob is one unit of potentially blocking filesystem work.
+type helperJob struct {
+	kind     jobKind
+	fsPath   string
+	index    string   // index file name for directory requests (jobStat)
+	listings bool     // generate a listing when the index is missing
+	off, n   int64    // chunk range (jobChunk)
+	file     *os.File // cached descriptor for jobChunk (nil = open fsPath)
+	// done is posted to the event loop with the result.
+	done func(helperResult)
+}
+
+// helperResult carries a job's outcome.
+type helperResult struct {
+	err     error
+	status  int // suggested HTTP status when err != nil
+	fsPath  string
+	size    int64
+	modTime int64
+	data    []byte
+	// file is the descriptor opened by a stat job. Ownership passes to
+	// the event loop, which caches it in the path entry (the analogue
+	// of Flash keeping file mappings between requests) and closes it on
+	// invalidation or eviction.
+	file *os.File
+	// isListing marks data as a generated directory listing.
+	isListing bool
+}
+
+// helperPool runs the blocking-work goroutines. Jobs queue without
+// bound (slice + cond) so the event loop never blocks submitting.
+type helperPool struct {
+	s  *Server
+	mu sync.Mutex
+	cv *sync.Cond
+	q  []helperJob
+
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newHelperPool(s *Server, n int) *helperPool {
+	p := &helperPool{s: s}
+	p.cv = sync.NewCond(&p.mu)
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+	return p
+}
+
+// submit queues a job. Safe from the event loop (never blocks).
+func (p *helperPool) submit(job helperJob) {
+	p.s.post(func() { p.s.stats.HelperJobs++ })
+	p.mu.Lock()
+	p.q = append(p.q, job)
+	p.mu.Unlock()
+	p.cv.Signal()
+}
+
+// stop terminates the pool after the queue drains.
+func (p *helperPool) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cv.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *helperPool) run() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.q) == 0 && !p.stopped {
+			p.cv.Wait()
+		}
+		if len(p.q) == 0 && p.stopped {
+			p.mu.Unlock()
+			return
+		}
+		job := p.q[0]
+		p.q = p.q[1:]
+		p.mu.Unlock()
+
+		res := p.execute(job)
+		// Completion notification to the server process, as over the
+		// paper's IPC pipe.
+		p.s.post(func() { job.done(res) })
+	}
+}
+
+// execute performs the blocking work on the helper's own goroutine.
+func (p *helperPool) execute(job helperJob) helperResult {
+	switch job.kind {
+	case jobStat:
+		return statJob(job.fsPath, job.index, job.listings)
+	case jobChunk:
+		return chunkJob(job.fsPath, job.file, job.off, job.n)
+	default:
+		return helperResult{err: os.ErrInvalid, status: 500}
+	}
+}
+
+// statJob resolves fsPath (following a directory to its index file, or
+// a generated listing when allowed), opens it, and returns its identity
+// plus the open descriptor.
+func statJob(fsPath, index string, listings bool) helperResult {
+	fsPath = filepath.Clean(fsPath)
+	f, err := os.Open(fsPath)
+	if err == nil {
+		var st os.FileInfo
+		st, err = f.Stat()
+		if err == nil && st.IsDir() {
+			f.Close()
+			dir := fsPath
+			fsPath = filepath.Join(fsPath, index)
+			f, err = os.Open(fsPath)
+			if err != nil && listings {
+				res := listingJob(dir)
+				res.isListing = res.err == nil
+				return res
+			}
+			if err == nil {
+				st, err = f.Stat()
+			}
+		}
+		if err == nil {
+			if !st.Mode().IsRegular() {
+				f.Close()
+				return helperResult{err: os.ErrInvalid, status: 403}
+			}
+			return helperResult{
+				fsPath:  fsPath,
+				size:    st.Size(),
+				modTime: st.ModTime().Unix(),
+				file:    f,
+			}
+		}
+		f.Close()
+	}
+	status := 404
+	if os.IsPermission(err) {
+		status = 403
+	}
+	return helperResult{err: err, status: status}
+}
+
+// chunkJob reads [off, off+n) of the file through the cached descriptor
+// (opening one only if the cache had none), re-checking identity so the
+// caches can detect modified files (§5.3). ReadAt is safe for
+// concurrent use of one descriptor across helpers.
+func chunkJob(fsPath string, f *os.File, off, n int64) helperResult {
+	if f == nil {
+		opened, err := os.Open(fsPath)
+		if err != nil {
+			return helperResult{err: err, status: 404}
+		}
+		defer opened.Close()
+		f = opened
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return helperResult{err: err, status: 404}
+	}
+	buf := make([]byte, n)
+	got, err := io.ReadFull(io.NewSectionReader(f, off, n), buf)
+	if err != nil {
+		return helperResult{err: err, status: 500}
+	}
+	return helperResult{
+		fsPath:  fsPath,
+		size:    st.Size(),
+		modTime: st.ModTime().Unix(),
+		data:    buf[:got],
+	}
+}

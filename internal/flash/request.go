@@ -1,0 +1,422 @@
+package flash
+
+import (
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/httpmsg"
+)
+
+// All functions in this file run on the event loop.
+
+// handleRequest starts processing one parsed request.
+func (s *Server) handleRequest(c *conn, req *httpmsg.Request) {
+	c.ls = loopState{req: req, status: 200}
+	if s.shutdown {
+		s.errorResponse(c, 503, false)
+		return
+	}
+	if req.Method != "GET" && req.Method != "HEAD" {
+		s.errorResponse(c, 405, req.KeepAlive)
+		return
+	}
+	if h := s.findDynamic(req.Path); h != nil {
+		s.startDynamic(c, req, h)
+		return
+	}
+
+	// Pathname translation (§5.2): cache hit answers immediately; a
+	// miss ships the stat to a helper. Entries older than the
+	// revalidation interval are re-stat'ed (also on a helper) so file
+	// modifications are noticed within a bounded window.
+	if pe, ok := s.paths.Get(req.Path); ok {
+		if s.cfg.RevalidateInterval < 0 ||
+			s.cfg.Clock().UnixNano()-pe.CheckedAt < int64(s.cfg.RevalidateInterval) {
+			s.afterTranslate(c, pe)
+			return
+		}
+		s.helpers.submit(helperJob{
+			kind:     jobStat,
+			fsPath:   pe.Translated,
+			index:    s.cfg.IndexFile,
+			listings: s.cfg.EnableListings,
+			done: func(res helperResult) {
+				if res.err != nil {
+					s.invalidateFile(req.Path, pe)
+					s.errorResponse(c, res.status, req.KeepAlive)
+					return
+				}
+				if res.isListing {
+					s.invalidateFile(req.Path, pe)
+					s.serveListing(c, res.data)
+					return
+				}
+				if res.modTime == pe.ModTime && res.size == pe.Size &&
+					res.fsPath == pe.Translated {
+					// Unchanged: keep the cached descriptor, drop the
+					// freshly opened one, just bump the check time.
+					closeEntryFile(res.file)
+					pe.CheckedAt = s.cfg.Clock().UnixNano()
+					s.paths.Put(req.Path, pe)
+					s.afterTranslate(c, pe)
+					return
+				}
+				// Changed: retire every derived cache entry and adopt
+				// the new identity (and its descriptor).
+				s.invalidateFile(req.Path, pe)
+				fresh := cache.PathEntry{
+					Translated: res.fsPath,
+					File:       res.file,
+					Size:       res.size,
+					ModTime:    res.modTime,
+					CheckedAt:  s.cfg.Clock().UnixNano(),
+				}
+				s.paths.Put(req.Path, fresh)
+				s.afterTranslate(c, fresh)
+			},
+		})
+		return
+	}
+	fsPath, ok := s.translate(req.Path)
+	if !ok {
+		s.errorResponse(c, 404, req.KeepAlive)
+		return
+	}
+	s.helpers.submit(helperJob{
+		kind:     jobStat,
+		fsPath:   fsPath,
+		index:    s.cfg.IndexFile,
+		listings: s.cfg.EnableListings,
+		done: func(res helperResult) {
+			if res.err != nil {
+				s.errorResponse(c, res.status, req.KeepAlive)
+				return
+			}
+			if res.isListing {
+				s.serveListing(c, res.data)
+				return
+			}
+			pe := cache.PathEntry{
+				Translated: res.fsPath,
+				File:       res.file,
+				Size:       res.size,
+				ModTime:    res.modTime,
+				CheckedAt:  s.cfg.Clock().UnixNano(),
+			}
+			s.paths.Put(req.Path, pe)
+			s.afterTranslate(c, pe)
+		},
+	})
+}
+
+// translate maps a request path to a candidate filesystem path,
+// applying the "~user" convention. It rejects escapes from the roots.
+func (s *Server) translate(reqPath string) (string, bool) {
+	clean := httpmsg.CleanPath(reqPath)
+	if s.cfg.UserDirBase != "" && strings.HasPrefix(clean, "/~") {
+		rest := clean[2:]
+		slash := strings.IndexByte(rest, '/')
+		user := rest
+		tail := "/"
+		if slash >= 0 {
+			user = rest[:slash]
+			tail = rest[slash:]
+		}
+		if user == "" {
+			return "", false
+		}
+		return s.cfg.UserDirBase + "/" + user + "/" + s.cfg.UserDirSuffix +
+			httpmsg.CleanPath(tail), true
+	}
+	return s.cfg.DocRoot + clean, true
+}
+
+// afterTranslate continues once the file identity is known.
+func (s *Server) afterTranslate(c *conn, pe cache.PathEntry) {
+	c.ls.pe = pe
+	req := c.ls.req
+
+	// Conditional GET.
+	if !req.IfModifiedSince.IsZero() && pe.ModTime <= req.IfModifiedSince.Unix() {
+		s.notModified(c)
+		return
+	}
+
+	// Response header (§5.3), cached against the file's mtime.
+	var hdr []byte
+	if he, ok := s.hdrs.Get(pe.Translated, pe.ModTime); ok && he.Size == pe.Size {
+		hdr = he.Header
+	} else {
+		hdr = httpmsg.BuildHeader(httpmsg.ResponseMeta{
+			Status:        200,
+			Proto:         req.Proto,
+			ContentType:   httpmsg.ContentTypeFor(pe.Translated),
+			ContentLength: pe.Size,
+			ModTime:       time.Unix(pe.ModTime, 0),
+			Date:          s.cfg.Clock(),
+			KeepAlive:     req.KeepAlive,
+			ServerName:    s.cfg.ServerName,
+		}, !s.cfg.DisableHeaderAlign)
+		s.hdrs.Put(pe.Translated, cache.HeaderEntry{
+			Header: hdr, Size: pe.Size, ModTime: pe.ModTime,
+		})
+	}
+	// The cached header was built for some request's persistence mode;
+	// patch if it disagrees (cheap compare against rebuild).
+	hdr = s.fixPersistence(hdr, req)
+
+	c.ls.hdr = hdr
+	if req.Method == "HEAD" || pe.Size == 0 {
+		c.ls.totalItems = 1
+		s.queueItem(c, writeItem{data: hdr, last: true, onDone: nil})
+		return
+	}
+	c.ls.totalItems = s.chunks.NumChunks(pe.Size)
+	s.sendNextChunk(c)
+}
+
+// fixPersistence rewrites the Connection header of a cached response
+// header when the current request's keep-alive mode differs.
+func (s *Server) fixPersistence(hdr []byte, req *httpmsg.Request) []byte {
+	const ka = "Connection: keep-alive\r\n"
+	const cl = "Connection: close\r\n"
+	h := string(hdr)
+	if req.KeepAlive && strings.Contains(h, cl) {
+		// keep-alive is 3 bytes longer than close; padding absorbs it
+		// only approximately, so rebuild via replace (rare path).
+		return []byte(strings.Replace(h, cl, ka, 1))
+	}
+	if !req.KeepAlive && strings.Contains(h, ka) {
+		return []byte(strings.Replace(h, ka, cl, 1))
+	}
+	return hdr
+}
+
+// sendNextChunk ensures the next chunk is mapped and queues its write.
+func (s *Server) sendNextChunk(c *conn) {
+	ls := &c.ls
+	pe := ls.pe
+	idx := ls.nextChunk
+	key := cache.ChunkKey{Path: pe.Translated, Index: idx}
+	last := idx == ls.totalItems-1
+
+	if ch := s.chunks.Lookup(key); ch != nil {
+		// "mincore says resident": send directly.
+		s.queueChunk(c, ch, last)
+		return
+	}
+	// Miss: a helper loads the chunk (the loop never touches the disk).
+	off, n := s.chunks.ChunkRange(pe.Size, idx)
+	s.helpers.submit(helperJob{
+		kind:   jobChunk,
+		fsPath: pe.Translated,
+		file:   entryFile(pe),
+		off:    off,
+		n:      n,
+		done: func(res helperResult) {
+			if res.err != nil {
+				// The file vanished or changed size mid-response; the
+				// stated Content-Length can no longer be honored.
+				s.invalidateFile(ls.req.Path, pe)
+				s.failConn(c)
+				return
+			}
+			if res.modTime != pe.ModTime {
+				// Stale caches detected by the mapping layer (§5.3-5.4):
+				// invalidate and restart this request against the new file.
+				s.invalidateFile(ls.req.Path, pe)
+				if idx == 0 && ls.hdr != nil && !ls.inFlight {
+					req := ls.req
+					s.handleRequest(c, req)
+					return
+				}
+				s.failConn(c)
+				return
+			}
+			ch := s.chunks.Insert(key, res.data, int64(len(res.data)))
+			s.queueChunk(c, ch, last)
+		},
+	})
+}
+
+// queueChunk queues one pinned chunk (plus the header, on the first).
+func (s *Server) queueChunk(c *conn, ch *cache.Chunk, last bool) {
+	item := writeItem{chunk: ch, last: last}
+	if c.ls.nextChunk == 0 {
+		item.data = c.ls.hdr
+	}
+	c.ls.nextChunk++
+	s.queueItem(c, item)
+}
+
+// queueItem hands an item to the writer. The writer holds at most one
+// item (channel capacity 1) and the loop sends only when idle, so this
+// never blocks the loop.
+func (s *Server) queueItem(c *conn, item writeItem) {
+	ls := &c.ls
+	if ls.failed || ls.writeDone {
+		// Connection already failing: drop, releasing any pin.
+		if item.chunk != nil {
+			s.chunks.Release(item.chunk)
+		}
+		if item.onDone != nil {
+			item.onDone(false)
+		}
+		return
+	}
+	if ls.inFlight {
+		panic("flash: queueItem while an item is in flight")
+	}
+	ls.inFlight = true
+	c.writeCh <- item
+}
+
+// itemDone runs after the writer finishes (or discards) an item.
+func (s *Server) itemDone(c *conn, item writeItem, wrote int64, ok bool) {
+	ls := &c.ls
+	ls.inFlight = false
+	ls.bytesSent += wrote
+	s.stats.BytesSent += wrote
+	if item.chunk != nil {
+		s.chunks.Release(item.chunk)
+	}
+	if item.onDone != nil {
+		item.onDone(ok && !ls.failed)
+	}
+	if !ok {
+		ls.failed = true
+	}
+
+	switch {
+	case ls.failed:
+		s.stats.Errors++
+		s.closeWrite(c)
+		s.signalNext(c, false)
+	case item.last:
+		s.finishResponse(c)
+	case ls.endPending:
+		s.closeWrite(c)
+	case item.onDone == nil && ls.req != nil && ls.nextChunk < ls.totalItems:
+		s.sendNextChunk(c)
+	}
+}
+
+// finishResponse completes one request/response exchange.
+func (s *Server) finishResponse(c *conn) {
+	ls := &c.ls
+	s.stats.Responses++
+	keep := ls.req != nil && ls.req.KeepAlive && ls.status < 400 && !s.shutdown
+	if ls.req != nil {
+		s.logAccess(c.nc.RemoteAddr().String(), ls.req, ls.status, ls.bytesSent)
+	}
+	if !keep {
+		s.closeWrite(c)
+	}
+	s.signalNext(c, keep)
+}
+
+// signalNext releases the reader for the next request.
+func (s *Server) signalNext(c *conn, keep bool) {
+	select {
+	case c.nextCh <- keep:
+	default:
+	}
+}
+
+// failConn aborts a connection mid-response (Content-Length already
+// committed, so the only correct signal is a close).
+func (s *Server) failConn(c *conn) {
+	ls := &c.ls
+	s.stats.Errors++
+	ls.failed = true
+	if !ls.inFlight {
+		s.closeWrite(c)
+		s.signalNext(c, false)
+	}
+}
+
+// closeWrite closes the writer channel exactly once.
+func (s *Server) closeWrite(c *conn) {
+	ls := &c.ls
+	if ls.writeDone {
+		return
+	}
+	if ls.inFlight {
+		ls.endPending = true
+		return
+	}
+	ls.writeDone = true
+	close(c.writeCh)
+}
+
+// connEnd runs when the reader goroutine exits.
+func (s *Server) connEnd(c *conn) {
+	s.closeWrite(c)
+}
+
+// invalidateFile drops every cache entry derived from a file and closes
+// its cached descriptor.
+func (s *Server) invalidateFile(reqPath string, pe cache.PathEntry) {
+	s.paths.Invalidate(reqPath)
+	s.hdrs.Get(pe.Translated, -1) // mismatched mtime drops the entry
+	s.chunks.InvalidateFile(pe.Translated, s.chunks.NumChunks(pe.Size))
+	closeEntryFile(pe.File)
+}
+
+// entryFile extracts the cached descriptor from a path entry.
+func entryFile(pe cache.PathEntry) *os.File {
+	f, _ := pe.File.(*os.File)
+	return f
+}
+
+// closeEntryFile closes a cached descriptor if one is present.
+func closeEntryFile(v any) {
+	if f, ok := v.(*os.File); ok && f != nil {
+		f.Close()
+	}
+}
+
+// notModified sends a 304.
+func (s *Server) notModified(c *conn) {
+	req := c.ls.req
+	c.ls.status = 304
+	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
+		Status:        304,
+		Proto:         req.Proto,
+		ContentLength: -1,
+		Date:          s.cfg.Clock(),
+		KeepAlive:     req.KeepAlive,
+		ServerName:    s.cfg.ServerName,
+	}, !s.cfg.DisableHeaderAlign)
+	c.ls.totalItems = 1
+	s.queueItem(c, writeItem{data: hdr, last: true})
+}
+
+// errorResponse sends a complete error response.
+func (s *Server) errorResponse(c *conn, status int, keepAlive bool) {
+	if c.ls.req == nil {
+		c.ls = loopState{req: &httpmsg.Request{Method: "GET", Target: "-", Proto: "HTTP/1.0"}}
+	}
+	ls := &c.ls
+	ls.status = status
+	if status == 404 {
+		s.stats.NotFound++
+	}
+	body := httpmsg.ErrorBody(status)
+	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
+		Status:        status,
+		Proto:         "HTTP/1.0",
+		ContentType:   "text/html",
+		ContentLength: int64(len(body)),
+		Date:          s.cfg.Clock(),
+		KeepAlive:     keepAlive && status < 500,
+		ServerName:    s.cfg.ServerName,
+	}, !s.cfg.DisableHeaderAlign)
+	if ls.req != nil {
+		ls.req.KeepAlive = keepAlive && status < 500
+	}
+	ls.totalItems = 1
+	s.queueItem(c, writeItem{data: append(append([]byte{}, hdr...), body...), last: true})
+}

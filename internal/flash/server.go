@@ -1,0 +1,310 @@
+package flash
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/httpmsg"
+)
+
+// Stats is a snapshot of server counters, taken atomically on the event
+// loop.
+type Stats struct {
+	Accepted     uint64
+	Active       int
+	Responses    uint64
+	NotFound     uint64
+	Errors       uint64
+	BytesSent    int64
+	HelperJobs   uint64
+	PathCache    cache.Stats
+	HeaderCache  cache.Stats
+	MapCache     cache.MapCacheStats
+	DynamicCalls uint64
+}
+
+// Server is an AMPED-architecture web server. Create with New, start
+// with Serve or ListenAndServe, stop with Close or Shutdown.
+type Server struct {
+	cfg Config
+
+	// Event-loop-owned state (never touched by other goroutines).
+	paths    *cache.PathCache
+	hdrs     *cache.HeaderCache
+	chunks   *cache.MapCache
+	stats    Stats
+	dynamic  []dynamicRoute
+	shutdown bool
+
+	msgs    chan func() // the loop's mailbox
+	helpers *helperPool
+
+	mu        sync.Mutex // guards listeners/conns registry and closed
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	closed    bool
+
+	loopDone chan struct{}
+	wg       sync.WaitGroup
+}
+
+// dynamicRoute maps a path prefix to a dynamic content handler.
+type dynamicRoute struct {
+	prefix string
+	h      DynamicHandler
+}
+
+// New creates a server from cfg.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg,
+		paths: cache.NewPathCacheEvict(cfg.PathCacheEntries, func(_ string, e cache.PathEntry) {
+			closeEntryFile(e.File)
+		}),
+		hdrs:      cache.NewHeaderCache(cfg.HeaderCacheEntries),
+		chunks:    cache.NewMapCache(cfg.MapCacheBytes, cfg.ChunkBytes),
+		msgs:      make(chan func(), 512),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+		loopDone:  make(chan struct{}),
+	}
+	s.helpers = newHelperPool(s, cfg.NumHelpers)
+	go s.loop()
+	return s, nil
+}
+
+// loop is the event loop: the single goroutine that owns all caches and
+// per-request decision state. Every other goroutine communicates with
+// it by posting closures to the mailbox.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for fn := range s.msgs {
+		fn()
+	}
+}
+
+// post delivers fn to the event loop. It reports false after shutdown
+// (the mailbox is closed and the message dropped).
+func (s *Server) post(fn func()) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false // send on closed channel during shutdown
+		}
+	}()
+	s.msgs <- fn
+	return true
+}
+
+// call runs fn on the loop and waits for it (for Stats and tests).
+func (s *Server) call(fn func()) {
+	done := make(chan struct{})
+	if !s.post(func() {
+		fn()
+		close(done)
+	}) {
+		return
+	}
+	<-done
+}
+
+// Stats returns a consistent snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	var out Stats
+	s.call(func() {
+		out = s.stats
+		out.PathCache = s.paths.Stats()
+		out.HeaderCache = s.hdrs.Stats()
+		out.MapCache = s.chunks.Stats()
+	})
+	s.mu.Lock()
+	out.Active = len(s.conns)
+	s.mu.Unlock()
+	return out
+}
+
+// HandleDynamic registers a dynamic content handler for a path prefix
+// (e.g. "/cgi-bin/"). Longest prefix wins. Must be called before Serve.
+func (s *Server) HandleDynamic(prefix string, h DynamicHandler) {
+	if !strings.HasPrefix(prefix, "/") {
+		panic("flash: dynamic prefix must start with /")
+	}
+	s.call(func() {
+		s.dynamic = append(s.dynamic, dynamicRoute{prefix: prefix, h: h})
+		sort.SliceStable(s.dynamic, func(i, j int) bool {
+			return len(s.dynamic[i].prefix) > len(s.dynamic[j].prefix)
+		})
+	})
+}
+
+// findDynamic returns the handler for a path, or nil. Loop-only.
+func (s *Server) findDynamic(path string) DynamicHandler {
+	for _, r := range s.dynamic {
+		if strings.HasPrefix(path, r.prefix) {
+			return r.h
+		}
+	}
+	return nil
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until the
+// server is closed.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until the server is closed. l is
+// closed when Serve returns.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.post(func() { s.stats.Accepted++ })
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ErrServerClosed is returned by Serve after Close or Shutdown.
+var ErrServerClosed = fmt.Errorf("flash: server closed")
+
+// Addr returns the address of one active listener, or "".
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for l := range s.listeners {
+		return l.Addr().String()
+	}
+	return ""
+}
+
+// Close immediately closes all listeners and connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.abort()
+	}
+	s.mu.Unlock()
+
+	s.wg.Wait()
+	s.helpers.stop()
+	// Release cached descriptors before the loop exits.
+	s.call(func() {
+		s.paths.Each(func(_ string, e cache.PathEntry) {
+			closeEntryFile(e.File)
+		})
+		s.paths.Clear()
+	})
+	close(s.msgs)
+	<-s.loopDone
+	return nil
+}
+
+// Shutdown closes listeners, then waits up to timeout for active
+// connections to finish before forcing them closed.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return s.Close()
+}
+
+// logAccess emits a CLF line (loop context only).
+func (s *Server) logAccess(remote string, req *httpmsg.Request, status int, bytes int64) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	host := remote
+	if h, _, err := net.SplitHostPort(remote); err == nil {
+		host = h
+	}
+	entry := httpmsg.CLFEntry{
+		Host:   host,
+		Time:   s.cfg.Clock(),
+		Method: req.Method,
+		Target: req.Target,
+		Proto:  req.Proto,
+		Status: status,
+		Bytes:  bytes,
+	}
+	fmt.Fprintln(s.cfg.AccessLog, httpmsg.FormatCLF(entry))
+}

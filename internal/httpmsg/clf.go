@@ -1,0 +1,134 @@
+package httpmsg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CLFEntry is one line of a Common Log Format access log — the format
+// of the Rice CS, Owlnet, and ECE traces the paper replays.
+type CLFEntry struct {
+	Host   string
+	Ident  string
+	User   string
+	Time   time.Time
+	Method string
+	Target string
+	Proto  string
+	Status int
+	Bytes  int64 // -1 when logged as "-"
+}
+
+// clfTimeLayout is the bracketed CLF timestamp layout.
+const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
+
+// FormatCLF renders the entry as a CLF line (without newline).
+func FormatCLF(e CLFEntry) string {
+	ident, user := e.Ident, e.User
+	if ident == "" {
+		ident = "-"
+	}
+	if user == "" {
+		user = "-"
+	}
+	bytes := "-"
+	if e.Bytes >= 0 {
+		bytes = strconv.FormatInt(e.Bytes, 10)
+	}
+	return fmt.Sprintf("%s %s %s [%s] \"%s %s %s\" %d %s",
+		e.Host, ident, user, e.Time.Format(clfTimeLayout),
+		e.Method, e.Target, e.Proto, e.Status, bytes)
+}
+
+// ParseCLF parses one CLF line.
+func ParseCLF(line string) (CLFEntry, error) {
+	var e CLFEntry
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return e, fmt.Errorf("httpmsg: empty CLF line")
+	}
+
+	// host ident user
+	rest := line
+	var err error
+	if e.Host, rest, err = nextField(rest); err != nil {
+		return e, err
+	}
+	if e.Ident, rest, err = nextField(rest); err != nil {
+		return e, err
+	}
+	if e.User, rest, err = nextField(rest); err != nil {
+		return e, err
+	}
+
+	// [timestamp]
+	if !strings.HasPrefix(rest, "[") {
+		return e, fmt.Errorf("httpmsg: CLF missing timestamp in %q", line)
+	}
+	close := strings.IndexByte(rest, ']')
+	if close < 0 {
+		return e, fmt.Errorf("httpmsg: CLF unterminated timestamp")
+	}
+	ts := rest[1:close]
+	if t, terr := time.Parse(clfTimeLayout, ts); terr == nil {
+		e.Time = t
+	} else {
+		return e, fmt.Errorf("httpmsg: CLF bad timestamp %q", ts)
+	}
+	rest = strings.TrimSpace(rest[close+1:])
+
+	// "METHOD target PROTO"
+	if !strings.HasPrefix(rest, "\"") {
+		return e, fmt.Errorf("httpmsg: CLF missing request in %q", line)
+	}
+	endq := strings.IndexByte(rest[1:], '"')
+	if endq < 0 {
+		return e, fmt.Errorf("httpmsg: CLF unterminated request")
+	}
+	reqLine := rest[1 : 1+endq]
+	parts := strings.Fields(reqLine)
+	switch len(parts) {
+	case 3:
+		e.Method, e.Target, e.Proto = parts[0], parts[1], parts[2]
+	case 2:
+		e.Method, e.Target, e.Proto = parts[0], parts[1], "HTTP/0.9"
+	case 1:
+		e.Method, e.Target = "GET", parts[0]
+	default:
+		return e, fmt.Errorf("httpmsg: CLF bad request line %q", reqLine)
+	}
+	rest = strings.TrimSpace(rest[1+endq+1:])
+
+	// status bytes
+	var statusStr, bytesStr string
+	if statusStr, rest, err = nextField(rest); err != nil {
+		return e, err
+	}
+	e.Status, err = strconv.Atoi(statusStr)
+	if err != nil {
+		return e, fmt.Errorf("httpmsg: CLF bad status %q", statusStr)
+	}
+	bytesStr, _, _ = nextField(rest)
+	if bytesStr == "-" || bytesStr == "" {
+		e.Bytes = -1
+	} else if n, nerr := strconv.ParseInt(bytesStr, 10, 64); nerr == nil {
+		e.Bytes = n
+	} else {
+		return e, fmt.Errorf("httpmsg: CLF bad bytes %q", bytesStr)
+	}
+	return e, nil
+}
+
+func nextField(s string) (field, rest string, err error) {
+	s = strings.TrimLeft(s, " ")
+	if s == "" {
+		return "", "", fmt.Errorf("httpmsg: CLF truncated line")
+	}
+	sp := strings.IndexByte(s, ' ')
+	if sp < 0 {
+		return s, "", nil
+	}
+	return s[:sp], s[sp+1:], nil
+}

@@ -1,0 +1,268 @@
+// Package httpmsg implements the HTTP/1.0 and HTTP/1.1 message handling
+// used by the Flash web server: request parsing, response header
+// generation with byte-position alignment (§5.5 of the paper), MIME
+// types, and the Common Log Format used for trace replay.
+//
+// The package is deliberately self-contained (no net/http dependency) —
+// the paper's server predates and does not use a framework, and the
+// simulator shares the header-size and alignment math.
+package httpmsg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Target  string // raw request target (path + optional query)
+	Path    string // decoded, cleaned path component
+	Query   string // raw query string (after '?')
+	Proto   string // "HTTP/1.0" or "HTTP/1.1"
+	Major   int
+	Minor   int
+	Headers map[string]string // keys lower-cased
+
+	// KeepAlive is the effective persistence after applying HTTP
+	// defaulting rules (1.1 defaults on, 1.0 requires the header).
+	KeepAlive bool
+	// IfModifiedSince is the parsed conditional time, zero if absent
+	// or unparseable.
+	IfModifiedSince time.Time
+}
+
+// Errors returned by the parser.
+var (
+	ErrIncomplete   = errors.New("httpmsg: incomplete request header")
+	ErrMalformed    = errors.New("httpmsg: malformed request")
+	ErrUnsupported  = errors.New("httpmsg: unsupported protocol version")
+	ErrTargetTooBig = errors.New("httpmsg: request target too long")
+	ErrHeaderTooBig = errors.New("httpmsg: header block too large")
+)
+
+// MaxTargetLen bounds the request target (paths beyond this yield 414).
+const MaxTargetLen = 8 << 10
+
+// MaxHeaderLen bounds the total header block.
+const MaxHeaderLen = 32 << 10
+
+// HeaderEnd returns the index just past the CRLFCRLF (or LFLF) header
+// terminator in buf, or -1 if the header block is not yet complete.
+func HeaderEnd(buf []byte) int {
+	if i := bytes.Index(buf, []byte("\r\n\r\n")); i >= 0 {
+		return i + 4
+	}
+	if i := bytes.Index(buf, []byte("\n\n")); i >= 0 {
+		return i + 2
+	}
+	return -1
+}
+
+// ParseRequest parses a complete request header block (including the
+// terminating blank line).
+func ParseRequest(buf []byte) (*Request, error) {
+	end := HeaderEnd(buf)
+	if end < 0 {
+		if len(buf) > MaxHeaderLen {
+			return nil, ErrHeaderTooBig
+		}
+		return nil, ErrIncomplete
+	}
+	block := string(buf[:end])
+	lines := splitLines(block)
+	if len(lines) == 0 {
+		return nil, ErrMalformed
+	}
+
+	r := &Request{Headers: make(map[string]string)}
+	if err := r.parseRequestLine(lines[0]); err != nil {
+		return nil, err
+	}
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			break
+		}
+		colon := strings.IndexByte(ln, ':')
+		if colon <= 0 {
+			return nil, ErrMalformed
+		}
+		key := strings.ToLower(strings.TrimSpace(ln[:colon]))
+		val := strings.TrimSpace(ln[colon+1:])
+		if prev, ok := r.Headers[key]; ok {
+			r.Headers[key] = prev + ", " + val
+		} else {
+			r.Headers[key] = val
+		}
+	}
+	r.applyDefaults()
+	return r, nil
+}
+
+func (r *Request) parseRequestLine(line string) error {
+	parts := strings.Fields(line)
+	switch len(parts) {
+	case 3:
+		r.Method, r.Target, r.Proto = parts[0], parts[1], parts[2]
+	case 2:
+		// HTTP/0.9 simple request: "GET /path".
+		r.Method, r.Target, r.Proto = parts[0], parts[1], "HTTP/0.9"
+	default:
+		return ErrMalformed
+	}
+	if len(r.Target) > MaxTargetLen {
+		return ErrTargetTooBig
+	}
+	switch r.Proto {
+	case "HTTP/0.9":
+		r.Major, r.Minor = 0, 9
+	case "HTTP/1.0":
+		r.Major, r.Minor = 1, 0
+	case "HTTP/1.1":
+		r.Major, r.Minor = 1, 1
+	default:
+		return ErrUnsupported
+	}
+	target := r.Target
+	if q := strings.IndexByte(target, '?'); q >= 0 {
+		r.Query = target[q+1:]
+		target = target[:q]
+	}
+	decoded, err := unescapePath(target)
+	if err != nil {
+		return ErrMalformed
+	}
+	r.Path = CleanPath(decoded)
+	return nil
+}
+
+func (r *Request) applyDefaults() {
+	conn := strings.ToLower(r.Headers["connection"])
+	switch {
+	case r.Major == 1 && r.Minor >= 1:
+		r.KeepAlive = !strings.Contains(conn, "close")
+	case r.Major == 1:
+		r.KeepAlive = strings.Contains(conn, "keep-alive")
+	default:
+		r.KeepAlive = false
+	}
+	if ims, ok := r.Headers["if-modified-since"]; ok {
+		if t, err := ParseHTTPTime(ims); err == nil {
+			r.IfModifiedSince = t
+		}
+	}
+}
+
+// Host returns the Host header (empty for HTTP/1.0 requests without one).
+func (r *Request) Host() string { return r.Headers["host"] }
+
+// WireSize estimates the on-the-wire size of a minimal request for this
+// target — used by the simulator's workload generator.
+func WireSize(method, target string) int {
+	return len(method) + 1 + len(target) + len(" HTTP/1.0\r\n") +
+		len("Host: client.example.com\r\nUser-Agent: flashclient/1.0\r\n\r\n")
+}
+
+func splitLines(block string) []string {
+	block = strings.ReplaceAll(block, "\r\n", "\n")
+	return strings.Split(block, "\n")
+}
+
+// unescapePath decodes %xx escapes.
+func unescapePath(s string) (string, error) {
+	if !strings.ContainsRune(s, '%') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", ErrMalformed
+		}
+		hi, err1 := unhex(s[i+1])
+		lo, err2 := unhex(s[i+2])
+		if err1 != nil || err2 != nil {
+			return "", ErrMalformed
+		}
+		b.WriteByte(hi<<4 | lo)
+		i += 2
+	}
+	return b.String(), nil
+}
+
+func unhex(c byte) (byte, error) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', nil
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, nil
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, nil
+	}
+	return 0, ErrMalformed
+}
+
+// CleanPath normalizes a request path: collapses duplicate slashes,
+// resolves "." and ".." segments (refusing to escape the root), and
+// guarantees a leading slash. It is the defense against directory
+// traversal.
+func CleanPath(p string) string {
+	if p == "" {
+		return "/"
+	}
+	segs := strings.Split(p, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+			// skip
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	cleaned := "/" + strings.Join(out, "/")
+	if strings.HasSuffix(p, "/") && cleaned != "/" {
+		cleaned += "/"
+	}
+	return cleaned
+}
+
+// ParseHTTPTime parses the three date formats HTTP allows.
+func ParseHTTPTime(s string) (time.Time, error) {
+	for _, layout := range []string{
+		time.RFC1123,                     // Sun, 06 Nov 1994 08:49:37 GMT
+		"Monday, 02-Jan-06 15:04:05 MST", // RFC 850
+		time.ANSIC,                       // Sun Nov  6 08:49:37 1994
+	} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("httpmsg: unparseable time %q", s)
+}
+
+// FormatHTTPTime formats t in the preferred RFC 1123 GMT form.
+func FormatHTTPTime(t time.Time) string {
+	return t.UTC().Format(time.RFC1123)
+}
+
+// ParseContentLength parses a Content-Length header value.
+func ParseContentLength(v string) (int64, error) {
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil || n < 0 {
+		return 0, ErrMalformed
+	}
+	return n, nil
+}

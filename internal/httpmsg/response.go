@@ -1,0 +1,186 @@
+package httpmsg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StatusText returns the canonical reason phrase for the status codes
+// Flash emits.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 206:
+		return "Partial Content"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 408:
+		return "Request Timeout"
+	case 413:
+		return "Request Entity Too Large"
+	case 414:
+		return "Request-URI Too Long"
+	case 500:
+		return "Internal Server Error"
+	case 501:
+		return "Not Implemented"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Unknown"
+	}
+}
+
+// ResponseMeta carries everything needed to build a response header.
+type ResponseMeta struct {
+	Status        int
+	Proto         string // defaults to HTTP/1.1
+	ContentType   string
+	ContentLength int64 // -1 omits the header (close-delimited body)
+	ModTime       time.Time
+	Date          time.Time
+	KeepAlive     bool
+	ServerName    string // defaults to DefaultServerName
+	ExtraHeaders  []string
+}
+
+// DefaultServerName identifies the server in response headers.
+const DefaultServerName = "Flash-Repro/1.0"
+
+// HeaderAlign is the alignment unit for response headers (§5.5): the
+// paper pads headers to 32-byte boundaries so that the OS copies of the
+// writev'd file data that follows stay cache-line aligned.
+const HeaderAlign = 32
+
+// BuildHeader renders a response header terminated by a blank line. If
+// align is true the header is padded (by widening the Server field) so
+// its length is a multiple of HeaderAlign.
+func BuildHeader(m ResponseMeta, align bool) []byte {
+	if m.Proto == "" {
+		m.Proto = "HTTP/1.1"
+	}
+	if m.ServerName == "" {
+		m.ServerName = DefaultServerName
+	}
+	if m.Date.IsZero() {
+		m.Date = time.Unix(928195200, 0) // June 1 1999, the paper's era
+	}
+
+	var b strings.Builder
+	b.Grow(256)
+	fmt.Fprintf(&b, "%s %d %s\r\n", m.Proto, m.Status, StatusText(m.Status))
+	fmt.Fprintf(&b, "Date: %s\r\n", FormatHTTPTime(m.Date))
+	// The Server line is written last (see below) so padding can be
+	// computed; reserve its fixed parts now.
+	if m.ContentType != "" {
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", m.ContentType)
+	}
+	if m.ContentLength >= 0 {
+		b.WriteString("Content-Length: ")
+		b.WriteString(strconv.FormatInt(m.ContentLength, 10))
+		b.WriteString("\r\n")
+	}
+	if !m.ModTime.IsZero() {
+		fmt.Fprintf(&b, "Last-Modified: %s\r\n", FormatHTTPTime(m.ModTime))
+	}
+	if m.KeepAlive {
+		b.WriteString("Connection: keep-alive\r\n")
+	} else {
+		b.WriteString("Connection: close\r\n")
+	}
+	for _, h := range m.ExtraHeaders {
+		b.WriteString(h)
+		b.WriteString("\r\n")
+	}
+
+	// Server header + terminator; pad the server token to align.
+	const serverPrefix = "Server: "
+	base := b.Len() + len(serverPrefix) + len(m.ServerName) + len("\r\n") + len("\r\n")
+	pad := 0
+	if align {
+		if rem := base % HeaderAlign; rem != 0 {
+			pad = HeaderAlign - rem
+		}
+	}
+	b.WriteString(serverPrefix)
+	b.WriteString(m.ServerName)
+	if pad > 0 {
+		b.WriteString(strings.Repeat(" ", pad))
+	}
+	b.WriteString("\r\n\r\n")
+	return []byte(b.String())
+}
+
+// HeaderSize returns the size of the header BuildHeader would produce —
+// the simulator uses it to model wire bytes without building strings.
+func HeaderSize(m ResponseMeta, align bool) int {
+	// Building is cheap enough and guarantees consistency.
+	return len(BuildHeader(m, align))
+}
+
+// mimeTypes maps lower-case file extensions to content types — the set
+// a 1999 web server cared about, plus a few modern ones.
+var mimeTypes = map[string]string{
+	".html": "text/html",
+	".htm":  "text/html",
+	".txt":  "text/plain",
+	".css":  "text/css",
+	".gif":  "image/gif",
+	".jpg":  "image/jpeg",
+	".jpeg": "image/jpeg",
+	".png":  "image/png",
+	".ico":  "image/x-icon",
+	".js":   "application/javascript",
+	".json": "application/json",
+	".pdf":  "application/pdf",
+	".ps":   "application/postscript",
+	".zip":  "application/zip",
+	".gz":   "application/gzip",
+	".tar":  "application/x-tar",
+	".mp3":  "audio/mpeg",
+	".wav":  "audio/wav",
+	".mpg":  "video/mpeg",
+	".mp4":  "video/mp4",
+	".xml":  "text/xml",
+	".svg":  "image/svg+xml",
+}
+
+// DefaultContentType is used for unknown extensions.
+const DefaultContentType = "application/octet-stream"
+
+// ContentTypeFor returns the MIME type for a path by extension.
+func ContentTypeFor(path string) string {
+	dot := strings.LastIndexByte(path, '.')
+	slash := strings.LastIndexByte(path, '/')
+	if dot < 0 || dot < slash {
+		return DefaultContentType
+	}
+	if t, ok := mimeTypes[strings.ToLower(path[dot:])]; ok {
+		return t
+	}
+	return DefaultContentType
+}
+
+// ErrorBody renders a small HTML body for an error response.
+func ErrorBody(code int) []byte {
+	return []byte(fmt.Sprintf(
+		"<html><head><title>%d %s</title></head><body><h1>%d %s</h1></body></html>\n",
+		code, StatusText(code), code, StatusText(code)))
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryRates(t *testing.T) {
+	s := Summary{Duration: 2 * time.Second, Responses: 1000, Bytes: 25e5}
+	if got := s.MbitPerSec(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("MbitPerSec = %v, want 10", got)
+	}
+	if got := s.RequestsPerSec(); got != 500 {
+		t.Fatalf("RequestsPerSec = %v, want 500", got)
+	}
+}
+
+func TestSummaryZeroDuration(t *testing.T) {
+	var s Summary
+	if s.MbitPerSec() != 0 || s.RequestsPerSec() != 0 {
+		t.Fatal("zero-duration summary must report zero rates")
+	}
+}
+
+func TestSummarySub(t *testing.T) {
+	a := Summary{Duration: time.Second, Responses: 10, Bytes: 100, Errors: 1}
+	b := Summary{Duration: 3 * time.Second, Responses: 50, Bytes: 600, Errors: 4}
+	d := b.Sub(a)
+	if d.Duration != 2*time.Second || d.Responses != 40 || d.Bytes != 500 || d.Errors != 3 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	samples := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		10 * time.Millisecond, 100 * time.Millisecond,
+	}
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 20*time.Millisecond || mean > 30*time.Millisecond {
+		t.Fatalf("Mean = %v, want ~23.2ms", mean)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(10 * time.Second)
+	p50 := h.Quantile(0.5)
+	if p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms bucket bound", p50)
+	}
+	p999 := h.Quantile(0.9999)
+	if p999 < time.Second {
+		t.Fatalf("p999 = %v, should reach the outlier bucket", p999)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by the max bucket.
+func TestPropertyHistogramQuantileMonotone(t *testing.T) {
+	f := func(ds []uint32) bool {
+		if len(ds) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, d := range ds {
+			h.Observe(time.Duration(d))
+		}
+		qs := []float64{0.1, 0.5, 0.9, 0.99, 1.0}
+		prev := time.Duration(0)
+		for _, q := range qs {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableAddGet(t *testing.T) {
+	tb := &Table{ID: "t", XLabel: "x", YLabel: "y"}
+	tb.AddPoint("a", 1, 10)
+	tb.AddPoint("a", 2, 20)
+	tb.AddPoint("b", 1, 5)
+	if len(tb.Series) != 2 {
+		t.Fatalf("series = %d", len(tb.Series))
+	}
+	if got := tb.Get("a").Y(2); got != 20 {
+		t.Fatalf("Y(2) = %v", got)
+	}
+	if !math.IsNaN(tb.Get("a").Y(99)) {
+		t.Fatal("missing X should be NaN")
+	}
+	if tb.Get("zzz") != nil {
+		t.Fatal("Get of absent series != nil")
+	}
+}
+
+func TestTableXValuesSorted(t *testing.T) {
+	tb := &Table{}
+	tb.AddPoint("a", 3, 1)
+	tb.AddPoint("a", 1, 1)
+	tb.AddPoint("b", 2, 1)
+	xs := tb.XValues()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("XValues = %v", xs)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "fig0", Title: "demo", XLabel: "size", YLabel: "rate"}
+	tb.AddPoint("Flash", 1, 100)
+	tb.AddPoint("Flash", 2, 200)
+	tb.AddPoint("SPED", 1, 110)
+	out := tb.Render()
+	for _, want := range []string{"fig0", "demo", "Flash", "SPED", "100", "110"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Missing point renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing point not rendered as -")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{XLabel: "x,label"} // needs escaping
+	tb.AddPoint(`s"q`, 1, 2)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,label"`) {
+		t.Errorf("CSV did not escape comma: %q", csv)
+	}
+	if !strings.Contains(csv, `"s""q"`) {
+		t.Errorf("CSV did not escape quote: %q", csv)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+}
+
+func TestTableXTicks(t *testing.T) {
+	tb := &Table{XLabel: "Server", XTicks: map[float64]string{0: "Apache", 1: "Flash"}}
+	tb.AddPoint("CS", 0, 20)
+	tb.AddPoint("CS", 1, 30)
+	out := tb.Render()
+	if !strings.Contains(out, "Apache") || !strings.Contains(out, "Flash") {
+		t.Errorf("ticks not rendered:\n%s", out)
+	}
+	if !strings.Contains(tb.CSV(), "Apache") {
+		t.Error("ticks not in CSV")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Fatalf("trimFloat(3) = %q", trimFloat(3))
+	}
+	if trimFloat(3.14) != "3.1" {
+		t.Fatalf("trimFloat(3.14) = %q", trimFloat(3.14))
+	}
+}

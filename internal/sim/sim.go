@@ -1,0 +1,219 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate for every simulated experiment in this
+// repository: a virtual clock, a pending-event heap, and a deterministic
+// pseudo-random number generator. All simulated components (the OS model,
+// the disk model, the network model, the server architectures and the
+// clients) advance exclusively by scheduling callbacks on an Engine.
+//
+// Determinism: events scheduled for the same virtual time fire in
+// scheduling order (a strictly increasing sequence number breaks ties),
+// and all randomness flows from seeded RNG streams, so a simulation run
+// is a pure function of its configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation.
+type Time int64
+
+// Duration re-exports time.Duration for virtual durations; virtual time
+// uses the same nanosecond unit as wall time so costs read naturally
+// (e.g. 5*time.Microsecond).
+type Duration = time.Duration
+
+// Infinity is a virtual time later than any event the engine will run.
+const Infinity Time = math.MaxInt64
+
+// Add returns t advanced by d, saturating at Infinity.
+func (t Time) Add(d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	nt := t + Time(d)
+	if nt < t {
+		return Infinity
+	}
+	return nt
+}
+
+// Sub returns the duration from u to t (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats the time as a duration from simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback. The zero Event is inert.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index; -1 when not queued
+	fn    func()
+}
+
+// Scheduled reports whether the event is still pending in an engine.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	stopped bool
+	ran     uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// treated as zero (fn runs at the current time, after already-queued
+// events for that time). It returns the Event, which may be passed to
+// Cancel.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at virtual time at. Times in the past are clamped to
+// the present.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil func")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.pending, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Canceling a nil, fired, or already
+// canceled event is a no-op. It reports whether the event was pending.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.pending, ev.index)
+	ev.fn = nil
+	return true
+}
+
+// Reschedule moves a pending event to a new delay from now; if the event
+// already fired or was canceled it is scheduled afresh with the same
+// callback semantics not preserved (callers keep their own fn). It is a
+// convenience equivalent to Cancel+Schedule.
+func (e *Engine) Reschedule(ev *Event, d Duration) *Event {
+	fn := ev.fn
+	e.Cancel(ev)
+	if fn == nil {
+		panic("sim: Reschedule of fired event")
+	}
+	return e.Schedule(d, fn)
+}
+
+// Step executes the single earliest pending event. It reports false when
+// no events remain or the engine is stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.pending) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pending).(*Event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	fn := ev.fn
+	ev.fn = nil
+	e.ran++
+	fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if it is later than the last event executed).
+func (e *Engine) RunUntil(deadline Time) {
+	for !e.stopped && len(e.pending) > 0 && e.pending[0].at <= deadline {
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d of virtual time from now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop halts the engine; Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// String summarizes engine state, for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d ran=%d}", e.now, len(e.pending), e.ran)
+}

@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.Schedule(5*time.Millisecond, func() { fired = e.Now() })
+	e.Run()
+	if fired != Time(5*time.Millisecond) {
+		t.Fatalf("fired at %v, want 5ms", fired)
+	}
+	if e.Now() != Time(5*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 5ms", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*time.Microsecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Microsecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Microsecond, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != Time(time.Second) {
+				t.Errorf("negative delay fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Millisecond, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("event not scheduled")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Scheduled() {
+		t.Fatal("event still scheduled after cancel")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.Schedule(Duration(i)*time.Millisecond, func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8", len(got))
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(time.Second, func() { count++ })
+	e.Schedule(3*time.Second, func() { count++ })
+	e.RunUntil(Time(2 * time.Second))
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if e.Now() != Time(2*time.Second) {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.RunFor(500 * time.Millisecond)
+	if e.Now() != Time(500*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 500ms", e.Now())
+	}
+	e.RunFor(time.Second)
+	if e.Now() != Time(1500*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 1.5s", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("engine not stopped")
+	}
+}
+
+func TestStepReturnsFalseWhenDrained(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+	e.Schedule(0, func() {})
+	if !e.Step() {
+		t.Fatal("Step with pending event returned false")
+	}
+	if e.Step() {
+		t.Fatal("Step after drain returned true")
+	}
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(time.Millisecond, func() {
+		times = append(times, e.Now())
+		e.Schedule(time.Millisecond, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[1] != Time(2*time.Millisecond) {
+		t.Fatalf("times = %v, want [1ms 2ms]", times)
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	tm := Time(math.MaxInt64 - 10)
+	if got := tm.Add(time.Hour); got != Infinity {
+		t.Fatalf("Add near max = %v, want Infinity", got)
+	}
+	if got := Time(5).Add(-time.Second); got != 5 {
+		t.Fatalf("negative add = %v, want 5", got)
+	}
+}
+
+func TestTimeSubSeconds(t *testing.T) {
+	a, b := Time(3*time.Second), Time(time.Second)
+	if a.Sub(b) != 2*time.Second {
+		t.Fatalf("Sub = %v, want 2s", a.Sub(b))
+	}
+	if a.Seconds() != 3 {
+		t.Fatalf("Seconds = %v, want 3", a.Seconds())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Duration(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 7 {
+		t.Fatalf("Processed = %d, want 7", e.Processed())
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// the scheduling order of random delays.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint32) bool {
+		if len(delays) > 500 {
+			delays = delays[:500]
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never leaves an event with at <= deadline pending.
+func TestPropertyRunUntilDrainsWindow(t *testing.T) {
+	f := func(delays []uint16, deadline uint16) bool {
+		e := NewEngine()
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() {})
+		}
+		e.RunUntil(Time(deadline))
+		for _, ev := range e.pending {
+			if ev.at <= Time(deadline) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~5.0", mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Norm mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("Norm variance = %v, want ~4", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(21)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("split streams start identically")
+	}
+}
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.Schedule(time.Millisecond, func() { at = e.Now() })
+	e.Reschedule(ev, 5*time.Millisecond)
+	e.Run()
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("rescheduled event fired at %v, want 5ms", at)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%1000), func() {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

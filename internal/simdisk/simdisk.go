@@ -1,0 +1,268 @@
+// Package simdisk models a single disk drive of the late-1990s class used
+// in the Flash paper's testbed: millisecond seeks, rotational latency, a
+// modest streaming transfer rate, and a request queue served either FIFO
+// or with a C-LOOK elevator.
+//
+// The model captures the properties the paper's evaluation depends on:
+//
+//   - A blocked process waits for the full mechanical latency of its
+//     request, so architectures that can keep only one request
+//     outstanding (SPED) cannot overlap seeks with anything else.
+//   - With several requests queued (MP, MT, AMPED helpers), the elevator
+//     shortens average seek distance, raising aggregate throughput —
+//     the "disk utilization" advantage of §4.1.
+//   - Sequential block runs stream at the media rate without re-seeking,
+//     so file layout matters.
+package simdisk
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Block is a logical block address. Blocks are BlockSize bytes.
+type Block int64
+
+// BlockSize is the disk's logical block size in bytes.
+const BlockSize = 4096
+
+// BlocksFor returns the number of blocks needed to hold n bytes.
+func BlocksFor(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + BlockSize - 1) / BlockSize
+}
+
+// SchedPolicy selects the request scheduling discipline.
+type SchedPolicy int
+
+const (
+	// FIFO serves requests in arrival order.
+	FIFO SchedPolicy = iota
+	// Elevator serves requests in ascending-address order, wrapping to
+	// the lowest pending address after the highest (C-LOOK).
+	Elevator
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Elevator:
+		return "elevator"
+	default:
+		return fmt.Sprintf("SchedPolicy(%d)", int(p))
+	}
+}
+
+// Params describes the mechanical characteristics of the drive.
+type Params struct {
+	// MinSeek is the track-to-track seek time.
+	MinSeek time.Duration
+	// MaxSeek is the full-stroke seek time.
+	MaxSeek time.Duration
+	// RPM is the spindle speed, for rotational latency (half a turn on
+	// average for a random request).
+	RPM int
+	// TransferRate is the media streaming rate in bytes per second.
+	TransferRate int64
+	// Overhead is fixed per-request controller/command time.
+	Overhead time.Duration
+	// Capacity is the addressable size in blocks (used to scale seek
+	// distance).
+	Capacity Block
+	// Policy selects FIFO or Elevator scheduling.
+	Policy SchedPolicy
+}
+
+// DefaultParams returns parameters for the late-90s SCSI drive class of
+// the paper's testbed: 5400 RPM, ~1.5ms track-to-track, ~14ms full
+// stroke, ~10 MB/s media rate.
+func DefaultParams() Params {
+	return Params{
+		MinSeek:      1500 * time.Microsecond,
+		MaxSeek:      14 * time.Millisecond,
+		RPM:          5400,
+		TransferRate: 9 << 20,
+		Overhead:     500 * time.Microsecond,
+		Capacity:     1 << 20, // 1M blocks = 4 GB
+		Policy:       Elevator,
+	}
+}
+
+// Stats holds cumulative disk activity counters.
+type Stats struct {
+	Requests       uint64
+	SequentialHits uint64
+	BytesRead      int64
+	BusyTime       time.Duration
+	SeekTime       time.Duration
+	MaxQueueLen    int
+}
+
+type request struct {
+	start Block
+	nblk  int64
+	seq   uint64
+	done  func()
+}
+
+// Disk is a simulated drive attached to a sim.Engine. All methods must be
+// called from engine callbacks (single-threaded simulation discipline).
+type Disk struct {
+	eng    *sim.Engine
+	p      Params
+	queue  []*request
+	busy   bool
+	head   Block // current head position
+	lastnd Block // block just past the end of the last transfer
+	seq    uint64
+	stats  Stats
+}
+
+// New creates a disk with the given parameters.
+func New(eng *sim.Engine, p Params) *Disk {
+	if p.TransferRate <= 0 {
+		panic("simdisk: non-positive transfer rate")
+	}
+	if p.Capacity <= 0 {
+		panic("simdisk: non-positive capacity")
+	}
+	if p.RPM <= 0 {
+		panic("simdisk: non-positive RPM")
+	}
+	return &Disk{eng: eng, p: p}
+}
+
+// Params returns the drive's configuration.
+func (d *Disk) Params() Params { return d.p }
+
+// Stats returns a snapshot of cumulative counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// QueueLen returns the number of requests waiting (excluding the one in
+// service).
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Busy reports whether a request is currently in service.
+func (d *Disk) Busy() bool { return d.busy }
+
+// Read schedules a read of nbytes starting at block start. done fires
+// from an engine callback when the transfer completes. Reads of zero or
+// negative length complete after only the controller overhead.
+func (d *Disk) Read(start Block, nbytes int64, done func()) {
+	if done == nil {
+		panic("simdisk: Read with nil done")
+	}
+	d.seq++
+	r := &request{start: start, nblk: BlocksFor(nbytes), seq: d.seq, done: done}
+	d.queue = append(d.queue, r)
+	if len(d.queue) > d.stats.MaxQueueLen {
+		d.stats.MaxQueueLen = len(d.queue)
+	}
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+// pickNext removes and returns the next request per the policy.
+func (d *Disk) pickNext() *request {
+	if len(d.queue) == 0 {
+		return nil
+	}
+	idx := 0
+	if d.p.Policy == Elevator && len(d.queue) > 1 {
+		// C-LOOK: the lowest start >= head; if none, the lowest overall.
+		// Stable among equals by arrival order.
+		sort.SliceStable(d.queue, func(i, j int) bool {
+			if d.queue[i].start != d.queue[j].start {
+				return d.queue[i].start < d.queue[j].start
+			}
+			return d.queue[i].seq < d.queue[j].seq
+		})
+		idx = sort.Search(len(d.queue), func(i int) bool {
+			return d.queue[i].start >= d.head
+		})
+		if idx == len(d.queue) {
+			idx = 0
+		}
+	}
+	r := d.queue[idx]
+	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+	return r
+}
+
+// serviceTime computes the mechanical time for r given the head
+// position and the current queue depth, and reports whether the access
+// was sequential. With several requests queued, the drive's
+// tagged-command-queueing firmware picks targets with short positioning
+// times (SPTF), so the effective rotational delay shrinks as the queue
+// deepens — the reason architectures that keep many requests
+// outstanding (MP, MT, AMPED helpers) get more out of the same disk
+// than SPED's one-at-a-time access pattern (§4.1 "Disk utilization").
+func (d *Disk) serviceTime(r *request, qdepth int) (time.Duration, time.Duration, bool) {
+	transfer := time.Duration(float64(r.nblk*BlockSize) / float64(d.p.TransferRate) * float64(time.Second))
+	if r.start == d.lastnd && d.lastnd != 0 {
+		// Streaming continuation: no seek, no rotational delay.
+		return d.p.Overhead + transfer, 0, true
+	}
+	dist := r.start - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	frac := float64(dist) / float64(d.p.Capacity)
+	if frac > 1 {
+		frac = 1
+	}
+	seek := d.p.MinSeek + time.Duration(frac*float64(d.p.MaxSeek-d.p.MinSeek))
+	if dist == 0 {
+		seek = 0
+	}
+	rot := time.Duration(float64(time.Minute) / float64(d.p.RPM) / 2)
+	if d.p.Policy == Elevator && qdepth > 0 {
+		q := qdepth
+		if q > 24 {
+			q = 24
+		}
+		rot = time.Duration(float64(rot) / (1 + float64(q)/9))
+	}
+	return d.p.Overhead + seek + rot + transfer, seek, false
+}
+
+func (d *Disk) startNext() {
+	r := d.pickNext()
+	if r == nil {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	svc, seek, sequential := d.serviceTime(r, len(d.queue))
+	d.stats.Requests++
+	d.stats.BytesRead += r.nblk * BlockSize
+	d.stats.BusyTime += svc
+	d.stats.SeekTime += seek
+	if sequential {
+		d.stats.SequentialHits++
+	}
+	d.eng.Schedule(svc, func() {
+		d.head = r.start + Block(r.nblk)
+		d.lastnd = d.head
+		done := r.done
+		d.startNext()
+		done()
+	})
+}
+
+// Utilization returns the fraction of time the disk has been busy since
+// the start of the simulation. Meaningful only when now > 0.
+func (d *Disk) Utilization() float64 {
+	now := d.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(d.stats.BusyTime) / float64(time.Duration(now))
+}

@@ -1,0 +1,312 @@
+package simdisk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func testDisk(policy SchedPolicy) (*sim.Engine, *Disk) {
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	p.Policy = policy
+	return eng, New(eng, p)
+}
+
+func TestBlocksFor(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {BlockSize, 1}, {BlockSize + 1, 2},
+		{10 * BlockSize, 10}, {10*BlockSize - 1, 10},
+	}
+	for _, c := range cases {
+		if got := BlocksFor(c.bytes); got != c.want {
+			t.Errorf("BlocksFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestSingleReadCompletes(t *testing.T) {
+	eng, d := testDisk(FIFO)
+	done := false
+	d.Read(1000, 64<<10, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("read did not complete")
+	}
+	if d.Stats().Requests != 1 {
+		t.Fatalf("Requests = %d, want 1", d.Stats().Requests)
+	}
+	if d.Busy() {
+		t.Fatal("disk still busy after drain")
+	}
+}
+
+func TestReadTakesMechanicalTime(t *testing.T) {
+	eng, d := testDisk(FIFO)
+	var completed sim.Time
+	d.Read(100000, 64<<10, func() { completed = eng.Now() })
+	eng.Run()
+	// Must at least include overhead + rotational latency + transfer.
+	rpm := 7200.0
+	rot := time.Duration(float64(time.Minute) / rpm / 2)
+	bytes, rate := float64(64<<10), float64(15<<20)
+	minTime := 300*time.Microsecond + rot + time.Duration(bytes/rate*float64(time.Second))
+	if time.Duration(completed) < minTime {
+		t.Fatalf("read completed in %v, want >= %v", time.Duration(completed), minTime)
+	}
+}
+
+func TestSequentialReadsAreFaster(t *testing.T) {
+	eng, d := testDisk(FIFO)
+	var first, second sim.Time
+	d.Read(1000, 64<<10, func() { first = eng.Now() })
+	eng.Run()
+	// Continue exactly where the last read ended.
+	start := Block(1000) + Block(BlocksFor(64<<10))
+	d.Read(start, 64<<10, func() { second = eng.Now() })
+	eng.Run()
+	tFirst := time.Duration(first)
+	tSecond := time.Duration(second - first)
+	if tSecond >= tFirst {
+		t.Fatalf("sequential read (%v) not faster than random (%v)", tSecond, tFirst)
+	}
+	if d.Stats().SequentialHits != 1 {
+		t.Fatalf("SequentialHits = %d, want 1", d.Stats().SequentialHits)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	eng, d := testDisk(FIFO)
+	var order []int
+	// Addresses chosen so elevator would reorder them.
+	addrs := []Block{500000, 1000, 800000, 2000}
+	for i, a := range addrs {
+		i := i
+		d.Read(a, BlockSize, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO served out of order: %v", order)
+		}
+	}
+}
+
+func TestElevatorOrdersByAddress(t *testing.T) {
+	eng, d := testDisk(Elevator)
+	var order []Block
+	// First request seizes the disk (head at 0); the rest queue and are
+	// served in ascending address order.
+	d.Read(600000, BlockSize, func() { order = append(order, 600000) })
+	d.Read(900000, BlockSize, func() { order = append(order, 900000) })
+	d.Read(100000, BlockSize, func() { order = append(order, 100000) })
+	d.Read(700000, BlockSize, func() { order = append(order, 700000) })
+	eng.Run()
+	want := []Block{600000, 700000, 900000, 100000} // C-LOOK from head=600000+
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("elevator order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestElevatorBeatsFIFOOnScatteredLoad(t *testing.T) {
+	run := func(policy SchedPolicy) time.Duration {
+		eng, d := testDisk(policy)
+		// Interleaved low/high addresses: worst case for FIFO.
+		addrs := []Block{100, 1800000, 200, 1900000, 300, 1700000, 400, 2000000}
+		remaining := len(addrs)
+		for _, a := range addrs {
+			d.Read(a, BlockSize, func() { remaining-- })
+		}
+		eng.Run()
+		if remaining != 0 {
+			t.Fatalf("%v: %d requests incomplete", policy, remaining)
+		}
+		return time.Duration(eng.Now())
+	}
+	fifo := run(FIFO)
+	elev := run(Elevator)
+	if elev >= fifo {
+		t.Fatalf("elevator (%v) not faster than FIFO (%v)", elev, fifo)
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	eng, d := testDisk(FIFO)
+	for i := 0; i < 10; i++ {
+		d.Read(Block(i*1000), BlockSize, func() {})
+	}
+	if d.QueueLen() != 9 { // one in service
+		t.Fatalf("QueueLen = %d, want 9", d.QueueLen())
+	}
+	if d.Stats().MaxQueueLen != 9 {
+		t.Fatalf("MaxQueueLen = %d, want 9", d.Stats().MaxQueueLen)
+	}
+	eng.Run()
+	if d.QueueLen() != 0 {
+		t.Fatalf("QueueLen after drain = %d", d.QueueLen())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng, d := testDisk(FIFO)
+	d.Read(1000, 1<<20, func() {})
+	eng.Run()
+	u := d.Utilization()
+	if u <= 0.99 || u > 1.0 {
+		t.Fatalf("Utilization = %v, want ~1.0 while only disk activity", u)
+	}
+}
+
+func TestZeroByteRead(t *testing.T) {
+	eng, d := testDisk(FIFO)
+	done := false
+	d.Read(0, 0, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("zero-byte read did not complete")
+	}
+}
+
+func TestReadNilDonePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng, d := testDisk(FIFO)
+	_ = eng
+	d.Read(0, 10, nil)
+}
+
+func TestThroughputApproximatesMediaRate(t *testing.T) {
+	// Large sequential read should approach TransferRate.
+	eng, d := testDisk(FIFO)
+	const total = 64 << 20
+	const chunk = 64 << 10
+	next := Block(0)
+	var issue func()
+	read := int64(0)
+	issue = func() {
+		if read >= total {
+			return
+		}
+		start := next
+		next += Block(BlocksFor(chunk))
+		d.Read(start, chunk, func() {
+			read += chunk
+			issue()
+		})
+	}
+	issue()
+	eng.Run()
+	elapsed := time.Duration(eng.Now()).Seconds()
+	rate := float64(total) / elapsed
+	media := float64(d.Params().TransferRate)
+	if rate < media*0.80 || rate > media {
+		t.Fatalf("sequential rate = %.1f MB/s, want within [80%%, 100%%] of %.1f MB/s",
+			rate/(1<<20), media/(1<<20))
+	}
+}
+
+func TestRandomReadsMuchSlowerThanSequential(t *testing.T) {
+	rng := sim.NewRNG(1)
+	run := func(random bool) float64 {
+		eng, d := testDisk(Elevator)
+		const n = 128
+		const chunk = 64 << 10
+		done := 0
+		pos := Block(0)
+		var issue func()
+		issue = func() {
+			if done >= n {
+				return
+			}
+			start := pos
+			if random {
+				start = Block(rng.Int63n(int64(d.Params().Capacity - 100)))
+			} else {
+				pos += Block(BlocksFor(chunk))
+			}
+			d.Read(start, chunk, func() {
+				done++
+				issue()
+			})
+		}
+		issue()
+		eng.Run()
+		return float64(n*chunk) / time.Duration(eng.Now()).Seconds()
+	}
+	seq := run(false)
+	rnd := run(true)
+	if rnd > seq/2 {
+		t.Fatalf("random rate %.1f MB/s not well below sequential %.1f MB/s",
+			rnd/(1<<20), seq/(1<<20))
+	}
+}
+
+// Property: every read issued eventually completes exactly once,
+// regardless of policy and address pattern.
+func TestPropertyAllReadsCompleteOnce(t *testing.T) {
+	f := func(addrs []uint32, policy bool) bool {
+		if len(addrs) > 200 {
+			addrs = addrs[:200]
+		}
+		eng := sim.NewEngine()
+		p := DefaultParams()
+		if policy {
+			p.Policy = Elevator
+		} else {
+			p.Policy = FIFO
+		}
+		d := New(eng, p)
+		counts := make([]int, len(addrs))
+		for i, a := range addrs {
+			i := i
+			d.Read(Block(a%uint32(p.Capacity)), 8192, func() { counts[i]++ })
+		}
+		eng.Run()
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return d.QueueLen() == 0 && !d.Busy()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BusyTime never exceeds elapsed simulated time.
+func TestPropertyBusyTimeBounded(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		eng, d := testDisk(Elevator)
+		for _, a := range addrs {
+			d.Read(Block(a), 4096, func() {})
+		}
+		eng.Run()
+		return d.Stats().BusyTime <= time.Duration(eng.Now())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDiskScatteredElevator(b *testing.B) {
+	eng, d := testDisk(Elevator)
+	rng := sim.NewRNG(5)
+	for i := 0; i < b.N; i++ {
+		d.Read(Block(rng.Int63n(int64(d.Params().Capacity))), 64<<10, func() {})
+		if d.QueueLen() > 64 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

@@ -1,0 +1,418 @@
+// Package simnet models the testbed network of the Flash paper: clients
+// on a switched LAN (or a WAN, for the wide-area experiments) connected
+// to a server with a fixed aggregate NIC bandwidth.
+//
+// The model is at the transfer level rather than the packet level: data
+// is moved in segments whose timing is constrained by (a) serialization
+// through the server's aggregate NIC capacity and (b) the per-client
+// link rate, whichever is slower. Each connection has a finite TCP send
+// buffer on the server side, so server writes are non-blocking and
+// partial exactly as with BSD sockets: a write copies at most the free
+// buffer space, and the socket becomes writable again as segments drain
+// onto the wire.
+//
+// No payload bytes are represented — only counts plus app-level request
+// and response boundary records, which is all the server architectures
+// and the closed-loop clients need.
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config holds network-wide parameters.
+type Config struct {
+	// NICBandwidth is the server's aggregate transmit capacity in
+	// bytes/sec (the paper's testbed used multiple 100 Mbit/s
+	// Ethernets).
+	NICBandwidth int64
+	// SndBuf is the per-connection TCP send buffer size in bytes.
+	SndBuf int
+	// SegmentSize is the transfer granularity in bytes.
+	SegmentSize int
+	// Backlog is the listen queue depth.
+	Backlog int
+}
+
+// DefaultConfig mirrors the paper's testbed: three 100 Mbit/s interfaces
+// (~37.5 MB/s aggregate), 64 KB socket buffers.
+func DefaultConfig() Config {
+	return Config{
+		NICBandwidth: 3 * 100e6 / 8,
+		SndBuf:       64 << 10,
+		SegmentSize:  8 << 10,
+		Backlog:      128,
+	}
+}
+
+// Stats holds cumulative network counters.
+type Stats struct {
+	BytesDelivered   int64
+	SegmentsSent     uint64
+	ConnsEstablished uint64
+	ConnsDropped     uint64
+}
+
+// Net is the simulated network fabric.
+type Net struct {
+	eng         *sim.Engine
+	cfg         Config
+	nicNextFree sim.Time
+	stats       Stats
+}
+
+// New creates a network on the engine.
+func New(eng *sim.Engine, cfg Config) *Net {
+	if cfg.NICBandwidth <= 0 || cfg.SndBuf <= 0 || cfg.SegmentSize <= 0 {
+		panic("simnet: invalid config")
+	}
+	if cfg.Backlog <= 0 {
+		cfg.Backlog = 128
+	}
+	return &Net{eng: eng, cfg: cfg}
+}
+
+// Config returns the network configuration.
+func (n *Net) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of cumulative counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Listener is the server's listen socket.
+type Listener struct {
+	net     *Net
+	pending []*Conn
+	// OnReadable is invoked whenever a new connection is queued. The
+	// server's select layer uses it to re-evaluate readiness.
+	OnReadable func()
+}
+
+// Listen creates the server's listen socket.
+func (n *Net) Listen() *Listener {
+	return &Listener{net: n}
+}
+
+// PendingConns returns the number of connections awaiting accept.
+func (l *Listener) PendingConns() int { return len(l.pending) }
+
+// Accept dequeues an established connection, or nil if none pending.
+func (l *Listener) Accept() *Conn {
+	if len(l.pending) == 0 {
+		return nil
+	}
+	c := l.pending[0]
+	copy(l.pending, l.pending[1:])
+	l.pending[len(l.pending)-1] = nil
+	l.pending = l.pending[:len(l.pending)-1]
+	return c
+}
+
+// Request is an application-level request carried by a connection. The
+// workload layer defines the meaning of the fields; the network only
+// transports them.
+type Request struct {
+	// Path identifies the object requested.
+	Path string
+	// Size is the object's size in bytes (known to the workload).
+	Size int64
+	// WireBytes is the size of the HTTP request header on the wire.
+	WireBytes int
+	// KeepAlive requests a persistent connection.
+	KeepAlive bool
+	// Tag is opaque client state.
+	Tag any
+}
+
+// response marks a boundary in the outgoing byte stream.
+type respMark struct {
+	endOffset int64 // stream offset at which the response completes
+}
+
+// Conn is a simulated TCP connection.
+type Conn struct {
+	net        *Net
+	clientRate int64         // client link bytes/sec (0 = unlimited)
+	rtt        time.Duration // round-trip time
+	id         uint64
+
+	// Server-side receive state.
+	rcvRequests []*Request
+
+	// Server-side send state.
+	sndUsed      int
+	sndClosed    bool
+	draining     bool
+	connNextFree sim.Time
+	written      int64 // total stream bytes accepted from server
+	drained      int64 // total stream bytes delivered to client
+	marks        []respMark
+
+	serverClosed bool
+	clientClosed bool
+
+	// Server-side readiness callbacks (installed by the OS layer).
+	OnReadable func()
+	OnWritable func()
+
+	// Client-side callbacks.
+	OnResponse func() // fires when a marked response is fully delivered
+	OnClosed   func() // fires when the client observes the server close
+}
+
+var connID uint64
+
+// synRetransmit is the retry interval when a SYN meets a full accept
+// queue (TCP retransmits; clients are not silently lost during
+// connection storms).
+const synRetransmit = 500 * time.Millisecond
+
+// maxSynRetries bounds retransmission before the connection attempt
+// fails for good (TCP gives up too).
+const maxSynRetries = 6
+
+// Connect initiates a connection from a client with the given link rate
+// (bytes/sec; 0 = unlimited) and round-trip time. onEstablished fires at
+// the client after the handshake completes; the connection is then ready
+// for SendRequest. A full server backlog drops the SYN, which the
+// client retransmits until it gets in.
+func (n *Net) Connect(l *Listener, clientRate int64, rtt time.Duration, onEstablished func(*Conn)) {
+	connID++
+	c := &Conn{net: n, clientRate: clientRate, rtt: rtt, id: connID}
+	retries := 0
+	var attempt func()
+	attempt = func() {
+		if len(l.pending) >= n.cfg.Backlog {
+			n.stats.ConnsDropped++
+			if retries < maxSynRetries {
+				retries++
+				n.eng.Schedule(synRetransmit, attempt)
+			}
+			return
+		}
+		l.pending = append(l.pending, c)
+		n.stats.ConnsEstablished++
+		if l.OnReadable != nil {
+			l.OnReadable()
+		}
+		// SYN-ACK returns to the client half an RTT later.
+		n.eng.Schedule(rtt/2, func() {
+			if onEstablished != nil {
+				onEstablished(c)
+			}
+		})
+	}
+	n.eng.Schedule(rtt/2, attempt)
+}
+
+// RTT returns the connection's round-trip time.
+func (c *Conn) RTT() time.Duration { return c.rtt }
+
+// --- Client-side API ---
+
+// SendRequest transmits an application request to the server. The
+// request becomes readable at the server after propagation plus
+// serialization over the client link.
+func (c *Conn) SendRequest(r *Request) {
+	if c.clientClosed {
+		return
+	}
+	delay := c.rtt / 2
+	if c.clientRate > 0 {
+		delay += time.Duration(float64(r.WireBytes) / float64(c.clientRate) * float64(time.Second))
+	}
+	c.net.eng.Schedule(delay, func() {
+		if c.serverClosed {
+			return
+		}
+		c.rcvRequests = append(c.rcvRequests, r)
+		if c.OnReadable != nil {
+			c.OnReadable()
+		}
+	})
+}
+
+// CloseClient closes the client end; the server observes it half an RTT
+// later as a readable EOF.
+func (c *Conn) CloseClient() {
+	if c.clientClosed {
+		return
+	}
+	c.clientClosed = true
+	c.net.eng.Schedule(c.rtt/2, func() {
+		if !c.serverClosed && c.OnReadable != nil {
+			c.OnReadable()
+		}
+	})
+}
+
+// --- Server-side API ---
+
+// PendingRequests returns the number of complete requests readable.
+func (c *Conn) PendingRequests() int { return len(c.rcvRequests) }
+
+// PeekRequest returns the next readable request without consuming it,
+// or nil (servers with request-size-sensitive scheduling use it).
+func (c *Conn) PeekRequest() *Request {
+	if len(c.rcvRequests) == 0 {
+		return nil
+	}
+	return c.rcvRequests[0]
+}
+
+// ClientEOF reports whether the client has closed its end and no
+// requests remain buffered.
+func (c *Conn) ClientEOF() bool { return c.clientClosed && len(c.rcvRequests) == 0 }
+
+// ReadRequest dequeues the next complete request, or nil.
+func (c *Conn) ReadRequest() *Request {
+	if len(c.rcvRequests) == 0 {
+		return nil
+	}
+	r := c.rcvRequests[0]
+	copy(c.rcvRequests, c.rcvRequests[1:])
+	c.rcvRequests[len(c.rcvRequests)-1] = nil
+	c.rcvRequests = c.rcvRequests[:len(c.rcvRequests)-1]
+	return r
+}
+
+// SndFree returns the free space in the send buffer.
+func (c *Conn) SndFree() int {
+	if c.serverClosed {
+		return 0
+	}
+	return c.net.cfg.SndBuf - c.sndUsed
+}
+
+// Write accepts up to len bytes into the send buffer, returning the
+// number accepted (possibly zero — the caller must then wait for
+// writability). Data drains asynchronously.
+func (c *Conn) Write(nbytes int) int {
+	if c.serverClosed || nbytes <= 0 {
+		return 0
+	}
+	nba := nbytes
+	if free := c.SndFree(); nba > free {
+		nba = free
+	}
+	if nba == 0 {
+		return 0
+	}
+	c.sndUsed += nba
+	c.written += int64(nba)
+	c.startDrain()
+	return nba
+}
+
+// EndResponse records that the bytes written so far complete one
+// application response; the client's OnResponse fires when the last of
+// those bytes is delivered.
+func (c *Conn) EndResponse() {
+	c.marks = append(c.marks, respMark{endOffset: c.written})
+	// The stream may already have drained past this offset (e.g. a
+	// zero-length response after a completed one).
+	c.checkMarks()
+}
+
+// Close closes the server end of the connection. Buffered data is
+// flushed before the client observes the close (graceful close).
+func (c *Conn) Close() {
+	if c.serverClosed {
+		return
+	}
+	c.serverClosed = true
+	c.sndClosed = true
+	if c.sndUsed == 0 {
+		c.notifyClosed()
+	}
+	// Otherwise drain completion triggers notifyClosed.
+}
+
+// Closed reports whether the server has closed the connection.
+func (c *Conn) Closed() bool { return c.serverClosed }
+
+// Delivered returns the total bytes delivered to the client.
+func (c *Conn) Delivered() int64 { return c.drained }
+
+func (c *Conn) notifyClosed() {
+	c.net.eng.Schedule(c.rtt/2, func() {
+		if c.OnClosed != nil {
+			c.OnClosed()
+		}
+	})
+}
+
+func (c *Conn) startDrain() {
+	if c.draining || c.sndUsed == 0 {
+		return
+	}
+	c.draining = true
+	c.drainSegment()
+}
+
+// drainSegment moves one segment from the send buffer onto the wire.
+func (c *Conn) drainSegment() {
+	seg := c.net.cfg.SegmentSize
+	if seg > c.sndUsed {
+		seg = c.sndUsed
+	}
+	now := c.net.eng.Now()
+
+	// Serialize through the shared NIC.
+	nicStart := c.net.nicNextFree
+	if nicStart < now {
+		nicStart = now
+	}
+	nicFinish := nicStart.Add(time.Duration(float64(seg) / float64(c.net.cfg.NICBandwidth) * float64(time.Second)))
+	c.net.nicNextFree = nicFinish
+
+	finish := nicFinish
+	// Pace by the client link if it is slower.
+	if c.clientRate > 0 {
+		connStart := c.connNextFree
+		if connStart < now {
+			connStart = now
+		}
+		connFinish := connStart.Add(time.Duration(float64(seg) / float64(c.clientRate) * float64(time.Second)))
+		c.connNextFree = connFinish
+		if connFinish > finish {
+			finish = connFinish
+		}
+	}
+
+	c.net.eng.ScheduleAt(finish, func() {
+		c.sndUsed -= seg
+		c.drained += int64(seg)
+		c.net.stats.BytesDelivered += int64(seg)
+		c.net.stats.SegmentsSent++
+		c.checkMarks()
+		if c.sndUsed > 0 {
+			c.drainSegment()
+			// Buffer space opened; wake the writer as well.
+			if !c.serverClosed && c.OnWritable != nil {
+				c.OnWritable()
+			}
+			return
+		}
+		c.draining = false
+		if c.sndClosed {
+			c.notifyClosed()
+			return
+		}
+		if c.OnWritable != nil {
+			c.OnWritable()
+		}
+	})
+}
+
+func (c *Conn) checkMarks() {
+	for len(c.marks) > 0 && c.drained >= c.marks[0].endOffset {
+		c.marks = c.marks[1:]
+		if c.OnResponse != nil {
+			// Delivery notification reaches the client app after
+			// propagation.
+			c.net.eng.Schedule(c.rtt/2, c.OnResponse)
+		}
+	}
+}

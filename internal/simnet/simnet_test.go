@@ -1,0 +1,476 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func testNet() (*sim.Engine, *Net, *Listener) {
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig())
+	return eng, n, n.Listen()
+}
+
+// establish connects a client and returns the server-side conn via accept.
+func establish(t *testing.T, eng *sim.Engine, n *Net, l *Listener) *Conn {
+	t.Helper()
+	var clientConn *Conn
+	n.Connect(l, 0, 0, func(c *Conn) { clientConn = c })
+	eng.Run()
+	if clientConn == nil {
+		t.Fatal("connection not established")
+	}
+	srv := l.Accept()
+	if srv == nil {
+		t.Fatal("accept returned nil")
+	}
+	if srv != clientConn {
+		t.Fatal("accept returned a different conn")
+	}
+	return srv
+}
+
+func TestConnectAndAccept(t *testing.T) {
+	eng, n, l := testNet()
+	established := false
+	n.Connect(l, 0, time.Millisecond, func(c *Conn) { established = true })
+	eng.Run()
+	if !established {
+		t.Fatal("onEstablished never fired")
+	}
+	if l.PendingConns() != 1 {
+		t.Fatalf("PendingConns = %d, want 1", l.PendingConns())
+	}
+	if c := l.Accept(); c == nil {
+		t.Fatal("Accept returned nil")
+	}
+	if l.PendingConns() != 0 {
+		t.Fatal("conn still pending after accept")
+	}
+	if n.Stats().ConnsEstablished != 1 {
+		t.Fatalf("ConnsEstablished = %d, want 1", n.Stats().ConnsEstablished)
+	}
+}
+
+func TestListenerReadableCallback(t *testing.T) {
+	eng, n, l := testNet()
+	calls := 0
+	l.OnReadable = func() { calls++ }
+	n.Connect(l, 0, 0, nil)
+	n.Connect(l, 0, 0, nil)
+	eng.Run()
+	if calls != 2 {
+		t.Fatalf("OnReadable calls = %d, want 2", calls)
+	}
+}
+
+func TestBacklogOverflowDropsAndRetries(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Backlog = 2
+	n := New(eng, cfg)
+	l := n.Listen()
+	established := 0
+	for i := 0; i < 5; i++ {
+		n.Connect(l, 0, 0, func(c *Conn) { established++ })
+	}
+	eng.Run()
+	// Nobody accepts, so only the backlog's worth establishes; the rest
+	// retransmit SYNs until TCP gives up.
+	if established != 2 {
+		t.Fatalf("established = %d, want 2", established)
+	}
+	want := uint64(3 * (1 + maxSynRetries))
+	if got := n.Stats().ConnsDropped; got != want {
+		t.Fatalf("ConnsDropped = %d, want %d (3 clients x %d attempts)", got, want, 1+maxSynRetries)
+	}
+}
+
+func TestBacklogRetrySucceedsOnceDrained(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Backlog = 1
+	n := New(eng, cfg)
+	l := n.Listen()
+	established := 0
+	for i := 0; i < 3; i++ {
+		n.Connect(l, 0, 0, func(c *Conn) { established++ })
+	}
+	// An acceptor that drains the queue whenever something arrives.
+	l.OnReadable = func() {
+		for l.Accept() != nil {
+		}
+	}
+	l.OnReadable()
+	eng.Run()
+	if established != 3 {
+		t.Fatalf("established = %d, want all 3 after retransmits", established)
+	}
+}
+
+func TestRequestDelivery(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	gotReadable := 0
+	srv.OnReadable = func() { gotReadable++ }
+	req := &Request{Path: "/index.html", Size: 1024, WireBytes: 200}
+	srv.SendRequest(req)
+	eng.Run()
+	if gotReadable == 0 {
+		t.Fatal("server never became readable")
+	}
+	if srv.PendingRequests() != 1 {
+		t.Fatalf("PendingRequests = %d, want 1", srv.PendingRequests())
+	}
+	got := srv.ReadRequest()
+	if got == nil || got.Path != "/index.html" {
+		t.Fatalf("ReadRequest = %+v", got)
+	}
+	if srv.ReadRequest() != nil {
+		t.Fatal("second ReadRequest should be nil")
+	}
+}
+
+func TestWriteRespectsBufferLimit(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	sb := n.Config().SndBuf
+	if got := srv.Write(sb + 1000); got != sb {
+		t.Fatalf("Write accepted %d, want %d", got, sb)
+	}
+	if srv.SndFree() != 0 {
+		t.Fatalf("SndFree = %d, want 0", srv.SndFree())
+	}
+	if got := srv.Write(1); got != 0 {
+		t.Fatalf("Write into full buffer accepted %d", got)
+	}
+	eng.Run() // drain
+	if srv.SndFree() != sb {
+		t.Fatalf("SndFree after drain = %d, want %d", srv.SndFree(), sb)
+	}
+}
+
+func TestWritableCallbackAfterDrain(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	writable := 0
+	srv.OnWritable = func() { writable++ }
+	srv.Write(n.Config().SndBuf)
+	eng.Run()
+	if writable == 0 {
+		t.Fatal("OnWritable never fired after drain")
+	}
+}
+
+func TestResponseCompletionNotifiesClient(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	completed := 0
+	srv.OnResponse = func() { completed++ }
+	srv.Write(10000)
+	srv.EndResponse()
+	eng.Run()
+	if completed != 1 {
+		t.Fatalf("OnResponse fired %d times, want 1", completed)
+	}
+	if srv.Delivered() != 10000 {
+		t.Fatalf("Delivered = %d, want 10000", srv.Delivered())
+	}
+}
+
+func TestMultipleResponsesOnPersistentConn(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	completed := 0
+	srv.OnResponse = func() { completed++ }
+	for i := 0; i < 3; i++ {
+		srv.Write(5000)
+		srv.EndResponse()
+		eng.Run()
+	}
+	if completed != 3 {
+		t.Fatalf("completed = %d, want 3", completed)
+	}
+}
+
+func TestLargeResponseDrainsInSegments(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	total := int64(0)
+	// Closed loop: keep the buffer full until 1 MB is written.
+	const want = 1 << 20
+	var pump func()
+	pump = func() {
+		for total < want {
+			nw := srv.Write(int(want - total))
+			if nw == 0 {
+				return
+			}
+			total += int64(nw)
+		}
+		if total == want {
+			srv.EndResponse()
+		}
+	}
+	srv.OnWritable = pump
+	pump()
+	done := false
+	srv.OnResponse = func() { done = true }
+	eng.Run()
+	if !done {
+		t.Fatal("large response never completed")
+	}
+	if srv.Delivered() != want {
+		t.Fatalf("Delivered = %d, want %d", srv.Delivered(), want)
+	}
+	if n.Stats().SegmentsSent < uint64(want)/uint64(n.Config().SegmentSize) {
+		t.Fatalf("SegmentsSent = %d, too few", n.Stats().SegmentsSent)
+	}
+}
+
+func TestNICBandwidthLimitsThroughput(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.NICBandwidth = 12.5e6 // 100 Mb/s
+	n := New(eng, cfg)
+	l := n.Listen()
+	srv := establish(t, eng, n, l)
+	const total = 10 << 20
+	written := int64(0)
+	var pump func()
+	pump = func() {
+		for written < total {
+			nw := srv.Write(int(total - written))
+			if nw == 0 {
+				return
+			}
+			written += int64(nw)
+		}
+	}
+	srv.OnWritable = pump
+	pump()
+	eng.Run()
+	elapsed := time.Duration(eng.Now()).Seconds()
+	rate := float64(total) / elapsed
+	if rate > 12.6e6 {
+		t.Fatalf("throughput %.2f MB/s exceeds NIC capacity 12.5 MB/s", rate/1e6)
+	}
+	if rate < 12.0e6 {
+		t.Fatalf("throughput %.2f MB/s well below NIC capacity", rate/1e6)
+	}
+}
+
+func TestSlowClientLinkPacesDrain(t *testing.T) {
+	run := func(clientRate int64) time.Duration {
+		eng, n, l := testNet()
+		var conn *Conn
+		n.Connect(l, clientRate, 0, func(c *Conn) { conn = c })
+		eng.Run()
+		srv := l.Accept()
+		_ = conn
+		const total = 256 << 10
+		written := int64(0)
+		var pump func()
+		pump = func() {
+			for written < total {
+				nw := srv.Write(int(total - written))
+				if nw == 0 {
+					return
+				}
+				written += int64(nw)
+			}
+		}
+		srv.OnWritable = pump
+		pump()
+		eng.Run()
+		return time.Duration(eng.Now())
+	}
+	fast := run(0)
+	slow := run(64 << 10) // 64 KB/s modem-ish link
+	if slow <= fast*10 {
+		t.Fatalf("slow client (%v) not much slower than fast (%v)", slow, fast)
+	}
+}
+
+func TestServerCloseReachesClient(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	closed := false
+	srv.OnClosed = func() { closed = true }
+	srv.Write(5000)
+	srv.EndResponse()
+	srv.Close()
+	eng.Run()
+	if !closed {
+		t.Fatal("client never observed close")
+	}
+	if !srv.Closed() {
+		t.Fatal("Closed() = false")
+	}
+	if srv.Delivered() != 5000 {
+		t.Fatalf("graceful close lost data: Delivered = %d", srv.Delivered())
+	}
+}
+
+func TestWriteAfterCloseRejected(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	srv.Close()
+	if got := srv.Write(100); got != 0 {
+		t.Fatalf("Write after close accepted %d bytes", got)
+	}
+	eng.Run()
+}
+
+func TestClientCloseEOF(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	readable := 0
+	srv.OnReadable = func() { readable++ }
+	srv.CloseClient()
+	eng.Run()
+	if readable == 0 {
+		t.Fatal("server not notified of client close")
+	}
+	if !srv.ClientEOF() {
+		t.Fatal("ClientEOF = false")
+	}
+}
+
+func TestRequestAfterServerCloseDropped(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	srv.Close()
+	eng.Run()
+	srv.SendRequest(&Request{Path: "/x", WireBytes: 100})
+	eng.Run()
+	if srv.PendingRequests() != 0 {
+		t.Fatal("request delivered to closed server")
+	}
+}
+
+func TestRTTDelaysDelivery(t *testing.T) {
+	eng, n, l := testNet()
+	var at sim.Time
+	rtt := 100 * time.Millisecond
+	n.Connect(l, 0, rtt, func(c *Conn) { at = eng.Now() })
+	eng.Run()
+	if time.Duration(at) != rtt {
+		t.Fatalf("handshake completed at %v, want %v", time.Duration(at), rtt)
+	}
+}
+
+func TestZeroLengthResponse(t *testing.T) {
+	eng, n, l := testNet()
+	srv := establish(t, eng, n, l)
+	completed := 0
+	srv.OnResponse = func() { completed++ }
+	srv.EndResponse() // zero-byte response (e.g. 304 with no body modeled as 0)
+	eng.Run()
+	if completed != 1 {
+		t.Fatalf("zero-length response completed %d times, want 1", completed)
+	}
+}
+
+// Property: delivered bytes never exceed written bytes, and everything
+// written is eventually delivered once the engine drains.
+func TestPropertyConservationOfBytes(t *testing.T) {
+	f := func(writes []uint16) bool {
+		eng, n, l := testNet()
+		var conn *Conn
+		n.Connect(l, 0, 0, func(c *Conn) { conn = c })
+		eng.Run()
+		srv := l.Accept()
+		if srv == nil || conn == nil {
+			return false
+		}
+		var want int64
+		pendingWrites := append([]uint16(nil), writes...)
+		var pump func()
+		pump = func() {
+			for len(pendingWrites) > 0 {
+				w := int(pendingWrites[0] % 4096)
+				if w == 0 {
+					pendingWrites = pendingWrites[1:]
+					continue
+				}
+				nw := srv.Write(w)
+				if nw == 0 {
+					return
+				}
+				want += int64(nw)
+				if nw == w {
+					pendingWrites = pendingWrites[1:]
+				} else {
+					pendingWrites[0] = uint16(w - nw)
+				}
+			}
+		}
+		srv.OnWritable = pump
+		pump()
+		eng.Run()
+		return srv.Delivered() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: responses complete in the order they were ended.
+func TestPropertyResponseOrdering(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 50 {
+			sizes = sizes[:50]
+		}
+		eng, n, l := testNet()
+		n.Connect(l, 0, 0, nil)
+		eng.Run()
+		srv := l.Accept()
+		if srv == nil {
+			return false
+		}
+		completed := 0
+		srv.OnResponse = func() { completed++ }
+		for _, s := range sizes {
+			size := int(s % 8192)
+			for size > 0 {
+				nw := srv.Write(size)
+				size -= nw
+				if nw == 0 {
+					eng.Run()
+				}
+			}
+			srv.EndResponse()
+		}
+		eng.Run()
+		return completed == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSegmentDrain(b *testing.B) {
+	eng, n, l := testNet()
+	n.Connect(l, 0, 0, nil)
+	eng.Run()
+	srv := l.Accept()
+	var pump func()
+	remaining := int64(b.N) * 8192
+	pump = func() {
+		for remaining > 0 {
+			nw := srv.Write(8192)
+			if nw == 0 {
+				return
+			}
+			remaining -= int64(nw)
+		}
+	}
+	srv.OnWritable = pump
+	b.ResetTimer()
+	pump()
+	eng.Run()
+}

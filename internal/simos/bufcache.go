@@ -1,0 +1,165 @@
+package simos
+
+import "container/list"
+
+// pageKey identifies one page of one file (FileID 0 is reserved for
+// filesystem metadata).
+type pageKey struct {
+	file int32
+	idx  int32
+}
+
+// BufCacheStats holds cumulative cache counters.
+type BufCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Inserts   uint64
+}
+
+// BufCache is the unified buffer cache: a page-granular LRU list that
+// approximates the clock replacement of the paper's kernels. Capacity
+// shrinks and grows as process memory is allocated and freed (the
+// Machine recomputes it), which is how per-process server memory
+// overheads translate into extra disk traffic.
+type BufCache struct {
+	pageSize int64
+	capacity int64
+	used     int64
+	pages    map[pageKey]*list.Element
+	lru      *list.List // front = most recently used
+	stats    BufCacheStats
+}
+
+// NewBufCache creates a cache with the given page size and capacity in
+// bytes.
+func NewBufCache(pageSize int, capacity int64) *BufCache {
+	if pageSize <= 0 {
+		panic("simos: non-positive page size")
+	}
+	return &BufCache{
+		pageSize: int64(pageSize),
+		capacity: capacity,
+		pages:    make(map[pageKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (b *BufCache) PageSize() int64 { return b.pageSize }
+
+// Capacity returns the current capacity in bytes.
+func (b *BufCache) Capacity() int64 { return b.capacity }
+
+// Used returns the bytes currently cached.
+func (b *BufCache) Used() int64 { return b.used }
+
+// Stats returns a snapshot of cumulative counters.
+func (b *BufCache) Stats() BufCacheStats { return b.stats }
+
+// SetCapacity resizes the cache, evicting LRU pages if it shrank.
+func (b *BufCache) SetCapacity(c int64) {
+	if c < 0 {
+		c = 0
+	}
+	b.capacity = c
+	b.evictToFit(0)
+}
+
+func (b *BufCache) evictToFit(incoming int64) {
+	for b.used+incoming > b.capacity && b.lru.Len() > 0 {
+		el := b.lru.Back()
+		b.lru.Remove(el)
+		delete(b.pages, el.Value.(pageKey))
+		b.used -= b.pageSize
+		b.stats.Evictions++
+	}
+}
+
+// pageRange converts a byte range to [first, last] page indexes.
+func (b *BufCache) pageRange(off, n int64) (int32, int32) {
+	if n <= 0 {
+		return 0, -1
+	}
+	return int32(off / b.pageSize), int32((off + n - 1) / b.pageSize)
+}
+
+// Resident reports whether every page of the byte range [off, off+n) of
+// file is cached. A zero-length range is resident. Resident does not
+// touch LRU state (it models mincore, which only inspects).
+func (b *BufCache) Resident(file int32, off, n int64) bool {
+	first, last := b.pageRange(off, n)
+	for i := first; i <= last; i++ {
+		if _, ok := b.pages[pageKey{file, i}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MissingPages returns the number of pages of the range not cached.
+func (b *BufCache) MissingPages(file int32, off, n int64) int {
+	first, last := b.pageRange(off, n)
+	missing := 0
+	for i := first; i <= last; i++ {
+		if _, ok := b.pages[pageKey{file, i}]; !ok {
+			missing++
+		}
+	}
+	return missing
+}
+
+// Touch records an access to the range, promoting pages to MRU, and
+// updates hit/miss statistics. It reports whether all pages were hits.
+func (b *BufCache) Touch(file int32, off, n int64) bool {
+	first, last := b.pageRange(off, n)
+	all := true
+	for i := first; i <= last; i++ {
+		if el, ok := b.pages[pageKey{file, i}]; ok {
+			b.lru.MoveToFront(el)
+			b.stats.Hits++
+		} else {
+			b.stats.Misses++
+			all = false
+		}
+	}
+	return all
+}
+
+// Insert caches all pages of the range (typically after a disk read),
+// evicting LRU pages as needed. Pages already present are promoted.
+func (b *BufCache) Insert(file int32, off, n int64) {
+	first, last := b.pageRange(off, n)
+	for i := first; i <= last; i++ {
+		key := pageKey{file, i}
+		if el, ok := b.pages[key]; ok {
+			b.lru.MoveToFront(el)
+			continue
+		}
+		b.evictToFit(b.pageSize)
+		if b.used+b.pageSize > b.capacity {
+			// Cache too small to hold even this page.
+			continue
+		}
+		b.pages[key] = b.lru.PushFront(key)
+		b.used += b.pageSize
+		b.stats.Inserts++
+	}
+}
+
+// InvalidateFile drops all pages of a file (e.g. on truncation).
+func (b *BufCache) InvalidateFile(file int32) {
+	for el := b.lru.Front(); el != nil; {
+		next := el.Next()
+		if key := el.Value.(pageKey); key.file == file {
+			b.lru.Remove(el)
+			delete(b.pages, key)
+			b.used -= b.pageSize
+			b.stats.Evictions++
+		}
+		el = next
+	}
+}
+
+// Len returns the number of cached pages.
+func (b *BufCache) Len() int { return b.lru.Len() }

@@ -1,0 +1,145 @@
+package simos
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ProcKind distinguishes address-space relationships for context-switch
+// accounting.
+type ProcKind int
+
+const (
+	// KindProcess has a private address space (MP server processes,
+	// AMPED helpers, the main server process).
+	KindProcess ProcKind = iota
+	// KindThread shares an address space with other threads of the same
+	// team (MT server threads).
+	KindThread
+)
+
+// Proc is a simulated process or kernel thread. Procs never run Go code
+// concurrently; they are bookkeeping entities whose CPU bursts are
+// serialized by the CPU scheduler.
+type Proc struct {
+	ID   int
+	Name string
+	// Team identifies the address space; threads share a team.
+	Team int
+	Kind ProcKind
+	// Mem is the footprint charged against machine memory.
+	Mem int64
+
+	m       *Machine
+	exited  bool
+	pending int // outstanding bursts (sanity accounting)
+}
+
+// burst is one CPU demand from a proc.
+type burst struct {
+	p    *Proc
+	d    time.Duration
+	then func()
+}
+
+// CPUStats holds cumulative CPU counters.
+type CPUStats struct {
+	BusyTime      time.Duration
+	SwitchTime    time.Duration
+	Switches      uint64
+	Bursts        uint64
+	MaxQueueDepth int
+}
+
+// CPU is a single processor executing bursts FIFO with context-switch
+// costs between different procs.
+type CPU struct {
+	eng     *sim.Engine
+	ctxProc time.Duration
+	ctxThr  time.Duration
+	// Penalty scales context-switch cost; Machine installs a hook that
+	// models paging pressure when memory is overcommitted.
+	Penalty func() float64
+
+	queue   []*burst
+	running bool
+	last    *Proc
+	stats   CPUStats
+}
+
+// NewCPU creates a processor with the given switch costs.
+func NewCPU(eng *sim.Engine, ctxProcess, ctxThread time.Duration) *CPU {
+	return &CPU{eng: eng, ctxProc: ctxProcess, ctxThr: ctxThread}
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (c *CPU) Stats() CPUStats { return c.stats }
+
+// QueueLen returns the number of bursts waiting (excluding the running
+// one).
+func (c *CPU) QueueLen() int { return len(c.queue) }
+
+// Utilization returns the busy fraction since simulation start.
+func (c *CPU) Utilization() float64 {
+	now := c.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(c.stats.BusyTime+c.stats.SwitchTime) / float64(time.Duration(now))
+}
+
+// submit queues a burst of d CPU time for p, running then when the burst
+// completes.
+func (c *CPU) submit(p *Proc, d time.Duration, then func()) {
+	if then == nil {
+		panic("simos: CPU burst with nil continuation")
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.queue = append(c.queue, &burst{p: p, d: d, then: then})
+	if len(c.queue) > c.stats.MaxQueueDepth {
+		c.stats.MaxQueueDepth = len(c.queue)
+	}
+	c.dispatch()
+}
+
+func (c *CPU) switchCost(from, to *Proc) time.Duration {
+	if from == nil || from == to {
+		return 0
+	}
+	cost := c.ctxProc
+	if from.Team == to.Team && (from.Kind == KindThread || to.Kind == KindThread) {
+		cost = c.ctxThr
+	}
+	if c.Penalty != nil {
+		cost = time.Duration(float64(cost) * c.Penalty())
+	}
+	return cost
+}
+
+func (c *CPU) dispatch() {
+	if c.running || len(c.queue) == 0 {
+		return
+	}
+	b := c.queue[0]
+	copy(c.queue, c.queue[1:])
+	c.queue[len(c.queue)-1] = nil
+	c.queue = c.queue[:len(c.queue)-1]
+
+	sw := c.switchCost(c.last, b.p)
+	if sw > 0 {
+		c.stats.Switches++
+		c.stats.SwitchTime += sw
+	}
+	c.last = b.p
+	c.running = true
+	c.stats.Bursts++
+	c.stats.BusyTime += b.d
+	c.eng.Schedule(sw+b.d, func() {
+		c.running = false
+		b.then()
+		c.dispatch()
+	})
+}

@@ -1,0 +1,251 @@
+package simos
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simdisk"
+	"repro/internal/simnet"
+)
+
+// Machine ties together the CPU, memory, buffer cache, filesystem and
+// network of one simulated server host. Process memory and the buffer
+// cache share physical memory: spawning processes shrinks the cache.
+type Machine struct {
+	Eng  *sim.Engine
+	Prof Profile
+	CPU  *CPU
+	// Disk is the first drive (kept for single-disk callers); Disks
+	// holds all of them (§4.1: multiple disks reward architectures
+	// that can keep more than one request outstanding).
+	Disk  *simdisk.Disk
+	Disks []*simdisk.Disk
+	BC    *BufCache
+	FS    *FS
+	Net   *simnet.Net
+
+	memUsed    int64
+	connMem    int64
+	nextProcID int
+	nextTeam   int
+	liveProcs  int
+}
+
+// cacheFloor is the minimum buffer cache size; below this the machine
+// is thrashing but the simulation still makes progress.
+const cacheFloor = 2 << 20
+
+// NewMachine builds a machine from a profile, with its own engine
+// sub-components. The caller supplies the engine so clients and servers
+// share virtual time.
+func NewMachine(eng *sim.Engine, prof Profile, seed uint64) *Machine {
+	rng := sim.NewRNG(seed)
+	cpu := NewCPU(eng, prof.CtxSwitchProcess, prof.CtxSwitchThread)
+	ndisks := prof.NumDisks
+	if ndisks <= 0 {
+		ndisks = 1
+	}
+	disks := make([]*simdisk.Disk, ndisks)
+	for i := range disks {
+		disks[i] = simdisk.New(eng, prof.Disk)
+	}
+	bc := NewBufCache(prof.PageSize, prof.Available())
+	fs := NewFS(eng, disks, bc, rng.Split())
+	netCfg := simnet.DefaultConfig()
+	netCfg.NICBandwidth = prof.NICBandwidth
+	net := simnet.New(eng, netCfg)
+	m := &Machine{
+		Eng:   eng,
+		Prof:  prof,
+		CPU:   cpu,
+		Disk:  disks[0],
+		Disks: disks,
+		BC:    bc,
+		FS:    fs,
+		Net:   net,
+	}
+	cpu.Penalty = m.pagingPenalty
+	return m
+}
+
+// MemUsed returns process memory currently allocated (excluding
+// per-connection kernel state).
+func (m *Machine) MemUsed() int64 { return m.memUsed }
+
+// LiveProcs returns the number of live procs.
+func (m *Machine) LiveProcs() int { return m.liveProcs }
+
+// CacheCapacity returns the current buffer cache capacity.
+func (m *Machine) CacheCapacity() int64 { return m.BC.Capacity() }
+
+// recalc recomputes the buffer cache capacity from memory pressure.
+func (m *Machine) recalc() {
+	avail := m.Prof.Available() - m.memUsed - m.connMem
+	if avail < cacheFloor {
+		avail = cacheFloor
+	}
+	m.BC.SetCapacity(avail)
+}
+
+// pagingPenalty scales context-switch costs as memory becomes
+// overcommitted, modelling page faults on process working sets.
+func (m *Machine) pagingPenalty() float64 {
+	avail := float64(m.Prof.Available())
+	used := float64(m.memUsed + m.connMem)
+	ratio := used / avail
+	if ratio <= 0.9 {
+		return 1
+	}
+	// Beyond 90% of memory in process use, faults climb steeply; the
+	// penalty saturates because working-set pages of the running
+	// process get resident again after a burst of faults.
+	p := 1 + 8*(ratio-0.9)
+	if p > 3 {
+		p = 3
+	}
+	return p
+}
+
+// NewProcess spawns a process with a private address space.
+func (m *Machine) NewProcess(name string, mem int64) *Proc {
+	m.nextTeam++
+	return m.newProc(name, KindProcess, m.nextTeam, mem)
+}
+
+// NewThread spawns a kernel thread inside the team (address space) of
+// an existing proc.
+func (m *Machine) NewThread(name string, of *Proc, mem int64) *Proc {
+	return m.newProc(name, KindThread, of.Team, mem)
+}
+
+func (m *Machine) newProc(name string, kind ProcKind, team int, mem int64) *Proc {
+	m.nextProcID++
+	p := &Proc{
+		ID:   m.nextProcID,
+		Name: name,
+		Team: team,
+		Kind: kind,
+		Mem:  mem,
+		m:    m,
+	}
+	m.memUsed += mem
+	m.liveProcs++
+	m.recalc()
+	return p
+}
+
+// Exit terminates a proc, releasing its memory.
+func (m *Machine) Exit(p *Proc) {
+	if p.exited {
+		return
+	}
+	p.exited = true
+	m.memUsed -= p.Mem
+	m.liveProcs--
+	m.recalc()
+}
+
+// GrowMem charges additional memory to a proc (e.g. an application
+// cache growing).
+func (m *Machine) GrowMem(p *Proc, delta int64) {
+	p.Mem += delta
+	m.memUsed += delta
+	m.recalc()
+}
+
+// AddConnMem charges kernel memory for one open connection.
+func (m *Machine) AddConnMem() {
+	m.connMem += m.Prof.ConnMemOverhead
+	m.recalc()
+}
+
+// ReleaseConnMem releases one connection's kernel memory.
+func (m *Machine) ReleaseConnMem() {
+	m.connMem -= m.Prof.ConnMemOverhead
+	if m.connMem < 0 {
+		m.connMem = 0
+	}
+	m.recalc()
+}
+
+// Use charges d of CPU to p, then continues with then. This is the only
+// way simulated code consumes CPU; bursts from all procs are serialized
+// through the machine's one processor with context-switch costs.
+func (p *Proc) Use(d time.Duration, then func()) {
+	if p.exited {
+		return
+	}
+	p.m.CPU.submit(p, d, then)
+}
+
+// Machine returns the proc's machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Exited reports whether the proc has exited.
+func (p *Proc) Exited() bool { return p.exited }
+
+// Cond is a simulation condition variable: procs park continuations on
+// it and a Signal reschedules all of them (broadcast; waiters re-check
+// their predicates, as with select(2) wakeups).
+type Cond struct {
+	eng     *sim.Engine
+	waiters []func()
+}
+
+// NewCond creates a condition variable on the engine.
+func NewCond(eng *sim.Engine) *Cond { return &Cond{eng: eng} }
+
+// Wait parks fn until the next Signal.
+func (c *Cond) Wait(fn func()) { c.waiters = append(c.waiters, fn) }
+
+// Waiters returns the number of parked continuations.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Signal wakes all parked continuations (scheduled at the current time,
+// not run inline, to avoid reentrancy).
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		c.eng.Schedule(0, w)
+	}
+}
+
+// Pipe is a unidirectional IPC channel between procs (the AMPED
+// helper/server channel). Messages are opaque; costs are charged by the
+// caller using Profile.PipeIOCost.
+type Pipe struct {
+	msgs []any
+	// OnReadable fires whenever a message is enqueued; the reader's
+	// select layer uses it.
+	OnReadable func()
+}
+
+// NewPipe creates an empty pipe.
+func NewPipe() *Pipe { return &Pipe{} }
+
+// Send enqueues a message.
+func (p *Pipe) Send(m any) {
+	p.msgs = append(p.msgs, m)
+	if p.OnReadable != nil {
+		p.OnReadable()
+	}
+}
+
+// Recv dequeues the next message, or nil if empty.
+func (p *Pipe) Recv() any {
+	if len(p.msgs) == 0 {
+		return nil
+	}
+	m := p.msgs[0]
+	copy(p.msgs, p.msgs[1:])
+	p.msgs[len(p.msgs)-1] = nil
+	p.msgs = p.msgs[:len(p.msgs)-1]
+	return m
+}
+
+// Len returns the number of queued messages.
+func (p *Pipe) Len() int { return len(p.msgs) }

@@ -1,0 +1,183 @@
+// Package simos models the operating system of the Flash paper's
+// testbed: a uniprocessor machine running a 1999-era UNIX in which
+// non-blocking I/O works on sockets and pipes but any file operation
+// (open, stat, read of a non-resident page) blocks the calling process.
+//
+// The package provides:
+//
+//   - Profile: per-OS cost tables ("Solaris-like" and "FreeBSD-like")
+//   - CPU: a single processor scheduling CPU bursts from many Procs with
+//     context-switch costs between processes and threads
+//   - Machine: memory accounting that ties process footprints to the
+//     size of the unified buffer cache
+//   - BufCache: a page-granular LRU (clock-approximating) file cache
+//   - FS: a virtual filesystem laid out on a simdisk.Disk, with inode
+//     (metadata) pages that compete for the buffer cache, and request
+//     merging for concurrent reads of the same blocks
+//   - Pipe and Cond: IPC and blocking primitives for the architectures
+//
+// Server architecture code is written in continuation-passing style:
+// every CPU cost is charged through Proc.Use, and every blocking
+// operation takes a completion callback, so the simulated kernel — not
+// the Go runtime — decides what runs when.
+package simos
+
+import (
+	"time"
+
+	"repro/internal/simdisk"
+)
+
+// Profile is the cost table for one operating system on the paper's
+// hardware (333 MHz Pentium II). Costs are virtual CPU time charged to
+// the calling process.
+type Profile struct {
+	Name string
+
+	// Memory geometry.
+	RAM       int64
+	KernelMem int64
+	PageSize  int
+
+	// Per-syscall CPU costs.
+	AcceptCost  time.Duration // accept(2) incl. connection setup share
+	ReadCost    time.Duration // read(2) on a socket
+	WriteCost   time.Duration // write/writev(2) base cost
+	CloseCost   time.Duration // close(2) incl. TCP teardown share
+	StatCost    time.Duration // stat(2) CPU (excluding disk wait)
+	OpenCost    time.Duration // open(2) CPU (excluding disk wait)
+	SelectBase  time.Duration // select(2) fixed cost
+	SelectPerFD time.Duration // select(2) per-descriptor scan cost
+	PipeIOCost  time.Duration // one pipe read or write
+	ForkCost    time.Duration // fork(2)/spawn of a helper or server proc
+	MmapCost    time.Duration // mmap(2)
+	MunmapCost  time.Duration // munmap(2)
+	MincoreBase time.Duration // mincore(2) fixed cost
+	MincorePage time.Duration // mincore(2) per-page cost
+
+	// Data movement.
+	NetPerByte      time.Duration // kernel copy+checksum per byte sent
+	MisalignPerByte time.Duration // extra per-byte cost when a writev
+	// source is not cache-line aligned (§5.5)
+
+	// Scheduling.
+	CtxSwitchProcess time.Duration // address-space switch
+	CtxSwitchThread  time.Duration // same-address-space switch
+
+	// Synchronization (for the MT architecture).
+	LockUncontended time.Duration
+	LockContended   time.Duration
+
+	// Per-entity memory footprints.
+	ProcMemOverhead   int64 // a full server process (MP model)
+	ThreadMemOverhead int64 // a kernel thread (MT model)
+	HelperMemOverhead int64 // an AMPED helper process
+	ConnMemOverhead   int64 // kernel state per open connection
+
+	// HasKernelThreads reports whether the MT architecture is runnable
+	// (FreeBSD 2.2.6 had no kernel threads — §6.2).
+	HasKernelThreads bool
+
+	// Devices.
+	Disk         simdisk.Params
+	NumDisks     int   // drives; files stripe across them by cylinder group
+	NICBandwidth int64 // aggregate transmit bytes/sec
+}
+
+// Available returns the memory available to user processes and the
+// buffer cache.
+func (p *Profile) Available() int64 { return p.RAM - p.KernelMem }
+
+// FreeBSD returns the "FreeBSD 2.2.6-like" profile: an efficient network
+// stack and cheap syscalls, but no kernel threads. Calibrated so that
+// tuned single-file performance lands near the paper's ~250 Mb/s /
+// ~3500 conn/s regime.
+func FreeBSD() Profile {
+	return Profile{
+		Name:      "FreeBSD",
+		RAM:       128 << 20,
+		KernelMem: 12 << 20,
+		PageSize:  4096,
+
+		AcceptCost:  95 * time.Microsecond,
+		ReadCost:    40 * time.Microsecond,
+		WriteCost:   40 * time.Microsecond,
+		CloseCost:   70 * time.Microsecond,
+		StatCost:    15 * time.Microsecond,
+		OpenCost:    20 * time.Microsecond,
+		SelectBase:  12 * time.Microsecond,
+		SelectPerFD: 150 * time.Nanosecond,
+		PipeIOCost:  18 * time.Microsecond,
+		ForkCost:    2 * time.Millisecond,
+		MmapCost:    25 * time.Microsecond,
+		MunmapCost:  20 * time.Microsecond,
+		MincoreBase: 8 * time.Microsecond,
+		MincorePage: 150 * time.Nanosecond,
+
+		NetPerByte:      30 * time.Nanosecond,
+		MisalignPerByte: 9 * time.Nanosecond,
+
+		CtxSwitchProcess: 14 * time.Microsecond,
+		CtxSwitchThread:  7 * time.Microsecond,
+
+		LockUncontended: 1 * time.Microsecond,
+		LockContended:   4 * time.Microsecond,
+
+		ProcMemOverhead:   850 << 10,
+		ThreadMemOverhead: 80 << 10,
+		HelperMemOverhead: 120 << 10,
+		ConnMemOverhead:   4 << 10,
+
+		HasKernelThreads: false,
+
+		Disk:         simdisk.DefaultParams(),
+		NICBandwidth: 3 * 100e6 / 8,
+	}
+}
+
+// Solaris returns the "Solaris 2.6-like" profile: the same hardware with
+// a heavier network stack, costlier syscalls and context switches (the
+// paper measures Solaris results up to ~50% below FreeBSD), but with
+// kernel thread support.
+func Solaris() Profile {
+	return Profile{
+		Name:      "Solaris",
+		RAM:       128 << 20,
+		KernelMem: 16 << 20,
+		PageSize:  4096,
+
+		AcceptCost:  280 * time.Microsecond,
+		ReadCost:    110 * time.Microsecond,
+		WriteCost:   120 * time.Microsecond,
+		CloseCost:   200 * time.Microsecond,
+		StatCost:    40 * time.Microsecond,
+		OpenCost:    55 * time.Microsecond,
+		SelectBase:  40 * time.Microsecond,
+		SelectPerFD: 400 * time.Nanosecond,
+		PipeIOCost:  45 * time.Microsecond,
+		ForkCost:    5 * time.Millisecond,
+		MmapCost:    60 * time.Microsecond,
+		MunmapCost:  50 * time.Microsecond,
+		MincoreBase: 20 * time.Microsecond,
+		MincorePage: 350 * time.Nanosecond,
+
+		NetPerByte:      62 * time.Nanosecond,
+		MisalignPerByte: 14 * time.Nanosecond,
+
+		CtxSwitchProcess: 40 * time.Microsecond,
+		CtxSwitchThread:  18 * time.Microsecond,
+
+		LockUncontended: 2 * time.Microsecond,
+		LockContended:   9 * time.Microsecond,
+
+		ProcMemOverhead:   1 << 20,
+		ThreadMemOverhead: 96 << 10,
+		HelperMemOverhead: 150 << 10,
+		ConnMemOverhead:   5 << 10,
+
+		HasKernelThreads: true,
+
+		Disk:         simdisk.DefaultParams(),
+		NICBandwidth: 3 * 100e6 / 8,
+	}
+}

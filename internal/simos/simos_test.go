@@ -1,0 +1,589 @@
+package simos
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func newTestMachine(t testing.TB, prof Profile) (*sim.Engine, *Machine) {
+	eng := sim.NewEngine()
+	return eng, NewMachine(eng, prof, 1)
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{FreeBSD(), Solaris()} {
+		if p.Available() <= 0 {
+			t.Errorf("%s: no available memory", p.Name)
+		}
+		if p.NetPerByte <= 0 || p.AcceptCost <= 0 || p.NICBandwidth <= 0 {
+			t.Errorf("%s: missing costs", p.Name)
+		}
+	}
+	if FreeBSD().HasKernelThreads {
+		t.Error("FreeBSD 2.2.6 must not have kernel threads (paper §6.2)")
+	}
+	if !Solaris().HasKernelThreads {
+		t.Error("Solaris must have kernel threads")
+	}
+}
+
+func TestSolarisSlowerThanFreeBSD(t *testing.T) {
+	s, f := Solaris(), FreeBSD()
+	if s.NetPerByte <= f.NetPerByte {
+		t.Error("Solaris per-byte cost should exceed FreeBSD")
+	}
+	if s.AcceptCost <= f.AcceptCost || s.CtxSwitchProcess <= f.CtxSwitchProcess {
+		t.Error("Solaris syscall/switch costs should exceed FreeBSD")
+	}
+}
+
+// --- CPU ---
+
+func TestCPUSerializesBursts(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	p1 := m.NewProcess("a", 0)
+	p2 := m.NewProcess("b", 0)
+	var order []string
+	p1.Use(100*time.Microsecond, func() { order = append(order, "a") })
+	p2.Use(100*time.Microsecond, func() { order = append(order, "b") })
+	eng.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	// Total time must include both bursts plus one context switch.
+	want := 200*time.Microsecond + FreeBSD().CtxSwitchProcess
+	if got := time.Duration(eng.Now()); got != want {
+		t.Fatalf("elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestCPUNoSwitchCostSameProc(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	p := m.NewProcess("a", 0)
+	p.Use(50*time.Microsecond, func() {
+		p.Use(50*time.Microsecond, func() {})
+	})
+	eng.Run()
+	if got := time.Duration(eng.Now()); got != 100*time.Microsecond {
+		t.Fatalf("elapsed = %v, want 100µs (no switch cost)", got)
+	}
+	if m.CPU.Stats().Switches != 0 {
+		t.Fatalf("Switches = %d, want 0", m.CPU.Stats().Switches)
+	}
+}
+
+func TestThreadSwitchCheaperThanProcessSwitch(t *testing.T) {
+	prof := Solaris()
+	run := func(thread bool) time.Duration {
+		eng, m := newTestMachine(t, prof)
+		a := m.NewProcess("a", 0)
+		var b *Proc
+		if thread {
+			b = m.NewThread("b", a, 0)
+		} else {
+			b = m.NewProcess("b", 0)
+		}
+		a.Use(10*time.Microsecond, func() {})
+		b.Use(10*time.Microsecond, func() {})
+		eng.Run()
+		return time.Duration(eng.Now())
+	}
+	if thr, proc := run(true), run(false); thr >= proc {
+		t.Fatalf("thread switch (%v) not cheaper than process switch (%v)", thr, proc)
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	p := m.NewProcess("a", 0)
+	p.Use(time.Millisecond, func() {})
+	eng.Run()
+	eng.RunUntil(sim.Time(2 * time.Millisecond))
+	u := m.CPU.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestExitedProcDoesNotRun(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	p := m.NewProcess("a", 0)
+	m.Exit(p)
+	ran := false
+	p.Use(time.Microsecond, func() { ran = true })
+	eng.Run()
+	if ran {
+		t.Fatal("exited proc ran a burst")
+	}
+}
+
+// --- Memory accounting ---
+
+func TestProcessMemoryShrinksCache(t *testing.T) {
+	_, m := newTestMachine(t, FreeBSD())
+	before := m.CacheCapacity()
+	p := m.NewProcess("big", 32<<20)
+	after := m.CacheCapacity()
+	if before-after != 32<<20 {
+		t.Fatalf("cache shrank by %d, want 32MB", before-after)
+	}
+	m.Exit(p)
+	if m.CacheCapacity() != before {
+		t.Fatal("cache not restored after exit")
+	}
+}
+
+func TestGrowMem(t *testing.T) {
+	_, m := newTestMachine(t, FreeBSD())
+	p := m.NewProcess("a", 1<<20)
+	before := m.CacheCapacity()
+	m.GrowMem(p, 4<<20)
+	if before-m.CacheCapacity() != 4<<20 {
+		t.Fatal("GrowMem did not shrink cache")
+	}
+	if p.Mem != 5<<20 {
+		t.Fatalf("p.Mem = %d", p.Mem)
+	}
+}
+
+func TestCacheFloor(t *testing.T) {
+	_, m := newTestMachine(t, FreeBSD())
+	m.NewProcess("huge", 1<<40)
+	if m.CacheCapacity() != cacheFloor {
+		t.Fatalf("cache = %d, want floor %d", m.CacheCapacity(), cacheFloor)
+	}
+}
+
+func TestPagingPenaltyKicksInWhenOvercommitted(t *testing.T) {
+	_, m := newTestMachine(t, FreeBSD())
+	if m.pagingPenalty() != 1 {
+		t.Fatal("penalty != 1 with no procs")
+	}
+	m.NewProcess("big", m.Prof.Available()*2)
+	if m.pagingPenalty() <= 1.5 {
+		t.Fatalf("penalty = %v, want substantial when 2x overcommitted", m.pagingPenalty())
+	}
+}
+
+func TestConnMemAccounting(t *testing.T) {
+	_, m := newTestMachine(t, FreeBSD())
+	before := m.CacheCapacity()
+	m.AddConnMem()
+	if m.CacheCapacity() >= before {
+		t.Fatal("conn memory did not shrink cache")
+	}
+	m.ReleaseConnMem()
+	if m.CacheCapacity() != before {
+		t.Fatal("conn memory not released")
+	}
+}
+
+// --- BufCache ---
+
+func TestBufCacheInsertAndResident(t *testing.T) {
+	bc := NewBufCache(4096, 1<<20)
+	if bc.Resident(1, 0, 8192) {
+		t.Fatal("empty cache claims residency")
+	}
+	bc.Insert(1, 0, 8192)
+	if !bc.Resident(1, 0, 8192) {
+		t.Fatal("inserted range not resident")
+	}
+	if bc.Resident(1, 0, 8193) {
+		t.Fatal("range beyond insert claims residency")
+	}
+	if bc.Used() != 8192 {
+		t.Fatalf("Used = %d, want 8192", bc.Used())
+	}
+}
+
+func TestBufCacheZeroLengthResident(t *testing.T) {
+	bc := NewBufCache(4096, 1<<20)
+	if !bc.Resident(1, 0, 0) {
+		t.Fatal("zero-length range should be resident")
+	}
+}
+
+func TestBufCacheLRUEviction(t *testing.T) {
+	bc := NewBufCache(4096, 3*4096)
+	bc.Insert(1, 0, 4096)
+	bc.Insert(2, 0, 4096)
+	bc.Insert(3, 0, 4096)
+	bc.Touch(1, 0, 4096) // promote file 1; file 2 now LRU
+	bc.Insert(4, 0, 4096)
+	if bc.Resident(2, 0, 4096) {
+		t.Fatal("LRU page not evicted")
+	}
+	if !bc.Resident(1, 0, 4096) || !bc.Resident(3, 0, 4096) || !bc.Resident(4, 0, 4096) {
+		t.Fatal("wrong page evicted")
+	}
+}
+
+func TestBufCacheShrinkEvicts(t *testing.T) {
+	bc := NewBufCache(4096, 10*4096)
+	bc.Insert(1, 0, 10*4096)
+	bc.SetCapacity(4 * 4096)
+	if bc.Used() > 4*4096 {
+		t.Fatalf("Used = %d after shrink to %d", bc.Used(), 4*4096)
+	}
+}
+
+func TestBufCacheMissingPages(t *testing.T) {
+	bc := NewBufCache(4096, 1<<20)
+	bc.Insert(1, 0, 4096)
+	bc.Insert(1, 8192, 4096)
+	if got := bc.MissingPages(1, 0, 3*4096); got != 1 {
+		t.Fatalf("MissingPages = %d, want 1", got)
+	}
+}
+
+func TestBufCacheInvalidateFile(t *testing.T) {
+	bc := NewBufCache(4096, 1<<20)
+	bc.Insert(1, 0, 16384)
+	bc.Insert(2, 0, 4096)
+	bc.InvalidateFile(1)
+	if bc.Resident(1, 0, 4096) {
+		t.Fatal("invalidated file still resident")
+	}
+	if !bc.Resident(2, 0, 4096) {
+		t.Fatal("wrong file invalidated")
+	}
+}
+
+func TestBufCacheStats(t *testing.T) {
+	bc := NewBufCache(4096, 1<<20)
+	bc.Insert(1, 0, 4096)
+	bc.Touch(1, 0, 4096)
+	bc.Touch(1, 4096, 4096)
+	s := bc.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", s)
+	}
+}
+
+// Property: Used never exceeds Capacity and equals page count times page
+// size, under arbitrary insert/touch/shrink sequences.
+func TestPropertyBufCacheInvariants(t *testing.T) {
+	type op struct {
+		Kind uint8
+		File uint8
+		Page uint8
+		Cap  uint16
+	}
+	f := func(ops []op) bool {
+		bc := NewBufCache(4096, 64*4096)
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				bc.Insert(int32(o.File%8+1), int64(o.Page)*4096, 4096)
+			case 1:
+				bc.Touch(int32(o.File%8+1), int64(o.Page)*4096, 4096)
+			case 2:
+				bc.SetCapacity(int64(o.Cap%128) * 4096)
+			}
+			if bc.Used() > bc.Capacity() {
+				return false
+			}
+			if bc.Used() != int64(bc.Len())*4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- FS ---
+
+func TestFSAddLookup(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	_ = eng
+	f := m.FS.AddFile("/a.html", 10000)
+	if got := m.FS.Lookup("/a.html"); got != f {
+		t.Fatal("Lookup did not return the file")
+	}
+	if m.FS.Lookup("/missing") != nil {
+		t.Fatal("Lookup of missing path returned a file")
+	}
+	if m.FS.Stats().NotFound != 1 {
+		t.Fatal("NotFound not counted")
+	}
+	if f2 := m.FS.AddFile("/a.html", 999); f2 != f {
+		t.Fatal("re-add did not return existing file")
+	}
+}
+
+func TestFSFilesDoNotOverlap(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	_ = eng
+	a := m.FS.AddFile("/a", 100000)
+	b := m.FS.AddFile("/b", 50000)
+	endA := a.Start + 100000/4096 + 1
+	if b.Start < endA {
+		t.Fatalf("files overlap: a=[%d..] b=%d", a.Start, b.Start)
+	}
+}
+
+func TestEnsureResidentReadsFromDisk(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	f := m.FS.AddFile("/a", 200000)
+	done := false
+	m.FS.EnsureResident(f, 0, 200000, func() { done = true })
+	if done {
+		t.Fatal("completed synchronously despite cold cache")
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("EnsureResident never completed")
+	}
+	if !m.FS.Resident(f, 0, 200000) {
+		t.Fatal("range not resident after read")
+	}
+	if m.FS.Stats().DataReads == 0 {
+		t.Fatal("no disk reads recorded")
+	}
+}
+
+func TestEnsureResidentSynchronousWhenCached(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	f := m.FS.AddFile("/a", 8192)
+	m.FS.EnsureResident(f, 0, 8192, func() {})
+	eng.Run()
+	sync := false
+	m.FS.EnsureResident(f, 0, 8192, func() { sync = true })
+	if !sync {
+		t.Fatal("cached EnsureResident not synchronous")
+	}
+}
+
+func TestEnsureResidentMergesConcurrentReads(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	f := m.FS.AddFile("/a", 64<<10)
+	done := 0
+	m.FS.EnsureResident(f, 0, 64<<10, func() { done++ })
+	m.FS.EnsureResident(f, 0, 64<<10, func() { done++ })
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+	if got := m.FS.Stats().DataReads; got != 1 {
+		t.Fatalf("DataReads = %d, want 1 (merged)", got)
+	}
+}
+
+func TestEnsureResidentBeyondEOFClamps(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	f := m.FS.AddFile("/a", 1000)
+	done := false
+	m.FS.EnsureResident(f, 5000, 4000, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("beyond-EOF request never completed")
+	}
+}
+
+func TestMetaResidency(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	f := m.FS.AddFile("/a", 1000)
+	if m.FS.MetaResident(f) {
+		t.Fatal("meta resident on cold cache")
+	}
+	done := false
+	m.FS.EnsureMeta(f, func() { done = true })
+	eng.Run()
+	if !done || !m.FS.MetaResident(f) {
+		t.Fatal("EnsureMeta did not cache metadata")
+	}
+	if m.FS.Stats().MetaReads != 1 {
+		t.Fatalf("MetaReads = %d, want 1", m.FS.Stats().MetaReads)
+	}
+	// Second EnsureMeta is synchronous.
+	sync := false
+	m.FS.EnsureMeta(f, func() { sync = true })
+	if !sync {
+		t.Fatal("cached EnsureMeta not synchronous")
+	}
+}
+
+func TestMetaSharedWithinInodePage(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	var files []*File
+	for i := 0; i < inodesPerPage; i++ {
+		files = append(files, m.FS.AddFile(string(rune('a'+i%26))+string(rune('0'+i/26)), 100))
+	}
+	m.FS.EnsureMeta(files[0], func() {})
+	eng.Run()
+	// All files in the same inode page should now be meta-resident.
+	if !m.FS.MetaResident(files[inodesPerPage-1]) {
+		t.Fatal("inode page sharing not modeled")
+	}
+}
+
+func TestCacheEvictionForcesReread(t *testing.T) {
+	eng, m := newTestMachine(t, FreeBSD())
+	f := m.FS.AddFile("/a", 64<<10)
+	m.FS.EnsureResident(f, 0, 64<<10, func() {})
+	eng.Run()
+	reads := m.FS.Stats().DataReads
+	// Shrink the cache to its floor with a giant process, then stream a
+	// file bigger than the floor through it to evict /a.
+	hog := m.NewProcess("hog", m.Prof.Available())
+	big := m.FS.AddFile("/big", 2*cacheFloor)
+	m.FS.EnsureResident(big, 0, big.Size, func() {})
+	eng.Run()
+	m.Exit(hog)
+	done := false
+	m.FS.EnsureResident(f, 0, 64<<10, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("re-read never completed")
+	}
+	if m.FS.Stats().DataReads <= reads {
+		t.Fatal("eviction did not force a re-read")
+	}
+}
+
+// Property: after EnsureResident completes, the requested range is
+// resident (as long as nothing else evicts it).
+func TestPropertyEnsureResidentPostcondition(t *testing.T) {
+	f := func(sizes []uint16, offs []uint16) bool {
+		eng, m := newTestMachine(t, FreeBSD())
+		var files []*File
+		for i, s := range sizes {
+			if i >= 20 {
+				break
+			}
+			files = append(files, m.FS.AddFile(string(rune('a'+i)), int64(s)+1))
+		}
+		if len(files) == 0 {
+			return true
+		}
+		ok := true
+		for i, o := range offs {
+			if i >= 20 {
+				break
+			}
+			fl := files[i%len(files)]
+			off := int64(o) % (fl.Size + 1)
+			n := int64(o%1000) + 1
+			m.FS.EnsureResident(fl, off, n, func() {
+				if !m.FS.Resident(fl, off, n) {
+					ok = false
+				}
+			})
+		}
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Cond & Pipe ---
+
+func TestCondSignalWakesAll(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCond(eng)
+	woken := 0
+	c.Wait(func() { woken++ })
+	c.Wait(func() { woken++ })
+	if c.Waiters() != 2 {
+		t.Fatalf("Waiters = %d", c.Waiters())
+	}
+	c.Signal()
+	eng.Run()
+	if woken != 2 {
+		t.Fatalf("woken = %d, want 2", woken)
+	}
+	if c.Waiters() != 0 {
+		t.Fatal("waiters not cleared")
+	}
+	c.Signal() // signal with no waiters is a no-op
+	eng.Run()
+}
+
+func TestPipeFIFO(t *testing.T) {
+	p := NewPipe()
+	notified := 0
+	p.OnReadable = func() { notified++ }
+	p.Send("a")
+	p.Send("b")
+	if p.Len() != 2 || notified != 2 {
+		t.Fatalf("Len=%d notified=%d", p.Len(), notified)
+	}
+	if got := p.Recv(); got != "a" {
+		t.Fatalf("Recv = %v, want a", got)
+	}
+	if got := p.Recv(); got != "b" {
+		t.Fatalf("Recv = %v, want b", got)
+	}
+	if p.Recv() != nil {
+		t.Fatal("Recv on empty pipe != nil")
+	}
+}
+
+// --- Integration: blocking read through procs ---
+
+func TestProcBlockingDiskReadOverlapsWithOtherProc(t *testing.T) {
+	// While proc A waits on disk, proc B should be able to use the CPU —
+	// the fundamental overlap the MP/MT/AMPED architectures exploit.
+	eng, m := newTestMachine(t, FreeBSD())
+	f := m.FS.AddFile("/big", 1<<20)
+	a := m.NewProcess("a", 0)
+	b := m.NewProcess("b", 0)
+
+	var aDone, bDone sim.Time
+	a.Use(10*time.Microsecond, func() {
+		m.FS.EnsureResident(f, 0, 1<<20, func() {
+			a.Use(10*time.Microsecond, func() { aDone = eng.Now() })
+		})
+	})
+	// B burns CPU in small bursts the whole time.
+	var spin func()
+	spins := 0
+	spin = func() {
+		spins++
+		if spins < 100 {
+			b.Use(50*time.Microsecond, spin)
+		} else {
+			bDone = eng.Now()
+		}
+	}
+	b.Use(50*time.Microsecond, spin)
+	eng.Run()
+
+	if aDone == 0 || bDone == 0 {
+		t.Fatal("procs did not complete")
+	}
+	// B's 5ms of CPU should complete well before A's ~70ms disk read
+	// plus CPU, proving overlap.
+	if bDone >= aDone {
+		t.Fatalf("no CPU/disk overlap: bDone=%v aDone=%v", bDone, aDone)
+	}
+}
+
+func BenchmarkEnsureResidentCached(b *testing.B) {
+	eng, m := newTestMachine(b, FreeBSD())
+	f := m.FS.AddFile("/a", 64<<10)
+	m.FS.EnsureResident(f, 0, 64<<10, func() {})
+	eng.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.FS.EnsureResident(f, 0, 64<<10, func() {})
+	}
+}
+
+func BenchmarkBufCacheTouch(b *testing.B) {
+	bc := NewBufCache(4096, 64<<20)
+	bc.Insert(1, 0, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc.Touch(1, 0, 64<<10)
+	}
+}

@@ -1,0 +1,322 @@
+package simos
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simdisk"
+)
+
+// metaFileID is the reserved BufCache file ID for filesystem metadata
+// (inode/directory pages). Metadata pages compete with data pages for
+// buffer cache space, as in a real unified cache.
+const metaFileID int32 = 0
+
+// inodesPerPage is how many file metadata records fit in one page.
+const inodesPerPage = 32
+
+// inodeAreaBlocks reserves the start of the disk for metadata, so
+// metadata reads seek away from file data, as on a real FFS-era disk.
+const inodeAreaBlocks = 4096
+
+// numGroups is the number of cylinder-group-like allocation regions.
+// FFS places each directory in a different group, spreading a web
+// server's document tree across the whole disk — which is what makes
+// random-file seeks expensive and disk-head scheduling worthwhile.
+const numGroups = 64
+
+// File is a file in the simulated filesystem.
+type File struct {
+	ID    int32
+	Path  string
+	Size  int64
+	Start simdisk.Block // first data block
+	disk  *simdisk.Disk // drive holding this file's group
+}
+
+// metaPage returns the metadata page index holding this file's inode.
+func (f *File) metaPage() int32 { return (f.ID - 1) / inodesPerPage }
+
+// FSStats holds cumulative filesystem counters.
+type FSStats struct {
+	DataReads int64 // disk read operations for file data
+	MetaReads int64 // disk read operations for metadata
+	BytesRead int64
+	Lookups   uint64
+	NotFound  uint64
+}
+
+// FS is a virtual filesystem whose files are laid out on a simulated
+// disk and cached in a BufCache.
+type FS struct {
+	eng    *sim.Engine
+	disks  []*simdisk.Disk
+	bc     *BufCache
+	rng    *sim.RNG
+	files  map[string]*File
+	byID   []*File                  // index = ID-1
+	groups [numGroups]simdisk.Block // next free block per cylinder group
+	grpLo  [numGroups]simdisk.Block // group region start
+	grpHi  [numGroups]simdisk.Block // group region end
+	// ClusterBytes is the read granularity for file data (read-ahead
+	// clustering); metadata is read one page at a time.
+	ClusterBytes int64
+
+	pending map[pageKey][]func() // in-flight cluster reads, by first page
+	stats   FSStats
+}
+
+// NewFS creates an empty filesystem striped across the given drives
+// (cylinder groups are distributed round-robin, so a multi-drive
+// machine spreads directories across spindles).
+func NewFS(eng *sim.Engine, disks []*simdisk.Disk, bc *BufCache, rng *sim.RNG) *FS {
+	if len(disks) == 0 {
+		panic("simos: NewFS with no disks")
+	}
+	fs := &FS{
+		eng:          eng,
+		disks:        disks,
+		bc:           bc,
+		rng:          rng,
+		files:        make(map[string]*File),
+		byID:         nil,
+		ClusterBytes: 64 << 10,
+		pending:      make(map[pageKey][]func()),
+	}
+	span := (disks[0].Params().Capacity - inodeAreaBlocks) / numGroups
+	for g := 0; g < numGroups; g++ {
+		fs.grpLo[g] = inodeAreaBlocks + simdisk.Block(g)*span
+		fs.grpHi[g] = fs.grpLo[g] + span
+		fs.groups[g] = fs.grpLo[g]
+	}
+	return fs
+}
+
+// groupFor assigns a file to a cylinder group by the hash of its
+// directory, so files that share a directory cluster together while
+// directories scatter across the disk (FFS policy).
+func groupFor(path string) int {
+	dir := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			dir = path[:i]
+			break
+		}
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(dir); i++ {
+		h = (h ^ uint32(dir[i])) * 16777619
+	}
+	return int(h % numGroups)
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (fs *FS) Stats() FSStats { return fs.stats }
+
+// NumFiles returns the number of files.
+func (fs *FS) NumFiles() int { return len(fs.byID) }
+
+// TotalBytes returns the sum of file sizes (the dataset size).
+func (fs *FS) TotalBytes() int64 {
+	var t int64
+	for _, f := range fs.byID {
+		t += f.Size
+	}
+	return t
+}
+
+// AddFile creates a file of the given size. Files are allocated mostly
+// contiguously in creation order with small random inter-file gaps
+// (age-related fragmentation). Re-adding an existing path returns the
+// existing file.
+func (fs *FS) AddFile(path string, size int64) *File {
+	if f, ok := fs.files[path]; ok {
+		return f
+	}
+	if size < 0 {
+		size = 0
+	}
+	g := groupFor(path)
+	need := simdisk.Block(simdisk.BlocksFor(size))
+	if fs.groups[g]+need > fs.grpHi[g] {
+		// Group full: spill to the emptiest group.
+		for cand := range fs.groups {
+			if fs.grpHi[cand]-fs.groups[cand] > fs.grpHi[g]-fs.groups[g] {
+				g = cand
+			}
+		}
+		if fs.groups[g]+need > fs.grpHi[g] {
+			panic("simos: filesystem full")
+		}
+	}
+	f := &File{
+		ID:    int32(len(fs.byID) + 1),
+		Path:  path,
+		Size:  size,
+		Start: fs.groups[g],
+		disk:  fs.disks[g%len(fs.disks)],
+	}
+	fs.groups[g] += need
+	if fs.rng != nil {
+		fs.groups[g] += simdisk.Block(fs.rng.Intn(8))
+	}
+	fs.files[path] = f
+	fs.byID = append(fs.byID, f)
+	return f
+}
+
+// Lookup resolves a path to a file without any disk access (the
+// in-memory directory structure; whether the *metadata* is resident is a
+// separate question answered by MetaResident). It returns nil if the
+// path does not exist.
+func (fs *FS) Lookup(path string) *File {
+	fs.stats.Lookups++
+	f := fs.files[path]
+	if f == nil {
+		fs.stats.NotFound++
+	}
+	return f
+}
+
+// MetaResident reports whether the file's metadata page is cached, i.e.
+// whether stat/open would complete without blocking.
+func (fs *FS) MetaResident(f *File) bool {
+	return fs.bc.Resident(metaFileID, int64(f.metaPage())*fs.bc.PageSize(), fs.bc.PageSize())
+}
+
+// EnsureMeta makes the file's metadata resident, calling then when done.
+// If the metadata is already cached, then runs synchronously. The
+// calling proc is conceptually blocked for the duration (the caller must
+// not schedule other work for that proc until then runs).
+func (fs *FS) EnsureMeta(f *File, then func()) {
+	ps := fs.bc.PageSize()
+	off := int64(f.metaPage()) * ps
+	if fs.bc.Touch(metaFileID, off, ps) {
+		then()
+		return
+	}
+	key := pageKey{metaFileID, f.metaPage()}
+	if waiters, ok := fs.pending[key]; ok {
+		fs.pending[key] = append(waiters, then)
+		return
+	}
+	fs.pending[key] = []func(){then}
+	fs.stats.MetaReads++
+	fs.stats.BytesRead += ps
+	blk := simdisk.Block(int64(f.metaPage()) * ps / simdisk.BlockSize)
+	f.disk.Read(blk, ps, func() {
+		fs.bc.Insert(metaFileID, off, ps)
+		fs.finish(key)
+	})
+}
+
+// Resident reports whether the byte range [off, off+n) of f is fully
+// cached (the mincore test). It does not promote pages.
+func (fs *FS) Resident(f *File, off, n int64) bool {
+	off, n = clampRange(f, off, n)
+	if n == 0 {
+		return true
+	}
+	return fs.bc.Resident(f.ID, off, n)
+}
+
+// EnsureResident makes [off, off+n) of f resident, reading missing
+// clusters from disk, then calls then. Already-resident ranges complete
+// synchronously. Concurrent requests for the same clusters are merged
+// into a single disk read. Touches pages (promotes to MRU).
+func (fs *FS) EnsureResident(f *File, off, n int64, then func()) {
+	off, n = clampRange(f, off, n)
+	if n == 0 {
+		then()
+		return
+	}
+	fs.bc.Touch(f.ID, off, n)
+
+	cb := fs.ClusterBytes
+	firstCl := off / cb
+	lastCl := (off + n - 1) / cb
+
+	remaining := 0
+	var onClusterDone func()
+	for cl := firstCl; cl <= lastCl; cl++ {
+		clOff := cl * cb
+		clLen := cb
+		if clOff+clLen > f.Size {
+			clLen = f.Size - clOff
+		}
+		if fs.bc.Resident(f.ID, clOff, clLen) {
+			continue
+		}
+		remaining++
+		key := pageKey{f.ID, int32(clOff / fs.bc.PageSize())}
+		done := func() { onClusterDone() }
+		if waiters, ok := fs.pending[key]; ok {
+			fs.pending[key] = append(waiters, done)
+			continue
+		}
+		fs.pending[key] = []func(){done}
+		fs.stats.DataReads++
+		fs.stats.BytesRead += clLen
+		blk := f.Start + simdisk.Block(clOff/simdisk.BlockSize)
+		insOff, insLen := clOff, clLen
+		f.disk.Read(blk, clLen, func() {
+			fs.bc.Insert(f.ID, insOff, insLen)
+			fs.finish(key)
+		})
+	}
+	if remaining == 0 {
+		then()
+		return
+	}
+	onClusterDone = func() {
+		remaining--
+		if remaining == 0 {
+			then()
+		}
+	}
+}
+
+// finish resolves all waiters for an in-flight read.
+func (fs *FS) finish(key pageKey) {
+	waiters := fs.pending[key]
+	delete(fs.pending, key)
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// PendingReads returns the number of distinct in-flight disk reads.
+func (fs *FS) PendingReads() int { return len(fs.pending) }
+
+// WarmFile loads a file's data and metadata pages into the buffer cache
+// without disk activity. Experiments use it to reach the steady state
+// the paper's multi-minute trace replays converge to, without burning
+// virtual hours of cold misses.
+func (fs *FS) WarmFile(f *File) {
+	ps := fs.bc.PageSize()
+	fs.bc.Insert(metaFileID, int64(f.metaPage())*ps, ps)
+	if f.Size > 0 {
+		fs.bc.Insert(f.ID, 0, f.Size)
+	}
+}
+
+func clampRange(f *File, off, n int64) (int64, int64) {
+	if off < 0 {
+		off = 0
+	}
+	if off >= f.Size {
+		return 0, 0
+	}
+	if off+n > f.Size {
+		n = f.Size - off
+	}
+	if n < 0 {
+		n = 0
+	}
+	return off, n
+}
+
+// String describes the filesystem for debugging.
+func (fs *FS) String() string {
+	return fmt.Sprintf("simos.FS{files=%d bytes=%d}", fs.NumFiles(), fs.TotalBytes())
+}

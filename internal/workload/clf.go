@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/httpmsg"
+)
+
+// clfEpoch anchors synthetic timestamps in the paper's era.
+var clfEpoch = time.Date(1999, 6, 6, 0, 0, 0, 0, time.UTC)
+
+// clfTick spaces synthetic log entries one second apart.
+const clfTick = time.Second
+
+// FromCLF builds a trace from a Common Log Format access log (the
+// format of the real Rice logs). Only successful GET responses with a
+// known size become entries; a file's size is the largest size logged
+// for its path (the log records bytes transferred, which can be short
+// for aborted transfers). Malformed lines are counted, not fatal.
+func FromCLF(name string, r io.Reader) (*Trace, int, error) {
+	t := &Trace{Name: name, Files: make(map[string]int64)}
+	skipped := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, err := httpmsg.ParseCLF(line)
+		if err != nil || e.Method != "GET" || e.Status != 200 || e.Bytes < 0 {
+			skipped++
+			continue
+		}
+		path := e.Target
+		if q := strings.IndexByte(path, '?'); q >= 0 {
+			path = path[:q]
+		}
+		if path == "" || path[0] != '/' {
+			skipped++
+			continue
+		}
+		if prev, ok := t.Files[path]; !ok || e.Bytes > prev {
+			t.Files[path] = e.Bytes
+		}
+		t.Entries = append(t.Entries, Entry{Path: path, Size: e.Bytes})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("workload: reading CLF: %w", err)
+	}
+	// Normalize entry sizes to the final file sizes.
+	for i := range t.Entries {
+		t.Entries[i].Size = t.Files[t.Entries[i].Path]
+	}
+	return t, skipped, nil
+}
+
+// ToCLF writes the trace as a CLF log (for interchange with real tools).
+func ToCLF(t *Trace, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, e := range t.Entries {
+		entry := httpmsg.CLFEntry{
+			Host:   fmt.Sprintf("client%d.example.com", i%64),
+			Time:   clfEpoch.Add(time.Duration(i) * clfTick),
+			Method: "GET",
+			Target: e.Path,
+			Proto:  "HTTP/1.0",
+			Status: 200,
+			Bytes:  e.Size,
+		}
+		if _, err := fmt.Fprintln(bw, httpmsg.FormatCLF(entry)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

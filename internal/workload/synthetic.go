@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// SyntheticConfig parameterizes trace synthesis. The defaults for the
+// three Rice traces are encoded in RiceCS, Owlnet, and RiceECE.
+type SyntheticConfig struct {
+	Name string
+	// NumFiles is the number of distinct files.
+	NumFiles int
+	// DatasetBytes is the target total size of all files; generated
+	// sizes are scaled to hit it.
+	DatasetBytes int64
+	// ZipfAlpha is the popularity skew (higher = more concentrated
+	// requests = better cache locality).
+	ZipfAlpha float64
+	// SizeMeanBytes and SizeSigma shape the lognormal body of the file
+	// size distribution.
+	SizeMeanBytes float64
+	SizeSigma     float64
+	// MinSize and MaxSize clamp file sizes.
+	MinSize, MaxSize int64
+	// Requests is the length of the generated request sequence.
+	Requests int
+	// PopularSmallBias, in [0,1), correlates popularity with small
+	// size: real logs show the most-requested objects tend to be small
+	// HTML/GIF files while the tail holds large archives.
+	PopularSmallBias float64
+	// DirFanout controls how many files share a directory in the
+	// generated namespace (affects pathname-cache behaviour).
+	DirFanout int
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// RiceCS approximates the Rice Computer Science departmental trace: a
+// large dataset with relatively large transfers, substantially
+// disk-bound against a ~100 MB server cache (Figure 8, left).
+func RiceCS() SyntheticConfig {
+	return SyntheticConfig{
+		Name:             "CS",
+		NumFiles:         15000,
+		DatasetBytes:     230 << 20,
+		ZipfAlpha:        0.70,
+		SizeMeanBytes:    12 << 10,
+		SizeSigma:        1.4,
+		MinSize:          120,
+		MaxSize:          4 << 20,
+		Requests:         120000,
+		PopularSmallBias: 0.4,
+		DirFanout:        40,
+		Seed:             1999,
+	}
+}
+
+// Owlnet approximates the Owlnet trace (personal pages of ~4500 students
+// and staff): a smaller dataset with better locality and smaller average
+// transfers (Figure 8, right).
+func Owlnet() SyntheticConfig {
+	return SyntheticConfig{
+		Name:             "Owlnet",
+		NumFiles:         6000,
+		DatasetBytes:     72 << 20,
+		ZipfAlpha:        0.95,
+		SizeMeanBytes:    11500,
+		SizeSigma:        1.3,
+		MinSize:          120,
+		MaxSize:          2 << 20,
+		Requests:         120000,
+		PopularSmallBias: 0.45,
+		DirFanout:        12,
+		Seed:             2001,
+	}
+}
+
+// RiceECE approximates the Rice ECE departmental trace used for the
+// dataset-size sweeps (Figures 9, 10, 12). Its base dataset exceeds
+// 200 MB so it can be truncated down to any point of the sweep.
+func RiceECE() SyntheticConfig {
+	return SyntheticConfig{
+		Name:             "ECE",
+		NumFiles:         12000,
+		DatasetBytes:     220 << 20,
+		ZipfAlpha:        0.80,
+		SizeMeanBytes:    15 << 10,
+		SizeSigma:        1.35,
+		MinSize:          120,
+		MaxSize:          4 << 20,
+		Requests:         200000,
+		PopularSmallBias: 0.4,
+		DirFanout:        50,
+		Seed:             520,
+	}
+}
+
+// Generate synthesizes a trace from the configuration.
+func Generate(cfg SyntheticConfig) *Trace {
+	if cfg.NumFiles <= 0 || cfg.Requests <= 0 {
+		panic("workload: invalid synthetic config")
+	}
+	if cfg.DirFanout <= 0 {
+		cfg.DirFanout = 50
+	}
+	rng := sim.NewRNG(cfg.Seed)
+
+	// 1. Draw file sizes from a lognormal, clamp, and scale to the
+	// dataset target.
+	sizes := make([]int64, cfg.NumFiles)
+	mu := math.Log(cfg.SizeMeanBytes) - cfg.SizeSigma*cfg.SizeSigma/2
+	var total int64
+	for i := range sizes {
+		s := int64(rng.LogNorm(mu, cfg.SizeSigma))
+		if s < cfg.MinSize {
+			s = cfg.MinSize
+		}
+		if cfg.MaxSize > 0 && s > cfg.MaxSize {
+			s = cfg.MaxSize
+		}
+		sizes[i] = s
+		total += s
+	}
+	if cfg.DatasetBytes > 0 && total > 0 {
+		scale := float64(cfg.DatasetBytes) / float64(total)
+		total = 0
+		for i := range sizes {
+			s := int64(float64(sizes[i]) * scale)
+			if s < cfg.MinSize {
+				s = cfg.MinSize
+			}
+			sizes[i] = s
+			total += s
+		}
+	}
+
+	// 2. Bias popularity toward small files: sort sizes ascending, then
+	// map popularity rank r to size index with a bias-weighted shuffle.
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	perm := biasedPerm(rng, cfg.NumFiles, cfg.PopularSmallBias)
+
+	// 3. Name files: /dNN/fNNNN.html with DirFanout files per directory.
+	paths := make([]string, cfg.NumFiles)
+	files := make(map[string]int64, cfg.NumFiles)
+	rankSize := make([]int64, cfg.NumFiles)
+	for rank := 0; rank < cfg.NumFiles; rank++ {
+		size := sizes[perm[rank]]
+		path := fmt.Sprintf("/d%03d/f%05d.html", rank/cfg.DirFanout, rank)
+		paths[rank] = path
+		files[path] = size
+		rankSize[rank] = size
+	}
+
+	// 4. Zipf CDF over popularity ranks.
+	cdf := zipfCDF(cfg.NumFiles, cfg.ZipfAlpha)
+
+	// 5. Draw the request sequence.
+	entries := make([]Entry, cfg.Requests)
+	for i := range entries {
+		rank := sampleCDF(cdf, rng.Float64())
+		entries[i] = Entry{Path: paths[rank], Size: rankSize[rank]}
+	}
+
+	return &Trace{Name: cfg.Name, Entries: entries, Files: files}
+}
+
+// biasedPerm returns a permutation mapping popularity rank → size index
+// (ascending sizes). With bias 0 the mapping is uniform random; as bias
+// approaches 1, low ranks (popular files) map to low indexes (small
+// files).
+func biasedPerm(rng *sim.RNG, n int, bias float64) []int {
+	perm := rng.Perm(n)
+	if bias <= 0 {
+		return perm
+	}
+	// Sort a biased fraction of rank positions by their size index so
+	// popular ranks tend small while preserving randomness elsewhere.
+	k := int(bias * float64(n))
+	if k > n {
+		k = n
+	}
+	head := append([]int(nil), perm[:k]...)
+	sort.Ints(head)
+	copy(perm[:k], head)
+	return perm
+}
+
+// zipfCDF computes the cumulative distribution of a Zipf(alpha) law over
+// ranks 1..n.
+func zipfCDF(n int, alpha float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return cdf
+}
+
+// sampleCDF returns the first index whose CDF value exceeds u.
+func sampleCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
