@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	flashd -root ./public [-addr :8080] [-helpers 8] [-status]
+//	flashd -root ./public [-addr :8080] [-loops N] [-helpers 8] [-status]
 //	       [-userdir-base /home -userdir-suffix public_html]
 //	       [-access-log access.log] [-map-cache-mb 64] [-path-cache 6000]
 package main
@@ -29,9 +29,10 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		root       = flag.String("root", "", "document root (required)")
-		helpers    = flag.Int("helpers", 8, "disk helper goroutines")
-		pathCache  = flag.Int("path-cache", 6000, "pathname cache entries")
-		mapCacheMB = flag.Int64("map-cache-mb", 64, "mapped-chunk cache size (MB)")
+		loops      = flag.Int("loops", 0, "event-loop shards (0 = one per CPU)")
+		helpers    = flag.Int("helpers", 8, "disk helper goroutines per shard")
+		pathCache  = flag.Int("path-cache", 6000, "pathname cache entries (total, split across shards)")
+		mapCacheMB = flag.Int64("map-cache-mb", 64, "mapped-chunk cache size (MB, total, split across shards)")
 		userBase   = flag.String("userdir-base", "", "base directory for /~user/ translation")
 		userSuffix = flag.String("userdir-suffix", "public_html", "suffix for /~user/ translation")
 		accessLog  = flag.String("access-log", "", "Common Log Format access log file")
@@ -47,6 +48,7 @@ func main() {
 
 	cfg := flash.Config{
 		DocRoot:            *root,
+		EventLoops:         *loops,
 		NumHelpers:         *helpers,
 		PathCacheEntries:   *pathCache,
 		HeaderCacheEntries: *pathCache,
@@ -73,7 +75,15 @@ func main() {
 	if *status {
 		srv.HandleDynamic("/server-status", flash.DynamicFunc(
 			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
-				st := srv.Stats()
+				// One snapshot round: the merged view is folded from the
+				// same per-shard snapshots printed below, so the totals
+				// always agree with the breakdown.
+				shards := srv.ShardStats()
+				var st flash.Stats
+				for _, ss := range shards {
+					st = st.Add(ss)
+				}
+				st.Active = srv.Active()
 				var b strings.Builder
 				fmt.Fprintf(&b, "flashd status\n=============\n")
 				fmt.Fprintf(&b, "accepted:      %d\n", st.Accepted)
@@ -89,6 +99,11 @@ func main() {
 				fmt.Fprintf(&b, "header cache:  %.1f%% hit\n", 100*st.HeaderCache.HitRate())
 				fmt.Fprintf(&b, "map cache:     %.1f%% hit, %d bytes mapped\n",
 					100*st.MapCache.HitRate(), st.MapCache.BytesMapped-st.MapCache.BytesUnmapped)
+				fmt.Fprintf(&b, "\nper-shard (%d event loops)\n", srv.NumShards())
+				for i, ss := range shards {
+					fmt.Fprintf(&b, "shard %2d: accepted=%d responses=%d bytes=%d path-hit=%.1f%%\n",
+						i, ss.Accepted, ss.Responses, ss.BytesSent, 100*ss.PathCache.HitRate())
+				}
 				return 200, "text/plain", io.NopCloser(strings.NewReader(b.String())), nil
 			}))
 	}
@@ -103,7 +118,8 @@ func main() {
 		os.Exit(0)
 	}()
 
-	log.Printf("flashd: serving %s on %s (%d helpers)", *root, *addr, *helpers)
+	log.Printf("flashd: serving %s on %s (%d shards, %d helpers each)",
+		*root, *addr, srv.NumShards(), *helpers)
 	if err := srv.ListenAndServe(*addr); err != nil && err != flash.ErrServerClosed {
 		log.Fatalf("flashd: %v", err)
 	}

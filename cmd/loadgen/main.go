@@ -73,10 +73,11 @@ func main() {
 	var (
 		c      counters
 		cursor atomic.Int64
-		hist   = &metrics.Histogram{}
-		histMu sync.Mutex
-		stop   = make(chan struct{})
-		wg     sync.WaitGroup
+		// One histogram per client, merged after the run, so the hot
+		// path records latencies without a shared lock.
+		hists = make([]metrics.Histogram, *clients)
+		stop  = make(chan struct{})
+		wg    sync.WaitGroup
 	)
 	next := func() string {
 		i := cursor.Add(1) - 1
@@ -86,19 +87,20 @@ func main() {
 	start := time.Now()
 	for i := 0; i < *clients; i++ {
 		wg.Add(1)
-		go func() {
+		go func(h *metrics.Histogram) {
 			defer wg.Done()
-			runClient(*addr, *keepAlive, next, stop, &c, func(d time.Duration) {
-				histMu.Lock()
-				hist.Observe(d)
-				histMu.Unlock()
-			})
-		}()
+			runClient(*addr, *keepAlive, next, stop, &c, h.Observe)
+		}(&hists[i])
 	}
 	time.Sleep(*duration)
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	hist := &metrics.Histogram{}
+	for i := range hists {
+		hist.Merge(&hists[i])
+	}
 
 	sum := metrics.Summary{
 		Duration:  elapsed,

@@ -5,18 +5,22 @@
 // The module contains two halves:
 //
 //   - A real, runnable web server in the paper's AMPED architecture
-//     (internal/flash), whose public API this package re-exports: a
-//     single event-loop goroutine owning the pathname/header/chunk
-//     caches with zero locks, helper goroutines absorbing all blocking
-//     disk I/O, 32-byte-aligned response headers, and CGI-style dynamic
-//     content handlers.
+//     (internal/flash), whose public API this package re-exports —
+//     scaled to modern multi-core hardware as N independent AMPED
+//     shards (Config.EventLoops, default one per CPU). Each shard is an
+//     event-loop goroutine owning private pathname/header/chunk caches
+//     with zero locks, fed round-robin by the acceptor, with helper
+//     goroutines absorbing all blocking disk I/O, 32-byte-aligned
+//     response headers, and CGI-style dynamic content handlers.
+//     EventLoops=1 is the paper's single-process configuration.
 //
 //   - A deterministic simulation of the paper's 1999 testbed
 //     (internal/sim*, internal/arch, internal/experiments) that rebuilds
 //     the four server architectures — AMPED, SPED, MP, MT — from one
-//     request-processing code base plus Apache and Zeus behavioural
-//     models, and regenerates every evaluation figure (6-12).
-//     Run `go run ./cmd/flashbench` to reproduce them.
+//     request-processing code base plus sharded-AMPED (Flash-SMP),
+//     Apache, and Zeus behavioural models, and regenerates every
+//     evaluation figure (6-12). Run `go run ./cmd/flashbench` to
+//     reproduce them.
 //
 // Quick start:
 //

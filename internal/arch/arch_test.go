@@ -48,7 +48,7 @@ func lanClients(n int) client.Config {
 }
 
 func allKindsOptions() []Options {
-	return []Options{FlashOptions(), SPEDOptions(), MPOptions(), MTOptions(), ApacheOptions(), ZeusOptions(2)}
+	return []Options{FlashOptions(), FlashSMPOptions(4), SPEDOptions(), MPOptions(), MTOptions(), ApacheOptions(), ZeusOptions(2)}
 }
 
 func TestAllArchitecturesServeCachedWorkload(t *testing.T) {
@@ -70,6 +70,27 @@ func TestAllArchitecturesServeCachedWorkload(t *testing.T) {
 				t.Fatalf("%s bytes/response = %.0f < file size", o.Name, bpr)
 			}
 		})
+	}
+}
+
+// TestFlashSMPDistributesAcrossLoops checks that the sharded-AMPED
+// variant spreads connections over every event loop and that each loop
+// exercises its own private cache set.
+func TestFlashSMPDistributesAcrossLoops(t *testing.T) {
+	tr := workload.SingleFile(8 << 10)
+	r := setup(t, simos.Solaris(), FlashSMPOptions(4), tr, lanClients(16))
+	s := r.measure(2*time.Second, 4*time.Second)
+	if s.Responses == 0 {
+		t.Fatal("no responses")
+	}
+	if got := len(r.srv.loop); got != 4 {
+		t.Fatalf("loops = %d, want 4", got)
+	}
+	for i, l := range r.srv.loop {
+		st := l.ca.path.Stats()
+		if st.Hits+st.Misses == 0 {
+			t.Fatalf("loop %d cache set never used", i)
+		}
 	}
 }
 

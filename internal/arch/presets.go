@@ -36,6 +36,28 @@ func FlashOptions() Options {
 	}
 }
 
+// FlashSMPOptions returns sharded AMPED: n independent event loops,
+// each with a private helper pool and a private 1/n share of the
+// caches — the simulator's model of the real server's
+// Config.EventLoops knob. The simulated testbed is the paper's
+// uniprocessor, so here sharding exposes its costs (cache state split
+// n ways, like MP, with no extra CPU to spend) — the reason the 1999
+// design runs a single process. The real server's BenchmarkShardScaling
+// measures the multi-core win the model cannot show.
+func FlashSMPOptions(n int) Options {
+	o := FlashOptions()
+	if n < 1 {
+		n = 1
+	}
+	o.Name = "Flash-SMP"
+	o.NumProcs = n
+	o.MaxHelpers = max(32/n, 1)
+	o.PathCacheEntries = max(sharedPathEntries/n, 1)
+	o.HeaderCacheEntries = max(sharedPathEntries/n, 1)
+	o.MapCacheBytes = max(sharedMapBytes/int64(n), 1)
+	return o
+}
+
 // SPEDOptions returns Flash-SPED: the identical code base with the
 // helper dispatch replaced by inline (blocking) disk operations.
 func SPEDOptions() Options {

@@ -382,3 +382,23 @@ func BenchmarkMapCacheLookupRelease(b *testing.B) {
 		m.Release(m.Lookup(key))
 	}
 }
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Hits: 1, Misses: 2, Evictions: 3, Inserts: 4}
+	b := Stats{Hits: 10, Misses: 20, Evictions: 30, Inserts: 40}
+	got := a.Add(b)
+	want := Stats{Hits: 11, Misses: 22, Evictions: 33, Inserts: 44}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func TestMapCacheStatsAdd(t *testing.T) {
+	a := MapCacheStats{Stats: Stats{Hits: 1}, BytesMapped: 100, BytesUnmapped: 10}
+	b := MapCacheStats{Stats: Stats{Misses: 2}, BytesMapped: 200, BytesUnmapped: 20}
+	got := a.Add(b)
+	want := MapCacheStats{Stats: Stats{Hits: 1, Misses: 2}, BytesMapped: 300, BytesUnmapped: 30}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}

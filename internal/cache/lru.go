@@ -27,6 +27,17 @@ type Stats struct {
 	Inserts   uint64
 }
 
+// Add returns the field-wise sum of two counter sets. Sharded owners
+// (one private cache per event loop) use it to merge per-shard stats
+// into one view at snapshot time.
+func (s Stats) Add(o Stats) Stats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Inserts += o.Inserts
+	return s
+}
+
 // HitRate returns the fraction of lookups that hit.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses

@@ -35,6 +35,15 @@ type MapCacheStats struct {
 	BytesUnmapped int64 // cumulative bytes evicted
 }
 
+// Add returns the field-wise sum of two counter sets (the merged view
+// across per-shard caches).
+func (s MapCacheStats) Add(o MapCacheStats) MapCacheStats {
+	s.Stats = s.Stats.Add(o.Stats)
+	s.BytesMapped += o.BytesMapped
+	s.BytesUnmapped += o.BytesUnmapped
+	return s
+}
+
 // MapCache is the mapped-file cache (§5.4): chunks of files are kept
 // mapped between requests; chunks not currently in use by any request
 // sit on an LRU free list and are lazily unmapped only when the total

@@ -1,16 +1,22 @@
 // Package flash implements a real, runnable web server in the AMPED
 // (asymmetric multi-process event-driven) architecture of the Flash
-// paper, mapped onto Go's runtime:
+// paper, mapped onto Go's runtime and scaled to multi-core hardware by
+// sharding:
 //
-//   - One event-loop goroutine owns the pathname, response-header, and
-//     mapped-chunk caches. It is the only goroutine that touches them,
-//     so — exactly as the paper argues for SPED/AMPED (§4.2) — no locks
-//     guard any shared state.
-//   - A pool of helper goroutines performs every filesystem operation
-//     (stat, open, chunk reads). The loop never blocks on disk: misses
-//     are dispatched to helpers and the request parks until the
-//     completion message arrives, like the paper's helper processes
-//     notifying the server over a pipe.
+//   - Config.EventLoops independent shards (default one per CPU), each
+//     an event-loop goroutine that owns a private set of pathname,
+//     response-header, and mapped-chunk caches. A shard's loop is the
+//     only goroutine that touches its caches, so — exactly as the paper
+//     argues for SPED/AMPED (§4.2) — no locks guard any per-request
+//     state. The paper's single-process design is EventLoops=1.
+//   - An acceptor distributes incoming connections round-robin across
+//     the shards; a connection lives on one shard for its whole life,
+//     so keep-alive requests always see that shard's warm caches.
+//   - Each shard has a pool of helper goroutines performing every
+//     filesystem operation (stat, open, chunk reads). The loop never
+//     blocks on disk: misses are dispatched to helpers and the request
+//     parks until the completion message arrives, like the paper's
+//     helper processes notifying the server over a pipe.
 //   - Per-connection reader and writer goroutines stand in for
 //     select-driven non-blocking socket code; Go's netpoller parks them
 //     without consuming threads.
@@ -20,7 +26,8 @@
 //
 // The three caches and the 32-byte response-header alignment are the
 // paper's §5 optimizations, byte-for-byte the same data structures the
-// simulator benchmarks.
+// simulator benchmarks. Server.Stats merges the per-shard counters into
+// one view; Server.ShardStats exposes them individually.
 package flash
 
 import (
@@ -29,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/cache"
@@ -55,17 +63,31 @@ type Config struct {
 	UserDirBase   string
 	UserDirSuffix string
 
-	// PathCacheEntries bounds the pathname translation cache
-	// (default 6000, the reconstructed paper configuration).
+	// PathCacheEntries bounds the pathname translation cache across the
+	// whole server (default 6000, the reconstructed paper
+	// configuration). Each shard owns an equal share, at least one
+	// entry; entries hold open file descriptors, so the bound is also
+	// the server's descriptor-cache budget.
 	PathCacheEntries int
-	// HeaderCacheEntries bounds the response header cache (default 6000).
+	// HeaderCacheEntries bounds the response header cache across the
+	// whole server (default 6000), split evenly across shards.
 	HeaderCacheEntries int
-	// MapCacheBytes bounds the mapped-chunk cache (default 64 MB).
+	// MapCacheBytes bounds the mapped-chunk cache across the whole
+	// server (default 64 MB), split evenly across shards.
 	MapCacheBytes int64
 	// ChunkBytes is the mapping granularity (default 64 KB).
 	ChunkBytes int64
 
-	// NumHelpers bounds the disk helper pool (default 8).
+	// EventLoops is the number of independent AMPED shards: event-loop
+	// goroutines, each owning a private set of pathname/header/chunk
+	// caches and a private helper pool, so the paper's zero-lock
+	// invariant holds within every shard. Accepted connections are
+	// distributed round-robin across shards. Default runtime.NumCPU();
+	// set 1 for the paper's single-process behaviour.
+	EventLoops int
+
+	// NumHelpers bounds the disk helper pool of each shard (default 8
+	// per shard).
 	NumHelpers int
 
 	// AlignHeaders pads response headers to 32-byte boundaries (§5.5;
@@ -136,6 +158,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.ChunkBytes == 0 {
 		cfg.ChunkBytes = cache.DefaultChunkSize
+	}
+	if cfg.EventLoops <= 0 {
+		cfg.EventLoops = runtime.NumCPU()
 	}
 	if cfg.NumHelpers == 0 {
 		cfg.NumHelpers = 8

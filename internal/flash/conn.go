@@ -39,7 +39,7 @@ type loopState struct {
 // conn is one client connection: a reader goroutine (the serve method),
 // a writer goroutine, and loop-owned state.
 type conn struct {
-	s  *Server
+	sh *shard
 	nc net.Conn
 
 	writeCh chan writeItem
@@ -49,9 +49,9 @@ type conn struct {
 	ls loopState // loop-owned
 }
 
-func newConn(s *Server, nc net.Conn) *conn {
+func newConn(sh *shard, nc net.Conn) *conn {
 	return &conn{
-		s:       s,
+		sh:      sh,
 		nc:      nc,
 		writeCh: make(chan writeItem, 1),
 		nextCh:  make(chan bool, 1),
@@ -73,7 +73,7 @@ func (c *conn) serve() {
 	go c.writeLoop()
 	defer func() {
 		c.nc.Close()
-		c.s.post(func() { c.s.connEnd(c) })
+		c.sh.post(func() { c.sh.connEnd(c) })
 	}()
 
 	buf := make([]byte, 0, 4096)
@@ -81,17 +81,17 @@ func (c *conn) serve() {
 	for {
 		// Read one request header block.
 		buf = buf[:0]
-		c.nc.SetReadDeadline(time.Now().Add(c.s.cfg.IdleTimeout))
+		c.nc.SetReadDeadline(time.Now().Add(c.sh.cfg.IdleTimeout))
 		for httpmsg.HeaderEnd(buf) < 0 {
-			if len(buf) > c.s.cfg.MaxHeaderBytes {
-				c.s.post(func() { c.s.errorResponse(c, 400, false) })
+			if len(buf) > c.sh.cfg.MaxHeaderBytes {
+				c.sh.post(func() { c.sh.errorResponse(c, 400, false) })
 				c.waitResponse()
 				return
 			}
 			n, err := c.nc.Read(tmp)
 			if n > 0 {
 				buf = append(buf, tmp[:n]...)
-				c.nc.SetReadDeadline(time.Now().Add(c.s.cfg.ReadTimeout))
+				c.nc.SetReadDeadline(time.Now().Add(c.sh.cfg.ReadTimeout))
 			}
 			if err != nil {
 				return // EOF or timeout between requests
@@ -105,11 +105,11 @@ func (c *conn) serve() {
 			} else if err == httpmsg.ErrUnsupported {
 				status = 501
 			}
-			c.s.post(func() { c.s.errorResponse(c, status, false) })
+			c.sh.post(func() { c.sh.errorResponse(c, status, false) })
 			c.waitResponse()
 			return
 		}
-		c.s.post(func() { c.s.handleRequest(c, req) })
+		c.sh.post(func() { c.sh.handleRequest(c, req) })
 		if !c.waitResponse() {
 			return
 		}
@@ -148,7 +148,7 @@ func (c *conn) writeLoop() {
 		}
 		var wrote int64
 		if !failed {
-			c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
+			c.nc.SetWriteDeadline(time.Now().Add(c.sh.cfg.WriteTimeout))
 			// Gather header and chunk into one writev (the §5.5 pattern:
 			// aligned header followed by file data in a single call).
 			var bufs net.Buffers
@@ -168,6 +168,6 @@ func (c *conn) writeLoop() {
 		}
 		done := item
 		nowFailed := failed
-		c.s.post(func() { c.s.itemDone(c, done, wrote, !nowFailed) })
+		c.sh.post(func() { c.sh.itemDone(c, done, wrote, !nowFailed) })
 	}
 }

@@ -33,7 +33,7 @@ const dynBufSize = 32 << 10
 
 // startDynamic launches the handler goroutine and streams its output.
 // Runs on the event loop.
-func (s *Server) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
+func (s *shard) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
 	s.stats.DynamicCalls++
 	c.ls.totalItems = -1 // unknown; close-delimited body
 

@@ -52,7 +52,7 @@ type helperResult struct {
 // helperPool runs the blocking-work goroutines. Jobs queue without
 // bound (slice + cond) so the event loop never blocks submitting.
 type helperPool struct {
-	s  *Server
+	sh *shard
 	mu sync.Mutex
 	cv *sync.Cond
 	q  []helperJob
@@ -61,8 +61,8 @@ type helperPool struct {
 	wg      sync.WaitGroup
 }
 
-func newHelperPool(s *Server, n int) *helperPool {
-	p := &helperPool{s: s}
+func newHelperPool(sh *shard, n int) *helperPool {
+	p := &helperPool{sh: sh}
 	p.cv = sync.NewCond(&p.mu)
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)
@@ -73,7 +73,7 @@ func newHelperPool(s *Server, n int) *helperPool {
 
 // submit queues a job. Safe from the event loop (never blocks).
 func (p *helperPool) submit(job helperJob) {
-	p.s.post(func() { p.s.stats.HelperJobs++ })
+	p.sh.post(func() { p.sh.stats.HelperJobs++ })
 	p.mu.Lock()
 	p.q = append(p.q, job)
 	p.mu.Unlock()
@@ -107,7 +107,7 @@ func (p *helperPool) run() {
 		res := p.execute(job)
 		// Completion notification to the server process, as over the
 		// paper's IPC pipe.
-		p.s.post(func() { job.done(res) })
+		p.sh.post(func() { job.done(res) })
 	}
 }
 

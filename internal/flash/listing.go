@@ -60,7 +60,7 @@ func listingJob(fsPath string) helperResult {
 }
 
 // serveListing sends a generated listing body. Runs on the event loop.
-func (s *Server) serveListing(c *conn, body []byte) {
+func (s *shard) serveListing(c *conn, body []byte) {
 	req := c.ls.req
 	c.ls.status = 200
 	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{

@@ -12,7 +12,7 @@ import (
 // All functions in this file run on the event loop.
 
 // handleRequest starts processing one parsed request.
-func (s *Server) handleRequest(c *conn, req *httpmsg.Request) {
+func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 	c.ls = loopState{req: req, status: 200}
 	if s.shutdown {
 		s.errorResponse(c, 503, false)
@@ -113,7 +113,7 @@ func (s *Server) handleRequest(c *conn, req *httpmsg.Request) {
 
 // translate maps a request path to a candidate filesystem path,
 // applying the "~user" convention. It rejects escapes from the roots.
-func (s *Server) translate(reqPath string) (string, bool) {
+func (s *shard) translate(reqPath string) (string, bool) {
 	clean := httpmsg.CleanPath(reqPath)
 	if s.cfg.UserDirBase != "" && strings.HasPrefix(clean, "/~") {
 		rest := clean[2:]
@@ -134,7 +134,7 @@ func (s *Server) translate(reqPath string) (string, bool) {
 }
 
 // afterTranslate continues once the file identity is known.
-func (s *Server) afterTranslate(c *conn, pe cache.PathEntry) {
+func (s *shard) afterTranslate(c *conn, pe cache.PathEntry) {
 	c.ls.pe = pe
 	req := c.ls.req
 
@@ -179,7 +179,7 @@ func (s *Server) afterTranslate(c *conn, pe cache.PathEntry) {
 
 // fixPersistence rewrites the Connection header of a cached response
 // header when the current request's keep-alive mode differs.
-func (s *Server) fixPersistence(hdr []byte, req *httpmsg.Request) []byte {
+func (s *shard) fixPersistence(hdr []byte, req *httpmsg.Request) []byte {
 	const ka = "Connection: keep-alive\r\n"
 	const cl = "Connection: close\r\n"
 	h := string(hdr)
@@ -195,7 +195,7 @@ func (s *Server) fixPersistence(hdr []byte, req *httpmsg.Request) []byte {
 }
 
 // sendNextChunk ensures the next chunk is mapped and queues its write.
-func (s *Server) sendNextChunk(c *conn) {
+func (s *shard) sendNextChunk(c *conn) {
 	ls := &c.ls
 	pe := ls.pe
 	idx := ls.nextChunk
@@ -242,7 +242,7 @@ func (s *Server) sendNextChunk(c *conn) {
 }
 
 // queueChunk queues one pinned chunk (plus the header, on the first).
-func (s *Server) queueChunk(c *conn, ch *cache.Chunk, last bool) {
+func (s *shard) queueChunk(c *conn, ch *cache.Chunk, last bool) {
 	item := writeItem{chunk: ch, last: last}
 	if c.ls.nextChunk == 0 {
 		item.data = c.ls.hdr
@@ -254,7 +254,7 @@ func (s *Server) queueChunk(c *conn, ch *cache.Chunk, last bool) {
 // queueItem hands an item to the writer. The writer holds at most one
 // item (channel capacity 1) and the loop sends only when idle, so this
 // never blocks the loop.
-func (s *Server) queueItem(c *conn, item writeItem) {
+func (s *shard) queueItem(c *conn, item writeItem) {
 	ls := &c.ls
 	if ls.failed || ls.writeDone {
 		// Connection already failing: drop, releasing any pin.
@@ -274,7 +274,7 @@ func (s *Server) queueItem(c *conn, item writeItem) {
 }
 
 // itemDone runs after the writer finishes (or discards) an item.
-func (s *Server) itemDone(c *conn, item writeItem, wrote int64, ok bool) {
+func (s *shard) itemDone(c *conn, item writeItem, wrote int64, ok bool) {
 	ls := &c.ls
 	ls.inFlight = false
 	ls.bytesSent += wrote
@@ -304,7 +304,7 @@ func (s *Server) itemDone(c *conn, item writeItem, wrote int64, ok bool) {
 }
 
 // finishResponse completes one request/response exchange.
-func (s *Server) finishResponse(c *conn) {
+func (s *shard) finishResponse(c *conn) {
 	ls := &c.ls
 	s.stats.Responses++
 	keep := ls.req != nil && ls.req.KeepAlive && ls.status < 400 && !s.shutdown
@@ -318,7 +318,7 @@ func (s *Server) finishResponse(c *conn) {
 }
 
 // signalNext releases the reader for the next request.
-func (s *Server) signalNext(c *conn, keep bool) {
+func (s *shard) signalNext(c *conn, keep bool) {
 	select {
 	case c.nextCh <- keep:
 	default:
@@ -327,7 +327,7 @@ func (s *Server) signalNext(c *conn, keep bool) {
 
 // failConn aborts a connection mid-response (Content-Length already
 // committed, so the only correct signal is a close).
-func (s *Server) failConn(c *conn) {
+func (s *shard) failConn(c *conn) {
 	ls := &c.ls
 	s.stats.Errors++
 	ls.failed = true
@@ -338,7 +338,7 @@ func (s *Server) failConn(c *conn) {
 }
 
 // closeWrite closes the writer channel exactly once.
-func (s *Server) closeWrite(c *conn) {
+func (s *shard) closeWrite(c *conn) {
 	ls := &c.ls
 	if ls.writeDone {
 		return
@@ -352,13 +352,13 @@ func (s *Server) closeWrite(c *conn) {
 }
 
 // connEnd runs when the reader goroutine exits.
-func (s *Server) connEnd(c *conn) {
+func (s *shard) connEnd(c *conn) {
 	s.closeWrite(c)
 }
 
 // invalidateFile drops every cache entry derived from a file and closes
 // its cached descriptor.
-func (s *Server) invalidateFile(reqPath string, pe cache.PathEntry) {
+func (s *shard) invalidateFile(reqPath string, pe cache.PathEntry) {
 	s.paths.Invalidate(reqPath)
 	s.hdrs.Get(pe.Translated, -1) // mismatched mtime drops the entry
 	s.chunks.InvalidateFile(pe.Translated, s.chunks.NumChunks(pe.Size))
@@ -379,7 +379,7 @@ func closeEntryFile(v any) {
 }
 
 // notModified sends a 304.
-func (s *Server) notModified(c *conn) {
+func (s *shard) notModified(c *conn) {
 	req := c.ls.req
 	c.ls.status = 304
 	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
@@ -395,7 +395,7 @@ func (s *Server) notModified(c *conn) {
 }
 
 // errorResponse sends a complete error response.
-func (s *Server) errorResponse(c *conn, status int, keepAlive bool) {
+func (s *shard) errorResponse(c *conn, status int, keepAlive bool) {
 	if c.ls.req == nil {
 		c.ls = loopState{req: &httpmsg.Request{Method: "GET", Target: "-", Proto: "HTTP/1.0"}}
 	}

@@ -6,14 +6,15 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/httpmsg"
 )
 
-// Stats is a snapshot of server counters, taken atomically on the event
-// loop.
+// Stats is a snapshot of server counters. Server.Stats merges the
+// per-shard snapshots; Server.ShardStats exposes them individually.
 type Stats struct {
 	Accepted     uint64
 	Active       int
@@ -28,10 +29,52 @@ type Stats struct {
 	DynamicCalls uint64
 }
 
-// Server is an AMPED-architecture web server. Create with New, start
-// with Serve or ListenAndServe, stop with Close or Shutdown.
+// Add returns the field-wise sum of two snapshots (merging shard views
+// into a server-wide view).
+func (s Stats) Add(o Stats) Stats {
+	s.Accepted += o.Accepted
+	s.Active += o.Active
+	s.Responses += o.Responses
+	s.NotFound += o.NotFound
+	s.Errors += o.Errors
+	s.BytesSent += o.BytesSent
+	s.HelperJobs += o.HelperJobs
+	s.DynamicCalls += o.DynamicCalls
+	s.PathCache = s.PathCache.Add(o.PathCache)
+	s.HeaderCache = s.HeaderCache.Add(o.HeaderCache)
+	s.MapCache = s.MapCache.Add(o.MapCache)
+	return s
+}
+
+// Server is a sharded AMPED-architecture web server: Config.EventLoops
+// independent event-loop goroutines (shards), each owning a private set
+// of caches and a private helper pool, fed by acceptors that distribute
+// connections round-robin. Within a shard the paper's zero-lock
+// invariant holds exactly as in the single-process design. Create with
+// New, start with Serve or ListenAndServe, stop with Close or Shutdown.
 type Server struct {
-	cfg Config
+	cfg    Config
+	shards []*shard
+
+	nextShard atomic.Uint64 // round-robin accept distribution
+
+	logMu sync.Mutex // serializes AccessLog writes across shards
+
+	mu        sync.Mutex // guards listeners/conns registry and closed
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// shard is one independent AMPED instance: an event-loop goroutine plus
+// the caches and helpers it owns. No state here is ever touched by
+// another shard.
+type shard struct {
+	srv *Server
+	id  int
+	cfg *Config // read-only after New
 
 	// Event-loop-owned state (never touched by other goroutines).
 	paths    *cache.PathCache
@@ -41,16 +84,9 @@ type Server struct {
 	dynamic  []dynamicRoute
 	shutdown bool
 
-	msgs    chan func() // the loop's mailbox
-	helpers *helperPool
-
-	mu        sync.Mutex // guards listeners/conns registry and closed
-	listeners map[net.Listener]struct{}
-	conns     map[*conn]struct{}
-	closed    bool
-
+	msgs     chan func() // the loop's mailbox
+	helpers  *helperPool
 	loopDone chan struct{}
-	wg       sync.WaitGroup
 }
 
 // dynamicRoute maps a path prefix to a dynamic content handler.
@@ -66,35 +102,56 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg: cfg,
-		paths: cache.NewPathCacheEvict(cfg.PathCacheEntries, func(_ string, e cache.PathEntry) {
-			closeEntryFile(e.File)
-		}),
-		hdrs:      cache.NewHeaderCache(cfg.HeaderCacheEntries),
-		chunks:    cache.NewMapCache(cfg.MapCacheBytes, cfg.ChunkBytes),
-		msgs:      make(chan func(), 512),
+		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
-		loopDone:  make(chan struct{}),
 	}
-	s.helpers = newHelperPool(s, cfg.NumHelpers)
-	go s.loop()
+	for i := 0; i < cfg.EventLoops; i++ {
+		s.shards = append(s.shards, newShard(s, i))
+	}
 	return s, nil
 }
 
-// loop is the event loop: the single goroutine that owns all caches and
-// per-request decision state. Every other goroutine communicates with
-// it by posting closures to the mailbox.
-func (s *Server) loop() {
+func newShard(srv *Server, id int) *shard {
+	cfg := &srv.cfg
+	// The configured cache limits are server-wide totals: each shard
+	// owns an equal share (never less than one entry/byte), so adding
+	// shards re-partitions the caches rather than multiplying them —
+	// in particular the pathname cache's count of open descriptors.
+	n := cfg.EventLoops
+	sh := &shard{
+		srv: srv,
+		id:  id,
+		cfg: cfg,
+		paths: cache.NewPathCacheEvict(max(cfg.PathCacheEntries/n, 1), func(_ string, e cache.PathEntry) {
+			closeEntryFile(e.File)
+		}),
+		hdrs:     cache.NewHeaderCache(max(cfg.HeaderCacheEntries/n, 1)),
+		chunks:   cache.NewMapCache(max(cfg.MapCacheBytes/int64(n), 1), cfg.ChunkBytes),
+		msgs:     make(chan func(), 512),
+		loopDone: make(chan struct{}),
+	}
+	sh.helpers = newHelperPool(sh, cfg.NumHelpers)
+	go sh.loop()
+	return sh
+}
+
+// NumShards returns the number of event-loop shards.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// loop is a shard's event loop: the single goroutine that owns the
+// shard's caches and per-request decision state. Every other goroutine
+// communicates with it by posting closures to the mailbox.
+func (s *shard) loop() {
 	defer close(s.loopDone)
 	for fn := range s.msgs {
 		fn()
 	}
 }
 
-// post delivers fn to the event loop. It reports false after shutdown
-// (the mailbox is closed and the message dropped).
-func (s *Server) post(fn func()) (ok bool) {
+// post delivers fn to the shard's event loop. It reports false after
+// shutdown (the mailbox is closed and the message dropped).
+func (s *shard) post(fn func()) (ok bool) {
 	defer func() {
 		if recover() != nil {
 			ok = false // send on closed channel during shutdown
@@ -104,8 +161,9 @@ func (s *Server) post(fn func()) (ok bool) {
 	return true
 }
 
-// call runs fn on the loop and waits for it (for Stats and tests).
-func (s *Server) call(fn func()) {
+// call runs fn on the shard's loop and waits for it (for Stats and
+// tests).
+func (s *shard) call(fn func()) {
 	done := make(chan struct{})
 	if !s.post(func() {
 		fn()
@@ -116,8 +174,8 @@ func (s *Server) call(fn func()) {
 	<-done
 }
 
-// Stats returns a consistent snapshot of the server's counters.
-func (s *Server) Stats() Stats {
+// snapshot returns a consistent view of one shard's counters.
+func (s *shard) snapshot() Stats {
 	var out Stats
 	s.call(func() {
 		out = s.stats
@@ -125,28 +183,56 @@ func (s *Server) Stats() Stats {
 		out.HeaderCache = s.hdrs.Stats()
 		out.MapCache = s.chunks.Stats()
 	})
+	return out
+}
+
+// Stats returns the server-wide counters: the sum of every shard's
+// snapshot plus the active connection count.
+func (s *Server) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		out = out.Add(sh.snapshot())
+	}
+	out.Active = s.Active()
+	return out
+}
+
+// Active returns the number of currently open connections.
+func (s *Server) Active() int {
 	s.mu.Lock()
-	out.Active = len(s.conns)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// ShardStats returns one snapshot per shard (Active is server-wide
+// state and is left zero here; see Stats).
+func (s *Server) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.snapshot()
+	}
 	return out
 }
 
 // HandleDynamic registers a dynamic content handler for a path prefix
-// (e.g. "/cgi-bin/"). Longest prefix wins. Must be called before Serve.
+// (e.g. "/cgi-bin/") on every shard. Longest prefix wins. Must be
+// called before Serve.
 func (s *Server) HandleDynamic(prefix string, h DynamicHandler) {
 	if !strings.HasPrefix(prefix, "/") {
 		panic("flash: dynamic prefix must start with /")
 	}
-	s.call(func() {
-		s.dynamic = append(s.dynamic, dynamicRoute{prefix: prefix, h: h})
-		sort.SliceStable(s.dynamic, func(i, j int) bool {
-			return len(s.dynamic[i].prefix) > len(s.dynamic[j].prefix)
+	for _, sh := range s.shards {
+		sh.call(func() {
+			sh.dynamic = append(sh.dynamic, dynamicRoute{prefix: prefix, h: h})
+			sort.SliceStable(sh.dynamic, func(i, j int) bool {
+				return len(sh.dynamic[i].prefix) > len(sh.dynamic[j].prefix)
+			})
 		})
-	})
+	}
 }
 
 // findDynamic returns the handler for a path, or nil. Loop-only.
-func (s *Server) findDynamic(path string) DynamicHandler {
+func (s *shard) findDynamic(path string) DynamicHandler {
 	for _, r := range s.dynamic {
 		if strings.HasPrefix(path, r.prefix) {
 			return r.h
@@ -165,8 +251,9 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// Serve accepts connections on l until the server is closed. l is
-// closed when Serve returns.
+// Serve accepts connections on l until the server is closed,
+// distributing them round-robin across the shards. l is closed when
+// Serve returns.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -198,7 +285,8 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		c := newConn(s, nc)
+		sh := s.shards[s.nextShard.Add(1)%uint64(len(s.shards))]
+		c := newConn(sh, nc)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -207,7 +295,7 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
-		s.post(func() { s.stats.Accepted++ })
+		sh.post(func() { sh.stats.Accepted++ })
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -249,16 +337,20 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 
 	s.wg.Wait()
-	s.helpers.stop()
-	// Release cached descriptors before the loop exits.
-	s.call(func() {
-		s.paths.Each(func(_ string, e cache.PathEntry) {
-			closeEntryFile(e.File)
+	for _, sh := range s.shards {
+		sh.helpers.stop()
+	}
+	for _, sh := range s.shards {
+		// Release cached descriptors before the loop exits.
+		sh.call(func() {
+			sh.paths.Each(func(_ string, e cache.PathEntry) {
+				closeEntryFile(e.File)
+			})
+			sh.paths.Clear()
 		})
-		s.paths.Clear()
-	})
-	close(s.msgs)
-	<-s.loopDone
+		close(sh.msgs)
+		<-sh.loopDone
+	}
 	return nil
 }
 
@@ -288,8 +380,10 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	return s.Close()
 }
 
-// logAccess emits a CLF line (loop context only).
-func (s *Server) logAccess(remote string, req *httpmsg.Request, status int, bytes int64) {
+// logAccess emits a CLF line (loop context only). The destination
+// writer is shared by every shard, so the write itself is serialized —
+// the one place shards touch common mutable state.
+func (s *shard) logAccess(remote string, req *httpmsg.Request, status int, bytes int64) {
 	if s.cfg.AccessLog == nil {
 		return
 	}
@@ -306,5 +400,7 @@ func (s *Server) logAccess(remote string, req *httpmsg.Request, status int, byte
 		Status: status,
 		Bytes:  bytes,
 	}
+	s.srv.logMu.Lock()
 	fmt.Fprintln(s.cfg.AccessLog, httpmsg.FormatCLF(entry))
+	s.srv.logMu.Unlock()
 }

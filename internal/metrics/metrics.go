@@ -37,6 +37,19 @@ func (s Summary) RequestsPerSec() float64 {
 	return float64(s.Responses) / s.Duration.Seconds()
 }
 
+// Merge combines two summaries measured over the same wall-clock window
+// (per-shard or per-worker views of one run): counts add, the duration
+// is the longer of the two.
+func (s Summary) Merge(o Summary) Summary {
+	if o.Duration > s.Duration {
+		s.Duration = o.Duration
+	}
+	s.Responses += o.Responses
+	s.Bytes += o.Bytes
+	s.Errors += o.Errors
+	return s
+}
+
 // Sub returns the window from an earlier snapshot to this one.
 func (s Summary) Sub(earlier Summary) Summary {
 	return Summary{
@@ -82,6 +95,27 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d > h.max {
 		h.max = d
 	}
+}
+
+// Merge folds another histogram's samples into h. Owners that shard
+// recording across workers or event loops (so the hot path stays
+// lock-free) aggregate the private histograms with Merge at snapshot
+// time.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
 }
 
 // Count returns the number of samples.

@@ -187,3 +187,45 @@ func TestTrimFloat(t *testing.T) {
 		t.Fatalf("trimFloat(3.14) = %q", trimFloat(3.14))
 	}
 }
+
+func TestSummaryMerge(t *testing.T) {
+	a := Summary{Duration: 2 * time.Second, Responses: 10, Bytes: 1000, Errors: 1}
+	b := Summary{Duration: 3 * time.Second, Responses: 20, Bytes: 2000, Errors: 2}
+	got := a.Merge(b)
+	want := Summary{Duration: 3 * time.Second, Responses: 30, Bytes: 3000, Errors: 3}
+	if got != want {
+		t.Fatalf("Merge = %+v, want %+v", got, want)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10 * time.Microsecond)
+	a.Observe(1 * time.Millisecond)
+	b.Observe(2 * time.Microsecond)
+	b.Observe(5 * time.Second)
+
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(&Histogram{}) // empty merge is a no-op
+	merged.Merge(nil)          // so is nil
+
+	if merged.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", merged.Count())
+	}
+	if merged.Min() != 2*time.Microsecond {
+		t.Fatalf("Min = %v", merged.Min())
+	}
+	if merged.Max() != 5*time.Second {
+		t.Fatalf("Max = %v", merged.Max())
+	}
+	wantMean := (10*time.Microsecond + time.Millisecond + 2*time.Microsecond + 5*time.Second) / 4
+	if merged.Mean() != wantMean {
+		t.Fatalf("Mean = %v, want %v", merged.Mean(), wantMean)
+	}
+	// The merged quantile view reflects the samples of both halves.
+	if q := merged.Quantile(1); q < 5*time.Second/2 {
+		t.Fatalf("Quantile(1) = %v, too small", q)
+	}
+}
