@@ -7,8 +7,14 @@
 //
 //	loadgen -addr localhost:8080 [-clients 64] [-duration 10s]
 //	        [-path /index.html | -trace access.log] [-keepalive]
+//	        [-range-frac 0.2] [-revalidate-frac 0.2]
 //
-// It reports throughput (Mb/s), request rate, and latency percentiles.
+// -range-frac issues that fraction of requests with "Range: bytes=0-1023"
+// (exercising the 206 partial-content path); -revalidate-frac issues
+// conditional If-None-Match revalidations using the ETag captured from
+// an earlier 200 for the same path (the 304 path). The summary reports
+// 206 and 304 counts alongside throughput, request rate, and latency
+// percentiles.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,9 +36,11 @@ import (
 )
 
 type counters struct {
-	responses atomic.Uint64
-	bytes     atomic.Int64
-	errors    atomic.Uint64
+	responses   atomic.Uint64
+	bytes       atomic.Int64
+	errors      atomic.Uint64
+	partial     atomic.Uint64 // 206 responses
+	notModified atomic.Uint64 // 304 responses
 }
 
 func main() {
@@ -42,6 +51,8 @@ func main() {
 		path      = flag.String("path", "/index.html", "single path to request")
 		traceFile = flag.String("trace", "", "CLF access log to replay (overrides -path)")
 		keepAlive = flag.Bool("keepalive", false, "use persistent connections")
+		rangeFrac = flag.Float64("range-frac", 0, "fraction of requests sent as Range requests (0..1)")
+		revalFrac = flag.Float64("revalidate-frac", 0, "fraction of requests sent as If-None-Match revalidations (0..1)")
 	)
 	flag.Parse()
 
@@ -89,7 +100,7 @@ func main() {
 		wg.Add(1)
 		go func(h *metrics.Histogram) {
 			defer wg.Done()
-			runClient(*addr, *keepAlive, next, stop, &c, h.Observe)
+			runClient(*addr, *keepAlive, *rangeFrac, *revalFrac, next, stop, &c, h.Observe)
 		}(&hists[i])
 	}
 	time.Sleep(*duration)
@@ -111,6 +122,8 @@ func main() {
 	fmt.Printf("clients:     %d (keepalive=%v)\n", *clients, *keepAlive)
 	fmt.Printf("duration:    %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("responses:   %d (%.1f req/s)\n", sum.Responses, sum.RequestsPerSec())
+	fmt.Printf("partial:     %d (206 range responses)\n", c.partial.Load())
+	fmt.Printf("revalidated: %d (304 not-modified responses)\n", c.notModified.Load())
 	fmt.Printf("bandwidth:   %.2f Mb/s\n", sum.MbitPerSec())
 	fmt.Printf("errors:      %d\n", sum.Errors)
 	fmt.Printf("latency:     mean=%v p50=%v p90=%v p99=%v max=%v\n",
@@ -121,11 +134,15 @@ func main() {
 		hist.Max().Round(time.Microsecond))
 }
 
-// runClient is one closed-loop client.
-func runClient(addr string, keepAlive bool, next func() string,
-	stop <-chan struct{}, c *counters, observe func(time.Duration)) {
+// runClient is one closed-loop client. Range and revalidation mixes
+// use error diffusion (exact fractions, no RNG); revalidations reuse
+// the ETag captured from an earlier 200 for the same path.
+func runClient(addr string, keepAlive bool, rangeFrac, revalFrac float64,
+	next func() string, stop <-chan struct{}, c *counters, observe func(time.Duration)) {
 	var conn net.Conn
 	var br *bufio.Reader
+	var rangeAcc, revalAcc float64
+	etags := make(map[string]string)
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -148,8 +165,25 @@ func runClient(addr string, keepAlive bool, next func() string,
 			br = bufio.NewReader(conn)
 		}
 		path := next()
+		extra := ""
+		if revalFrac > 0 {
+			revalAcc += revalFrac
+			if revalAcc >= 1 {
+				revalAcc--
+				if et := etags[path]; et != "" {
+					extra = "If-None-Match: " + et + "\r\n"
+				}
+			}
+		}
+		if extra == "" && rangeFrac > 0 {
+			rangeAcc += rangeFrac
+			if rangeAcc >= 1 {
+				rangeAcc--
+				extra = "Range: bytes=0-1023\r\n"
+			}
+		}
 		begin := time.Now()
-		n, keep, err := doRequest(conn, br, path, keepAlive)
+		res, err := doRequest(conn, br, path, keepAlive, extra)
 		if err != nil {
 			c.errors.Add(1)
 			conn.Close()
@@ -158,17 +192,35 @@ func runClient(addr string, keepAlive bool, next func() string,
 		}
 		observe(time.Since(begin))
 		c.responses.Add(1)
-		c.bytes.Add(n)
-		if !keep {
+		c.bytes.Add(res.bodyBytes)
+		switch res.status {
+		case 206:
+			c.partial.Add(1)
+		case 304:
+			c.notModified.Add(1)
+		case 200:
+			if res.etag != "" {
+				etags[path] = res.etag
+			}
+		}
+		if !res.keep {
 			conn.Close()
 			conn = nil
 		}
 	}
 }
 
-// doRequest writes one GET and reads the complete response, returning
-// body bytes read and whether the connection remains usable.
-func doRequest(conn net.Conn, br *bufio.Reader, path string, keepAlive bool) (int64, bool, error) {
+// respResult summarizes one exchange.
+type respResult struct {
+	status    int
+	bodyBytes int64
+	etag      string
+	keep      bool
+}
+
+// doRequest writes one GET (plus optional extra headers) and reads the
+// complete response.
+func doRequest(conn net.Conn, br *bufio.Reader, path string, keepAlive bool, extra string) (respResult, error) {
 	connHdr := "close"
 	proto := "HTTP/1.0"
 	if keepAlive {
@@ -176,9 +228,9 @@ func doRequest(conn net.Conn, br *bufio.Reader, path string, keepAlive bool) (in
 		proto = "HTTP/1.1"
 	}
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
-	if _, err := fmt.Fprintf(conn, "GET %s %s\r\nHost: loadgen\r\nConnection: %s\r\n\r\n",
-		path, proto, connHdr); err != nil {
-		return 0, false, err
+	if _, err := fmt.Fprintf(conn, "GET %s %s\r\nHost: loadgen\r\n%sConnection: %s\r\n\r\n",
+		path, proto, extra, connHdr); err != nil {
+		return respResult{}, err
 	}
 
 	// Read the response header.
@@ -186,19 +238,29 @@ func doRequest(conn net.Conn, br *bufio.Reader, path string, keepAlive bool) (in
 	for {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
-			return 0, false, err
+			return respResult{}, err
 		}
 		hdr = append(hdr, line...)
 		if len(hdr) > httpmsg.MaxHeaderLen {
-			return 0, false, fmt.Errorf("header too large")
+			return respResult{}, fmt.Errorf("header too large")
 		}
 		if string(line) == "\r\n" || string(line) == "\n" {
 			break
 		}
 	}
+	var res respResult
+	lines := strings.Split(string(hdr), "\n")
+	if fields := strings.Fields(lines[0]); len(fields) >= 2 {
+		if v, err := strconv.Atoi(fields[1]); err == nil {
+			res.status = v
+		}
+	}
+	if res.status == 0 {
+		return respResult{}, fmt.Errorf("bad status line %q", lines[0])
+	}
 	length, hasLength := int64(-1), false
-	keep := false
-	for _, line := range strings.Split(string(hdr), "\n") {
+	chunked := false
+	for _, line := range lines[1:] {
 		line = strings.TrimRight(line, "\r")
 		colon := strings.IndexByte(line, ':')
 		if colon < 0 {
@@ -211,19 +273,63 @@ func doRequest(conn net.Conn, br *bufio.Reader, path string, keepAlive bool) (in
 			if v, err := httpmsg.ParseContentLength(val); err == nil {
 				length, hasLength = v, true
 			}
+		case "transfer-encoding":
+			chunked = strings.EqualFold(val, "chunked")
 		case "connection":
-			keep = strings.Contains(strings.ToLower(val), "keep-alive")
+			res.keep = strings.Contains(strings.ToLower(val), "keep-alive")
+		case "etag":
+			res.etag = val
 		}
 	}
+	res.keep = res.keep && keepAlive
 
+	if res.status == 304 || res.status == 204 {
+		return res, nil // no body by definition
+	}
+	if chunked {
+		n, err := discardChunked(br)
+		res.bodyBytes = n
+		return res, err
+	}
 	if hasLength {
 		n, err := io.CopyN(io.Discard, br, length)
-		return n, keep && keepAlive, err
+		res.bodyBytes = n
+		return res, err
 	}
 	// Close-delimited body.
 	n, err := io.Copy(io.Discard, br)
+	res.bodyBytes, res.keep = n, false
 	if err != nil && err != io.EOF {
-		return n, false, err
+		return res, err
 	}
-	return n, false, nil
+	return res, nil
+}
+
+// discardChunked consumes a chunked body (dynamic HTTP/1.1 responses),
+// returning the payload byte count.
+func discardChunked(br *bufio.Reader) (int64, error) {
+	var total int64
+	for {
+		sz, err := br.ReadString('\n')
+		if err != nil {
+			return total, err
+		}
+		n, err := strconv.ParseInt(strings.TrimRight(sz, "\r\n"), 16, 64)
+		if err != nil || n < 0 {
+			return total, fmt.Errorf("bad chunk size %q", sz)
+		}
+		// Chunk data plus its trailing CRLF; the zero chunk carries only
+		// the terminator line.
+		skip := n + 2
+		if n == 0 {
+			skip = 2
+		}
+		if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, nil
+		}
+		total += n
+	}
 }

@@ -14,6 +14,19 @@
 //     response headers, and CGI-style dynamic content handlers.
 //     EventLoops=1 is the paper's single-process configuration.
 //
+//     On top of the 1.0-era core sits an HTTP/1.1 conformance layer:
+//     default persistent connections with request pipelining (strict
+//     in-order responses through each connection's single writer),
+//     single-range Range/If-Range requests answered 206/416 by
+//     clamping the chunk-cache walk to the byte window, strong
+//     (size, mtime) ETags with If-None-Match handling alongside
+//     If-Modified-Since, and chunked transfer-encoding for dynamic
+//     handlers so 1.1 responses persist without a pre-known
+//     Content-Length. A raw-socket torture suite and parser fuzzing
+//     (FuzzParseRequest) lock the behaviour down; Config knobs
+//     (DisableRanges, DisableETags, DisableChunked) restore the
+//     paper-faithful subset.
+//
 //   - A deterministic simulation of the paper's 1999 testbed
 //     (internal/sim*, internal/arch, internal/experiments) that rebuilds
 //     the four server architectures — AMPED, SPED, MP, MT — from one

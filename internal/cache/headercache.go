@@ -8,14 +8,24 @@ type HeaderEntry struct {
 	// Header is the exact response header bytes, already padded for
 	// byte-position alignment (§5.5).
 	Header []byte
-	// Size is the Content-Length encoded in the header.
+	// Size is the full file size the header was built from (also the
+	// Content-Length for full responses).
 	Size int64
 	// ModTime is the file modification time the header was built from,
 	// in Unix seconds (HTTP has second granularity).
 	ModTime int64
+	// Variant identifies the response window the header describes
+	// (e.g. the Content-Range of a 206); empty for a full response.
+	// Callers sharing one variant slot across windows must compare it.
+	Variant string
 }
 
-// HeaderCache caches response headers by translated path.
+// HeaderCache caches response headers by translated path plus a
+// variant tag. The empty variant is the full 200 response; range
+// requests use a per-range variant (e.g. "bytes 0-99/1234") so partial
+// and full headers for one file never collide. Stale variants are
+// self-invalidating: every hit is checked against the file's current
+// mtime and dropped on mismatch.
 type HeaderCache struct {
 	l *lru[string, HeaderEntry]
 }
@@ -26,23 +36,43 @@ func NewHeaderCache(capacity int) *HeaderCache {
 	return &HeaderCache{l: newLRU[string, HeaderEntry](capacity, nil)}
 }
 
-// Get returns the cached header if it is still valid for a file with
-// the given modification time; a stale entry is dropped and reported as
-// a miss (the regeneration path of §5.3).
+// variantKey joins path and variant; 0x1f (unit separator) cannot
+// appear in a translated path (the parser rejects control bytes).
+func variantKey(path, variant string) string {
+	if variant == "" {
+		return path
+	}
+	return path + "\x1f" + variant
+}
+
+// Get returns the cached full-response header if it is still valid for
+// a file with the given modification time; a stale entry is dropped and
+// reported as a miss (the regeneration path of §5.3).
 func (c *HeaderCache) Get(path string, modTime int64) (HeaderEntry, bool) {
-	e, ok := c.l.get(path)
+	return c.GetVariant(path, "", modTime)
+}
+
+// GetVariant is Get for a specific response variant (range-ness).
+func (c *HeaderCache) GetVariant(path, variant string, modTime int64) (HeaderEntry, bool) {
+	key := variantKey(path, variant)
+	e, ok := c.l.get(key)
 	if !ok {
 		return HeaderEntry{}, false
 	}
 	if e.ModTime != modTime {
-		c.l.remove(path)
+		c.l.remove(key)
 		return HeaderEntry{}, false
 	}
 	return e, true
 }
 
-// Put records a header.
-func (c *HeaderCache) Put(path string, e HeaderEntry) { c.l.put(path, e) }
+// Put records a full-response header.
+func (c *HeaderCache) Put(path string, e HeaderEntry) { c.PutVariant(path, "", e) }
+
+// PutVariant records a header for a specific response variant.
+func (c *HeaderCache) PutVariant(path, variant string, e HeaderEntry) {
+	c.l.put(variantKey(path, variant), e)
+}
 
 // Len returns the number of cached headers.
 func (c *HeaderCache) Len() int { return c.l.len() }

@@ -31,6 +31,16 @@ type Config struct {
 	// RequestsPerConn bounds requests per persistent connection
 	// (0 = unlimited).
 	RequestsPerConn int
+	// Pipeline issues up to this many requests back-to-back on a
+	// persistent connection before the first response returns
+	// (HTTP/1.1 pipelining). 0 or 1 disables; requires KeepAlive.
+	Pipeline int
+	// RangeFrac is the fraction of requests issued as single-range
+	// requests for half the object (0..1) — the 206 path.
+	RangeFrac float64
+	// RevalidateFrac is the fraction of requests issued as conditional
+	// revalidations answered by a header-only 304 (0..1).
+	RevalidateFrac float64
 }
 
 // Driver runs a client population against a listener, replaying a trace
@@ -49,6 +59,12 @@ type Driver struct {
 	started   sim.Time
 	baseBytes int64
 	lat       metrics.Histogram
+
+	// Deterministic request-mix state (error diffusion: exact fractions
+	// without randomness, preserving the simulator's reproducibility).
+	rangeAcc, revalAcc float64
+	rangeReqs          uint64
+	revalidations      uint64
 }
 
 // New creates a driver. Start begins issuing load.
@@ -88,53 +104,100 @@ func (d *Driver) connect() {
 	})
 }
 
-// runConn issues requests on an established connection.
-func (d *Driver) runConn(c *simnet.Conn, served int) {
-	e := d.next()
-	issued := d.eng.Now()
-	req := &simnet.Request{
-		Path:      e.Path,
-		Size:      e.Size,
-		WireBytes: httpmsg.WireSize("GET", e.Path),
-		KeepAlive: d.cfg.KeepAlive,
+// mixSize applies the deterministic request mix to one trace entry,
+// returning the effective response size: 0 for a revalidation (the 304
+// carries headers only), half the object for a range request, or the
+// full size.
+func (d *Driver) mixSize(size int64) int64 {
+	if d.cfg.RevalidateFrac > 0 {
+		d.revalAcc += d.cfg.RevalidateFrac
+		if d.revalAcc >= 1 {
+			d.revalAcc--
+			d.revalidations++
+			return 0
+		}
 	}
-	responded := false
-	c.OnResponse = func() {
-		if responded {
+	if d.cfg.RangeFrac > 0 {
+		d.rangeAcc += d.cfg.RangeFrac
+		if d.rangeAcc >= 1 {
+			d.rangeAcc--
+			d.rangeReqs++
+			if half := size / 2; half > 0 {
+				return half
+			}
+		}
+	}
+	return size
+}
+
+// runConn issues requests on an established connection, keeping up to
+// Pipeline requests outstanding when pipelining is enabled. Responses
+// arrive strictly in order (the wire guarantees it), so a FIFO of issue
+// times yields per-request latencies.
+func (d *Driver) runConn(c *simnet.Conn, served int) {
+	depth := 1
+	if d.cfg.KeepAlive && d.cfg.Pipeline > 1 {
+		depth = d.cfg.Pipeline
+	}
+	issued := served
+	pending := make([]sim.Time, 0, depth)
+	done := false
+	finish := func() {
+		if done {
 			return
 		}
-		responded = true
-		d.responses++
-		d.lat.Observe(time.Duration(d.eng.Now() - issued))
-		n := served + 1
-		if d.cfg.KeepAlive && !c.Closed() &&
-			(d.cfg.RequestsPerConn == 0 || n < d.cfg.RequestsPerConn) {
-			d.runConn(c, n)
-			return
-		}
+		done = true
 		if !c.Closed() {
 			c.CloseClient()
 		}
 		d.connect()
 	}
-	c.OnClosed = func() {
-		// Server closed the connection (HTTP/1.0 response delimiting or
-		// keep-alive teardown). If it closed before responding, count an
-		// error; either way keep the population constant.
-		if !responded {
-			responded = true
-			d.errors++
-			d.connect()
+	canIssue := func() bool {
+		return d.cfg.RequestsPerConn == 0 || issued < d.cfg.RequestsPerConn
+	}
+	issue := func() {
+		e := d.next()
+		pending = append(pending, d.eng.Now())
+		issued++
+		c.SendRequest(&simnet.Request{
+			Path:      e.Path,
+			Size:      d.mixSize(e.Size),
+			WireBytes: httpmsg.WireSize("GET", e.Path),
+			KeepAlive: d.cfg.KeepAlive,
+		})
+	}
+	c.OnResponse = func() {
+		if done || len(pending) == 0 {
 			return
 		}
-		if d.cfg.KeepAlive {
-			// Connection died under a keep-alive client that already
-			// moved on; nothing to do — runConn's OnResponse handler
-			// owns progress.
+		t0 := pending[0]
+		pending = pending[1:]
+		d.responses++
+		d.lat.Observe(time.Duration(d.eng.Now() - t0))
+		if d.cfg.KeepAlive && !c.Closed() && canIssue() {
+			issue()
 			return
+		}
+		if len(pending) == 0 {
+			finish()
 		}
 	}
-	c.SendRequest(req)
+	c.OnClosed = func() {
+		// Server closed the connection (HTTP/1.0 response delimiting or
+		// keep-alive teardown). Requests still outstanding count as one
+		// error; either way keep the population constant.
+		if done {
+			return
+		}
+		if len(pending) > 0 {
+			d.errors++
+		}
+		done = true
+		d.connect()
+	}
+	for i := 0; i < depth && canIssue(); i++ {
+		issue()
+	}
 }
 
 // Summary returns cumulative results since Start.
@@ -152,3 +215,11 @@ func (d *Driver) Latency() *metrics.Histogram { return &d.lat }
 
 // Responses returns the number of completed responses.
 func (d *Driver) Responses() uint64 { return d.responses }
+
+// RangeRequests returns how many requests were issued as range
+// requests under Config.RangeFrac.
+func (d *Driver) RangeRequests() uint64 { return d.rangeReqs }
+
+// Revalidations returns how many requests were issued as conditional
+// revalidations under Config.RevalidateFrac.
+func (d *Driver) Revalidations() uint64 { return d.revalidations }

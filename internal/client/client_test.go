@@ -187,3 +187,54 @@ func assertPanics(t *testing.T, fn func()) {
 	}()
 	fn()
 }
+
+func TestPipelineKeepsResponsesFlowing(t *testing.T) {
+	tr := workload.SingleFile(4 << 10)
+	// Pipelined clients over a high-RTT link overlap requests, so they
+	// complete far more than the one-at-a-time clients can.
+	serial, _ := run(t, tr, Config{NumClients: 2, KeepAlive: true,
+		RTT: 50 * time.Millisecond}, 2*time.Second)
+	piped, _ := run(t, tr, Config{NumClients: 2, KeepAlive: true, Pipeline: 8,
+		RTT: 50 * time.Millisecond}, 2*time.Second)
+	if piped.Responses() <= serial.Responses() {
+		t.Fatalf("pipelining did not help: piped=%d serial=%d",
+			piped.Responses(), serial.Responses())
+	}
+	if piped.Summary().Errors != 0 {
+		t.Fatalf("errors = %d", piped.Summary().Errors)
+	}
+}
+
+func TestRequestMixCounts(t *testing.T) {
+	tr := workload.SingleFile(8 << 10)
+	drv, _ := run(t, tr, Config{NumClients: 4, KeepAlive: true,
+		RangeFrac: 0.25, RevalidateFrac: 0.25}, 2*time.Second)
+	resp := drv.Responses()
+	if resp == 0 {
+		t.Fatal("no responses")
+	}
+	ranges, revals := drv.RangeRequests(), drv.Revalidations()
+	if ranges == 0 || revals == 0 {
+		t.Fatalf("mix not exercised: ranges=%d revalidations=%d", ranges, revals)
+	}
+	// Error diffusion keeps the achieved fractions tight around 25%.
+	for name, got := range map[string]uint64{"ranges": ranges, "revalidations": revals} {
+		frac := float64(got) / float64(resp)
+		if frac < 0.15 || frac > 0.35 {
+			t.Fatalf("%s fraction = %.2f, want ~0.25", name, frac)
+		}
+	}
+}
+
+func TestRevalidationMixIsCheaper(t *testing.T) {
+	tr := workload.SingleFile(64 << 10)
+	full, _ := run(t, tr, Config{NumClients: 4, KeepAlive: true}, 2*time.Second)
+	reval, _ := run(t, tr, Config{NumClients: 4, KeepAlive: true,
+		RevalidateFrac: 0.9}, 2*time.Second)
+	fullBytes := float64(full.Summary().Bytes) / float64(full.Responses())
+	revalBytes := float64(reval.Summary().Bytes) / float64(reval.Responses())
+	if revalBytes >= fullBytes/2 {
+		t.Fatalf("revalidation mix not lighter: %.0f vs %.0f bytes/resp",
+			revalBytes, fullBytes)
+	}
+}

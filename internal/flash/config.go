@@ -94,6 +94,20 @@ type Config struct {
 	// default on — set DisableHeaderAlign to turn off).
 	DisableHeaderAlign bool
 
+	// DisableRanges ignores Range headers (every request gets the full
+	// body with a 200). Default off: single-range requests get 206/416.
+	DisableRanges bool
+
+	// DisableETags suppresses ETag generation and If-None-Match
+	// handling, leaving If-Modified-Since as the only validator (the
+	// paper's 1999 behaviour).
+	DisableETags bool
+
+	// DisableChunked makes dynamic HTTP/1.1 responses close-delimited
+	// instead of chunked (chunking is what lets dynamic responses keep
+	// the connection alive without a pre-known Content-Length).
+	DisableChunked bool
+
 	// ServerName is the Server header token.
 	ServerName string
 

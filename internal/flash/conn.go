@@ -14,7 +14,10 @@ import (
 type writeItem struct {
 	data  []byte
 	chunk *cache.Chunk
-	last  bool // response ends after this item
+	// body is the chunk bytes to transmit — a sub-slice of chunk.Data
+	// when a Range request clamps the window, else the whole chunk.
+	body []byte
+	last bool // response ends after this item
 	// onDone, if non-nil, runs on the event loop after the item is
 	// written (or discarded on failure); used by dynamic handlers for
 	// flow control.
@@ -25,8 +28,11 @@ type writeItem struct {
 type loopState struct {
 	req        *httpmsg.Request
 	pe         cache.PathEntry
-	totalItems int
+	firstChunk int // first chunk index of the response window
+	endChunk   int // one past the last chunk index (0 = no file body)
 	nextChunk  int
+	rangeOff   int64 // absolute body byte window [rangeOff, rangeEnd)
+	rangeEnd   int64
 	hdr        []byte // pending header bytes for the first item
 	status     int
 	bytesSent  int64
@@ -67,8 +73,11 @@ func (c *conn) abort() {
 }
 
 // serve is the reader goroutine: parse requests, hand them to the event
-// loop, and wait for each response to finish before reading the next
-// (Flash serves one request per connection at a time).
+// loop, and wait for each response to finish before parsing the next.
+// Bytes read beyond one request's header block are kept, so a pipelined
+// burst is consumed request by request without touching the socket —
+// responses leave through the single writer in arrival order, which is
+// exactly the in-order guarantee HTTP/1.1 pipelining requires.
 func (c *conn) serve() {
 	go c.writeLoop()
 	defer func() {
@@ -76,15 +85,27 @@ func (c *conn) serve() {
 		c.sh.post(func() { c.sh.connEnd(c) })
 	}()
 
-	buf := make([]byte, 0, 4096)
+	var buf []byte
 	tmp := make([]byte, 4096)
 	for {
-		// Read one request header block.
-		buf = buf[:0]
+		// Tolerate stray blank lines before a request (clients
+		// historically sent an extra CRLF after a request), but count
+		// the stripped bytes toward the header cap — otherwise a client
+		// trickling CRLFs forever would never trip it.
+		preamble := 0
+		skipBlank := func() {
+			for len(buf) > 0 && (buf[0] == '\r' || buf[0] == '\n') {
+				buf = buf[1:]
+				preamble++
+			}
+		}
+		skipBlank()
+		// Accumulate one complete request head (a terminated header
+		// block, or an HTTP/0.9 simple request) at the head of buf.
 		c.nc.SetReadDeadline(time.Now().Add(c.sh.cfg.IdleTimeout))
-		for httpmsg.HeaderEnd(buf) < 0 {
-			if len(buf) > c.sh.cfg.MaxHeaderBytes {
-				c.sh.post(func() { c.sh.errorResponse(c, 400, false) })
+		for httpmsg.RequestEnd(buf) < 0 {
+			if len(buf)+preamble > c.sh.cfg.MaxHeaderBytes {
+				c.sh.post(func() { c.sh.rejectRequest(c, nil, 400) })
 				c.waitResponse()
 				return
 			}
@@ -92,12 +113,15 @@ func (c *conn) serve() {
 			if n > 0 {
 				buf = append(buf, tmp[:n]...)
 				c.nc.SetReadDeadline(time.Now().Add(c.sh.cfg.ReadTimeout))
+				skipBlank()
 			}
 			if err != nil {
 				return // EOF or timeout between requests
 			}
 		}
-		req, err := httpmsg.ParseRequest(buf)
+		end := httpmsg.RequestEnd(buf)
+		req, err := httpmsg.ParseRequest(buf[:end])
+		buf = buf[end:] // keep pipelined followers for the next iteration
 		if err != nil {
 			status := 400
 			if err == httpmsg.ErrTargetTooBig {
@@ -105,15 +129,46 @@ func (c *conn) serve() {
 			} else if err == httpmsg.ErrUnsupported {
 				status = 501
 			}
-			c.sh.post(func() { c.sh.errorResponse(c, status, false) })
+			c.sh.post(func() { c.sh.rejectRequest(c, nil, status) })
 			c.waitResponse()
 			return
+		}
+		// Request bodies are never read (GET/HEAD server): unread body
+		// bytes would desynchronize the pipelined request framing, so a
+		// bodied request always closes the connection after its response,
+		// and on GET/HEAD it is rejected outright (the method check in
+		// handleRequest answers 405 for everything else).
+		if status, bodied := announcesBody(req); bodied {
+			req.KeepAlive = false
+			if req.Method == "GET" || req.Method == "HEAD" {
+				c.sh.post(func() { c.sh.rejectRequest(c, req, status) })
+				c.waitResponse()
+				return
+			}
 		}
 		c.sh.post(func() { c.sh.handleRequest(c, req) })
 		if !c.waitResponse() {
 			return
 		}
 	}
+}
+
+// announcesBody reports whether the request declares a body, and the
+// status a GET/HEAD request carrying one should be refused with.
+func announcesBody(req *httpmsg.Request) (status int, bodied bool) {
+	if _, ok := req.Headers["transfer-encoding"]; ok {
+		return 501, true
+	}
+	if cl, ok := req.Headers["content-length"]; ok {
+		n, err := httpmsg.ParseContentLength(cl)
+		if err != nil {
+			return 400, true
+		}
+		if n > 0 {
+			return 413, true
+		}
+	}
+	return 0, false
 }
 
 // waitResponse blocks until the loop reports the response finished,
@@ -155,8 +210,8 @@ func (c *conn) writeLoop() {
 			if len(item.data) > 0 {
 				bufs = append(bufs, item.data)
 			}
-			if item.chunk != nil && len(item.chunk.Data) > 0 {
-				bufs = append(bufs, item.chunk.Data)
+			if len(item.body) > 0 {
+				bufs = append(bufs, item.body)
 			}
 			if len(bufs) > 0 {
 				n, err := bufs.WriteTo(c.nc)

@@ -32,10 +32,14 @@ func (f DynamicFunc) ServeDynamic(req *httpmsg.Request) (int, string, io.ReadClo
 const dynBufSize = 32 << 10
 
 // startDynamic launches the handler goroutine and streams its output.
-// Runs on the event loop.
+// On HTTP/1.1 the body is chunk-encoded so no Content-Length is needed
+// and the connection can persist; on 1.0 (or with DisableChunked) the
+// body is close-delimited as before. Runs on the event loop.
 func (s *shard) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
 	s.stats.DynamicCalls++
-	c.ls.totalItems = -1 // unknown; close-delimited body
+	chunked := req.Major == 1 && req.Minor >= 1 && !s.cfg.DisableChunked
+	keep := chunked && req.KeepAlive
+	req.KeepAlive = keep // finishResponse decides persistence from this
 
 	// The "CGI process": runs the handler and pumps its output through
 	// the loop to the connection writer, one buffer at a time, with
@@ -52,22 +56,22 @@ func (s *shard) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
 		if ctype == "" {
 			ctype = "text/html"
 		}
-		hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
+		hdr := headerFor(req, httpmsg.BuildHeader(httpmsg.ResponseMeta{
 			Status:        status,
 			Proto:         req.Proto,
 			ContentType:   ctype,
-			ContentLength: -1, // length unknown: the close delimits
+			ContentLength: -1, // unknown: chunking or the close delimits
+			Chunked:       chunked,
 			Date:          s.cfg.Clock(),
-			KeepAlive:     false,
+			KeepAlive:     keep,
 			ServerName:    s.cfg.ServerName,
-		}, !s.cfg.DisableHeaderAlign)
+		}, !s.cfg.DisableHeaderAlign))
 
 		ack := make(chan bool, 1)
 		send := func(data []byte, last bool) bool {
 			s.post(func() {
 				c.ls.status = status
 				c.ls.req = req
-				req.KeepAlive = false
 				s.queueItem(c, writeItem{
 					data: data,
 					last: last,
@@ -88,29 +92,44 @@ func (s *shard) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
 		}
 
 		if body == nil {
+			if chunked {
+				hdr = append(hdr, httpmsg.FinalChunk...)
+			}
 			send(hdr, true)
 			return
 		}
 		defer body.Close()
 
-		pending := hdr
+		pending := hdr // header bytes ride along with the first body item
 		buf := make([]byte, dynBufSize)
 		for {
 			n, rerr := body.Read(buf)
 			if n > 0 {
-				chunk := append(pending, buf[:n]...)
+				out := append([]byte{}, pending...)
+				if chunked {
+					out = httpmsg.AppendChunk(out, buf[:n])
+				} else {
+					out = append(out, buf[:n]...)
+				}
 				pending = nil
-				if !send(chunk, false) {
+				if !send(out, false) {
 					return
 				}
 			}
 			if rerr != nil {
+				if chunked && rerr != io.EOF {
+					// Mid-stream producer failure: close without the
+					// terminal chunk so the client sees the truncation.
+					s.post(func() { s.failConn(c) })
+					return
+				}
 				// Trailing (possibly empty) item carries the last flag.
-				send(pending, true)
+				tail := append([]byte{}, pending...)
+				if chunked {
+					tail = append(tail, httpmsg.FinalChunk...)
+				}
+				send(tail, true)
 				return
-			}
-			if pending == nil {
-				pending = []byte{}
 			}
 		}
 	}()

@@ -72,6 +72,6 @@ func (s *shard) serveListing(c *conn, body []byte) {
 		KeepAlive:     req.KeepAlive,
 		ServerName:    s.cfg.ServerName,
 	}, !s.cfg.DisableHeaderAlign)
-	c.ls.totalItems = 1
+	hdr = headerFor(req, hdr)
 	s.queueItem(c, writeItem{data: append(append([]byte{}, hdr...), body...), last: true})
 }

@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"time"
@@ -16,6 +17,11 @@ func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 	c.ls = loopState{req: req, status: 200}
 	if s.shutdown {
 		s.errorResponse(c, 503, false)
+		return
+	}
+	if req.Major == 1 && req.Minor >= 1 && req.Host() == "" {
+		// RFC 7230 §5.4: a 1.1 request without Host gets a 400.
+		s.errorResponse(c, 400, req.KeepAlive)
 		return
 	}
 	if req.Method != "GET" && req.Method != "HEAD" {
@@ -138,60 +144,112 @@ func (s *shard) afterTranslate(c *conn, pe cache.PathEntry) {
 	c.ls.pe = pe
 	req := c.ls.req
 
-	// Conditional GET.
-	if !req.IfModifiedSince.IsZero() && pe.ModTime <= req.IfModifiedSince.Unix() {
-		s.notModified(c)
+	etag := ""
+	if !s.cfg.DisableETags {
+		etag = httpmsg.MakeETag(pe.Size, pe.ModTime)
+	}
+
+	// Conditional GET: If-None-Match takes precedence over
+	// If-Modified-Since (RFC 7232 §6).
+	if etag != "" && req.IfNoneMatch != "" {
+		if httpmsg.ETagMatch(req.IfNoneMatch, etag) {
+			s.notModified(c, etag)
+			return
+		}
+	} else if !req.IfModifiedSince.IsZero() && pe.ModTime <= req.IfModifiedSince.Unix() {
+		s.notModified(c, etag)
 		return
 	}
 
-	// Response header (§5.3), cached against the file's mtime.
+	// Single-range requests (RFC 7233) apply to GET only; an If-Range
+	// validator mismatch falls back to the full body.
+	status, off, length := 200, int64(0), pe.Size
+	contentRange := ""
+	if req.Range != nil && req.Method == "GET" && !s.cfg.DisableRanges &&
+		(req.IfRange == "" || httpmsg.MatchIfRange(req.IfRange, etag, pe.ModTime)) {
+		o, n, ok := req.Range.Resolve(pe.Size)
+		if !ok {
+			s.rangeNotSatisfiable(c, pe.Size)
+			return
+		}
+		status, off, length = 206, o, n
+		contentRange = fmt.Sprintf("bytes %d-%d/%d", off, off+length-1, pe.Size)
+	}
+	c.ls.status = status
+
+	// Response header (§5.3), cached against the file's mtime, keyed by
+	// range-ness so partial and full variants never collide. All range
+	// windows share ONE variant slot per path (hit only when the stored
+	// window matches): byte windows are client-chosen and effectively
+	// unbounded, so per-window keys would let one file's ranges flush
+	// hot full-response headers out of the shared LRU.
+	slot := ""
+	if status == 206 {
+		slot = rangeVariantSlot
+	}
 	var hdr []byte
-	if he, ok := s.hdrs.Get(pe.Translated, pe.ModTime); ok && he.Size == pe.Size {
+	if he, ok := s.hdrs.GetVariant(pe.Translated, slot, pe.ModTime); ok &&
+		he.Size == pe.Size && he.Variant == contentRange {
 		hdr = he.Header
 	} else {
 		hdr = httpmsg.BuildHeader(httpmsg.ResponseMeta{
-			Status:        200,
+			Status:        status,
 			Proto:         req.Proto,
 			ContentType:   httpmsg.ContentTypeFor(pe.Translated),
-			ContentLength: pe.Size,
+			ContentLength: length,
 			ModTime:       time.Unix(pe.ModTime, 0),
 			Date:          s.cfg.Clock(),
 			KeepAlive:     req.KeepAlive,
 			ServerName:    s.cfg.ServerName,
+			ETag:          etag,
+			ContentRange:  contentRange,
 		}, !s.cfg.DisableHeaderAlign)
-		s.hdrs.Put(pe.Translated, cache.HeaderEntry{
-			Header: hdr, Size: pe.Size, ModTime: pe.ModTime,
+		s.hdrs.PutVariant(pe.Translated, slot, cache.HeaderEntry{
+			Header: hdr, Size: pe.Size, ModTime: pe.ModTime, Variant: contentRange,
 		})
 	}
 	// The cached header was built for some request's persistence mode;
 	// patch if it disagrees (cheap compare against rebuild).
-	hdr = s.fixPersistence(hdr, req)
+	hdr = headerFor(req, s.fixPersistence(hdr, req))
 
 	c.ls.hdr = hdr
-	if req.Method == "HEAD" || pe.Size == 0 {
-		c.ls.totalItems = 1
+	if req.Method == "HEAD" || length == 0 {
 		s.queueItem(c, writeItem{data: hdr, last: true, onDone: nil})
 		return
 	}
-	c.ls.totalItems = s.chunks.NumChunks(pe.Size)
+	c.ls.rangeOff = off
+	c.ls.rangeEnd = off + length
+	c.ls.firstChunk = int(off / s.chunks.ChunkSize())
+	c.ls.endChunk = int((off+length-1)/s.chunks.ChunkSize()) + 1
+	c.ls.nextChunk = c.ls.firstChunk
 	s.sendNextChunk(c)
 }
 
-// fixPersistence rewrites the Connection header of a cached response
-// header when the current request's keep-alive mode differs.
+// fixPersistence rewrites the request-specific parts of a cached
+// response header when the current request disagrees with the one the
+// header was built for: the Connection header, and the status line's
+// protocol version ("HTTP/1.0" and "HTTP/1.1" are the same length, so
+// the swap never disturbs the §5.5 alignment).
 func (s *shard) fixPersistence(hdr []byte, req *httpmsg.Request) []byte {
 	const ka = "Connection: keep-alive\r\n"
 	const cl = "Connection: close\r\n"
 	h := string(hdr)
+	changed := false
+	if proto := responseProto(req); !strings.HasPrefix(h, proto) {
+		h = proto + h[len(proto):]
+		changed = true
+	}
 	if req.KeepAlive && strings.Contains(h, cl) {
-		// keep-alive is 3 bytes longer than close; padding absorbs it
-		// only approximately, so rebuild via replace (rare path).
-		return []byte(strings.Replace(h, cl, ka, 1))
+		h = strings.Replace(h, cl, ka, 1)
+		changed = true
+	} else if !req.KeepAlive && strings.Contains(h, ka) {
+		h = strings.Replace(h, ka, cl, 1)
+		changed = true
 	}
-	if !req.KeepAlive && strings.Contains(h, ka) {
-		return []byte(strings.Replace(h, ka, cl, 1))
+	if !changed {
+		return hdr
 	}
-	return hdr
+	return []byte(h)
 }
 
 // sendNextChunk ensures the next chunk is mapped and queues its write.
@@ -200,7 +258,7 @@ func (s *shard) sendNextChunk(c *conn) {
 	pe := ls.pe
 	idx := ls.nextChunk
 	key := cache.ChunkKey{Path: pe.Translated, Index: idx}
-	last := idx == ls.totalItems-1
+	last := idx == ls.endChunk-1
 
 	if ch := s.chunks.Lookup(key); ch != nil {
 		// "mincore says resident": send directly.
@@ -227,7 +285,7 @@ func (s *shard) sendNextChunk(c *conn) {
 				// Stale caches detected by the mapping layer (§5.3-5.4):
 				// invalidate and restart this request against the new file.
 				s.invalidateFile(ls.req.Path, pe)
-				if idx == 0 && ls.hdr != nil && !ls.inFlight {
+				if idx == ls.firstChunk && ls.hdr != nil && !ls.inFlight {
 					req := ls.req
 					s.handleRequest(c, req)
 					return
@@ -241,13 +299,31 @@ func (s *shard) sendNextChunk(c *conn) {
 	})
 }
 
-// queueChunk queues one pinned chunk (plus the header, on the first).
+// queueChunk queues one pinned chunk (plus the header, on the first),
+// clamping the transmitted bytes to the response's byte window.
 func (s *shard) queueChunk(c *conn, ch *cache.Chunk, last bool) {
-	item := writeItem{chunk: ch, last: last}
-	if c.ls.nextChunk == 0 {
-		item.data = c.ls.hdr
+	ls := &c.ls
+	idx := ls.nextChunk
+	base := int64(idx) * s.chunks.ChunkSize()
+	a, b := int64(0), int64(len(ch.Data))
+	if ls.rangeOff > base {
+		a = ls.rangeOff - base
 	}
-	c.ls.nextChunk++
+	if ls.rangeEnd < base+b {
+		b = ls.rangeEnd - base
+	}
+	if a < 0 || a > b || b > int64(len(ch.Data)) {
+		// The chunk no longer covers the promised window (file shrank
+		// between identity checks): the response cannot be completed.
+		s.chunks.Release(ch)
+		s.failConn(c)
+		return
+	}
+	item := writeItem{chunk: ch, body: ch.Data[a:b], last: last}
+	if idx == ls.firstChunk {
+		item.data = ls.hdr
+	}
+	ls.nextChunk++
 	s.queueItem(c, item)
 }
 
@@ -298,16 +374,19 @@ func (s *shard) itemDone(c *conn, item writeItem, wrote int64, ok bool) {
 		s.finishResponse(c)
 	case ls.endPending:
 		s.closeWrite(c)
-	case item.onDone == nil && ls.req != nil && ls.nextChunk < ls.totalItems:
+	case item.onDone == nil && ls.req != nil && ls.nextChunk < ls.endChunk:
 		s.sendNextChunk(c)
 	}
 }
 
-// finishResponse completes one request/response exchange.
+// finishResponse completes one request/response exchange. Persistence
+// is decided by the request's (possibly downgraded) keep-alive flag:
+// 4xx responses are correctly framed, so the connection survives them —
+// a pipelined burst keeps its in-order framing across a mid-burst 404.
 func (s *shard) finishResponse(c *conn) {
 	ls := &c.ls
 	s.stats.Responses++
-	keep := ls.req != nil && ls.req.KeepAlive && ls.status < 400 && !s.shutdown
+	keep := ls.req != nil && ls.req.KeepAlive && !s.shutdown
 	if ls.req != nil {
 		s.logAccess(c.nc.RemoteAddr().String(), ls.req, ls.status, ls.bytesSent)
 	}
@@ -356,11 +435,17 @@ func (s *shard) connEnd(c *conn) {
 	s.closeWrite(c)
 }
 
+// rangeVariantSlot is the header-cache variant shared by all 206
+// responses of one path (the entry's Variant field names the window).
+const rangeVariantSlot = "range"
+
 // invalidateFile drops every cache entry derived from a file and closes
 // its cached descriptor.
 func (s *shard) invalidateFile(reqPath string, pe cache.PathEntry) {
 	s.paths.Invalidate(reqPath)
-	s.hdrs.Get(pe.Translated, -1) // mismatched mtime drops the entry
+	// A mismatched mtime drops the entry — both header variants.
+	s.hdrs.Get(pe.Translated, -1)
+	s.hdrs.GetVariant(pe.Translated, rangeVariantSlot, -1)
 	s.chunks.InvalidateFile(pe.Translated, s.chunks.NumChunks(pe.Size))
 	closeEntryFile(pe.File)
 }
@@ -378,8 +463,9 @@ func closeEntryFile(v any) {
 	}
 }
 
-// notModified sends a 304.
-func (s *shard) notModified(c *conn) {
+// notModified sends a 304, echoing the entity tag a 200 would carry
+// (RFC 7232 §4.1).
+func (s *shard) notModified(c *conn, etag string) {
 	req := c.ls.req
 	c.ls.status = 304
 	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
@@ -389,15 +475,63 @@ func (s *shard) notModified(c *conn) {
 		Date:          s.cfg.Clock(),
 		KeepAlive:     req.KeepAlive,
 		ServerName:    s.cfg.ServerName,
+		ETag:          etag,
 	}, !s.cfg.DisableHeaderAlign)
-	c.ls.totalItems = 1
 	s.queueItem(c, writeItem{data: hdr, last: true})
+}
+
+// rangeNotSatisfiable sends a 416 carrying the resource's actual size
+// so the client can retry with a valid range (RFC 7233 §4.4).
+func (s *shard) rangeNotSatisfiable(c *conn, size int64) {
+	req := c.ls.req
+	c.ls.status = 416
+	body := httpmsg.ErrorBody(416)
+	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
+		Status:        416,
+		Proto:         responseProto(req),
+		ContentType:   "text/html",
+		ContentLength: int64(len(body)),
+		ContentRange:  fmt.Sprintf("bytes */%d", size),
+		Date:          s.cfg.Clock(),
+		KeepAlive:     req.KeepAlive,
+		ServerName:    s.cfg.ServerName,
+	}, !s.cfg.DisableHeaderAlign)
+	s.queueItem(c, writeItem{data: append(append([]byte{}, hdr...), body...), last: true})
+}
+
+// responseProto echoes the request's protocol version in responses
+// (0.9 and pre-parse failures fall back to 1.0).
+func responseProto(req *httpmsg.Request) string {
+	if req != nil && req.Proto == "HTTP/1.1" {
+		return "HTTP/1.1"
+	}
+	return "HTTP/1.0"
+}
+
+// headerFor strips the response header for HTTP/0.9 requests, which
+// predate response headers entirely: the body alone is the response.
+func headerFor(req *httpmsg.Request, hdr []byte) []byte {
+	if req != nil && req.Major == 0 {
+		return nil
+	}
+	return hdr
+}
+
+// rejectRequest starts a fresh error exchange for a request the reader
+// refused (parse failure, oversized header, announced body). Unlike
+// errorResponse it resets the loop state first — on a persistent
+// connection it still holds the previous exchange's request, which
+// would otherwise leak into the access log and the echoed protocol
+// version. req may be nil when the bytes never parsed.
+func (s *shard) rejectRequest(c *conn, req *httpmsg.Request, status int) {
+	c.ls = loopState{req: req}
+	s.errorResponse(c, status, false)
 }
 
 // errorResponse sends a complete error response.
 func (s *shard) errorResponse(c *conn, status int, keepAlive bool) {
 	if c.ls.req == nil {
-		c.ls = loopState{req: &httpmsg.Request{Method: "GET", Target: "-", Proto: "HTTP/1.0"}}
+		c.ls = loopState{req: &httpmsg.Request{Method: "GET", Target: "-", Proto: "HTTP/1.0", Major: 1}}
 	}
 	ls := &c.ls
 	ls.status = status
@@ -407,7 +541,7 @@ func (s *shard) errorResponse(c *conn, status int, keepAlive bool) {
 	body := httpmsg.ErrorBody(status)
 	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
 		Status:        status,
-		Proto:         "HTTP/1.0",
+		Proto:         responseProto(ls.req),
 		ContentType:   "text/html",
 		ContentLength: int64(len(body)),
 		Date:          s.cfg.Clock(),
@@ -417,6 +551,6 @@ func (s *shard) errorResponse(c *conn, status int, keepAlive bool) {
 	if ls.req != nil {
 		ls.req.KeepAlive = keepAlive && status < 500
 	}
-	ls.totalItems = 1
+	hdr = headerFor(ls.req, hdr)
 	s.queueItem(c, writeItem{data: append(append([]byte{}, hdr...), body...), last: true})
 }

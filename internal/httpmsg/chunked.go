@@ -1,0 +1,20 @@
+package httpmsg
+
+import "strconv"
+
+// FinalChunk terminates a chunked body (zero-size chunk, no trailers).
+var FinalChunk = []byte("0\r\n\r\n")
+
+// AppendChunk appends data framed as one HTTP/1.1 chunk (hex size,
+// CRLF, data, CRLF) to dst and returns the extended slice. Empty data
+// appends nothing — a zero-size chunk would terminate the body; send
+// FinalChunk for that.
+func AppendChunk(dst, data []byte) []byte {
+	if len(data) == 0 {
+		return dst
+	}
+	dst = strconv.AppendInt(dst, int64(len(data)), 16)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, data...)
+	return append(dst, '\r', '\n')
+}

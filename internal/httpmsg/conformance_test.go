@@ -1,0 +1,187 @@
+package httpmsg
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *ByteRange
+	}{
+		{"bytes=0-99", &ByteRange{Start: 0, End: 99}},
+		{"bytes=5-", &ByteRange{Start: 5, End: -1}},
+		{"bytes=-5", &ByteRange{Start: -1, End: 5, Suffix: true}},
+		{"bytes=-0", &ByteRange{Start: -1, End: 0, Suffix: true}},
+		{" bytes = 0-1", nil}, // space inside the unit
+		{"bytes= 0-1", &ByteRange{Start: 0, End: 1}},
+		{"BYTES=0-1", &ByteRange{Start: 0, End: 1}},
+		{"bytes=0-0,5-6", nil}, // multi-range unsupported
+		{"bytes=5-4", nil},     // inverted
+		{"bytes=", nil},
+		{"bytes=-", nil},
+		{"bytes=a-b", nil},
+		{"potato=0-5", nil},
+		{"bytes=−5", nil}, // unicode minus
+		{"", nil},
+	}
+	for _, tc := range cases {
+		got := ParseRange(tc.in)
+		switch {
+		case got == nil && tc.want == nil:
+		case got == nil || tc.want == nil || *got != *tc.want:
+			t.Errorf("ParseRange(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestByteRangeResolve(t *testing.T) {
+	cases := []struct {
+		r      ByteRange
+		size   int64
+		off, n int64
+		ok     bool
+	}{
+		{ByteRange{Start: 0, End: 99}, 1000, 0, 100, true},
+		{ByteRange{Start: 0, End: 99}, 50, 0, 50, true},  // end clamped
+		{ByteRange{Start: 0, End: 0}, 13, 0, 1, true},    // first byte
+		{ByteRange{Start: 5, End: -1}, 13, 5, 8, true},   // open-ended
+		{ByteRange{Start: 13, End: -1}, 13, 0, 0, false}, // start at size
+		{ByteRange{Start: 100, End: 200}, 13, 0, 0, false},
+		{ByteRange{Start: -1, End: 5, Suffix: true}, 13, 8, 5, true},
+		{ByteRange{Start: -1, End: 99, Suffix: true}, 13, 0, 13, true}, // suffix clamped
+		{ByteRange{Start: -1, End: 0, Suffix: true}, 13, 0, 0, false},  // zero suffix
+		{ByteRange{Start: 0, End: -1}, 0, 0, 0, false},                 // empty file
+	}
+	for _, tc := range cases {
+		off, n, ok := tc.r.Resolve(tc.size)
+		if off != tc.off || n != tc.n || ok != tc.ok {
+			t.Errorf("%+v.Resolve(%d) = (%d, %d, %v), want (%d, %d, %v)",
+				tc.r, tc.size, off, n, ok, tc.off, tc.n, tc.ok)
+		}
+	}
+}
+
+func TestETagMatch(t *testing.T) {
+	etag := MakeETag(1234, 5678)
+	if !strings.HasPrefix(etag, "\"") || !strings.HasSuffix(etag, "\"") {
+		t.Fatalf("MakeETag not quoted: %q", etag)
+	}
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{etag, true},
+		{"*", true},
+		{"W/" + etag, true}, // weak comparison
+		{"\"other\", " + etag, true},
+		{" " + etag + " ", true},
+		{"\"other\"", false},
+		{"", false},
+	}
+	for _, tc := range cases {
+		if got := ETagMatch(tc.header, etag); got != tc.want {
+			t.Errorf("ETagMatch(%q, %q) = %v, want %v", tc.header, etag, got, tc.want)
+		}
+	}
+}
+
+func TestMatchIfRange(t *testing.T) {
+	etag := MakeETag(13, 1000)
+	lm := time.Unix(1000, 0)
+	cases := []struct {
+		val  string
+		want bool
+	}{
+		{etag, true},
+		{"\"nope\"", false},
+		{"W/" + etag, false}, // weak never matches strongly
+		{FormatHTTPTime(lm), true},
+		{FormatHTTPTime(lm.Add(time.Hour)), false},
+		{"not a date", false},
+	}
+	for _, tc := range cases {
+		if got := MatchIfRange(tc.val, etag, 1000); got != tc.want {
+			t.Errorf("MatchIfRange(%q) = %v, want %v", tc.val, got, tc.want)
+		}
+	}
+}
+
+func TestAppendChunk(t *testing.T) {
+	out := AppendChunk(nil, []byte("hello"))
+	if string(out) != "5\r\nhello\r\n" {
+		t.Fatalf("AppendChunk = %q", out)
+	}
+	out = AppendChunk(out, nil) // empty data appends nothing
+	if string(out) != "5\r\nhello\r\n" {
+		t.Fatalf("AppendChunk with empty data = %q", out)
+	}
+	big := make([]byte, 0x1a)
+	out = AppendChunk(nil, big)
+	if !strings.HasPrefix(string(out), "1a\r\n") {
+		t.Fatalf("hex size wrong: %q", out[:8])
+	}
+}
+
+func TestBuildHeaderChunkedAndRange(t *testing.T) {
+	h := string(BuildHeader(ResponseMeta{Status: 200, Chunked: true, ContentLength: -1}, false))
+	if !strings.Contains(h, "Transfer-Encoding: chunked\r\n") {
+		t.Fatalf("missing Transfer-Encoding: %q", h)
+	}
+	if strings.Contains(h, "Content-Length:") {
+		t.Fatalf("chunked header carries Content-Length: %q", h)
+	}
+
+	h = string(BuildHeader(ResponseMeta{
+		Status: 206, ContentLength: 100,
+		ContentRange: "bytes 0-99/1234", ETag: "\"abc\"",
+	}, true))
+	if !strings.Contains(h, "Content-Range: bytes 0-99/1234\r\n") {
+		t.Fatalf("missing Content-Range: %q", h)
+	}
+	if !strings.Contains(h, "ETag: \"abc\"\r\n") {
+		t.Fatalf("missing ETag: %q", h)
+	}
+	if !strings.Contains(h, " 206 Partial Content\r\n") {
+		t.Fatalf("missing 206 status: %q", h)
+	}
+	if len(h)%HeaderAlign != 0 {
+		t.Fatalf("aligned 206 header length %d not a multiple of %d", len(h), HeaderAlign)
+	}
+}
+
+func TestParseRequestValidators(t *testing.T) {
+	req, err := ParseRequest([]byte("GET /f HTTP/1.1\r\nHost: h\r\n" +
+		"Range: bytes=1-2\r\nIf-None-Match: \"x\"\r\nIf-Range: \"y\"\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Range == nil || req.Range.Start != 1 || req.Range.End != 2 {
+		t.Fatalf("Range = %+v", req.Range)
+	}
+	if req.IfNoneMatch != "\"x\"" || req.IfRange != "\"y\"" {
+		t.Fatalf("validators = %q / %q", req.IfNoneMatch, req.IfRange)
+	}
+
+	// Malformed Range is ignored, not an error.
+	req, err = ParseRequest([]byte("GET /f HTTP/1.0\r\nRange: bytes=9-3\r\n\r\n"))
+	if err != nil || req.Range != nil {
+		t.Fatalf("malformed range: req.Range=%+v err=%v", req.Range, err)
+	}
+}
+
+func TestParseRequestRejectsSmuggling(t *testing.T) {
+	bad := []string{
+		"GET /%00 HTTP/1.0\r\n\r\n",            // NUL via escape
+		"GET /%0d%0aX: y HTTP/1.0\r\n\r\n",     // CRLF via escape
+		"GET / HTTP/1.1\r\nHost: a\rb\r\n\r\n", // bare CR in header
+		"GE\x00T / HTTP/1.0\r\n\r\n",           // NUL in request line
+	}
+	for _, s := range bad {
+		if _, err := ParseRequest([]byte(s)); err == nil {
+			t.Errorf("ParseRequest(%q) accepted a smuggling vector", s)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package httpmsg
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRequest feeds arbitrary byte blocks to the request parser.
+// Invariants: no panics; an accepted request exposes no CR/LF/NUL in
+// any field that could reach a response or log line; and a response
+// header built from the request round-trips as exactly one well-formed
+// header block (no CRLF injection).
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		"GET / HTTP/1.0\r\n\r\n",
+		"GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n",
+		"GET /a/b/../c%20d.txt?q=1&r=2 HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+		"HEAD /x HTTP/1.1\r\nHost: h\r\nRange: bytes=0-99\r\n\r\n",
+		"GET /x HTTP/1.1\r\nHost: h\r\nRange: bytes=-5\r\nIf-Range: \"abc\"\r\n\r\n",
+		"GET /x HTTP/1.1\r\nHost: h\r\nIf-None-Match: \"a\", W/\"b\", *\r\n\r\n",
+		"GET /x HTTP/1.1\r\nHost: h\r\nIf-Modified-Since: Sun, 06 Nov 1994 08:49:37 GMT\r\n\r\n",
+		"GET /simple\r\n\r\n", // HTTP/0.9
+		"GET / HTTP/1.1\nHost: bare-lf\n\n",
+		"POST /form HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\n",
+		"\r\nGET /preamble HTTP/1.1\r\nHost: h\r\n\r\n",
+		// Malformed shapes.
+		"NONSENSE\r\n\r\n",
+		"GET / HTTP/9.9\r\n\r\n",
+		"GET /%zz HTTP/1.0\r\n\r\n",
+		"GET /%00 HTTP/1.0\r\n\r\n",
+		"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+		"GET / HTTP/1.1\r\n: empty-key\r\n\r\n",
+		"GET / HTTP/1.1\r\nHost: a\rb\r\n\r\n",
+		"GET /x HTTP/1.1\r\nHost: h\r\nRange: bytes=0-0,5-6\r\n\r\n",
+		"GET /x HTTP/1.1\r\nHost: h\r\nRange: bytes=5-4\r\n\r\n",
+		"\x00\x01\x02\r\n\r\n",
+		strings.Repeat("A", 9000) + "\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("non-nil request alongside error")
+			}
+			return
+		}
+
+		// Determinism: parsing the same bytes twice agrees.
+		again, err2 := ParseRequest(data)
+		if err2 != nil || !reflect.DeepEqual(req, again) {
+			t.Fatalf("non-deterministic parse: %v", err2)
+		}
+
+		// Accepted request ⇒ a complete request head exists (header
+		// block, or 0.9 simple request).
+		if RequestEnd(data) <= 0 {
+			t.Fatal("accepted request without a complete head")
+		}
+
+		// No line-break or NUL bytes in any parsed field.
+		for name, v := range map[string]string{
+			"Method": req.Method, "Target": req.Target, "Proto": req.Proto,
+			"Path": req.Path, "Query": req.Query,
+		} {
+			if strings.ContainsAny(v, "\r\n\x00") {
+				t.Fatalf("%s contains CR/LF/NUL: %q", name, v)
+			}
+		}
+		for k, v := range req.Headers {
+			if strings.ContainsAny(k, "\r\n\x00") || strings.ContainsAny(v, "\r\n\x00") {
+				t.Fatalf("header %q: %q contains CR/LF/NUL", k, v)
+			}
+		}
+		if !strings.HasPrefix(req.Path, "/") {
+			t.Fatalf("Path %q does not start with /", req.Path)
+		}
+		for _, seg := range strings.Split(req.Path, "/") {
+			if seg == ".." {
+				t.Fatalf("Path %q escapes the root", req.Path)
+			}
+		}
+
+		// Round-trip: a response built for this request is exactly one
+		// well-formed header block — CRLF injection via any request
+		// field would split it.
+		hdr := BuildHeader(ResponseMeta{
+			Status:        200,
+			Proto:         req.Proto,
+			ContentType:   ContentTypeFor(req.Path),
+			ContentLength: 0,
+			ETag:          MakeETag(1234, 5678),
+			KeepAlive:     req.KeepAlive,
+		}, true)
+		if HeaderEnd(hdr) != len(hdr) {
+			t.Fatalf("built header does not end at its terminator: %q", hdr)
+		}
+		if bytes.Contains(hdr[:len(hdr)-4], []byte("\r\n\r\n")) {
+			t.Fatalf("premature terminator inside header: %q", hdr)
+		}
+		lines := strings.Split(strings.TrimSuffix(string(hdr), "\r\n\r\n"), "\r\n")
+		if !strings.HasPrefix(lines[0], req.Proto+" ") && req.Proto != "HTTP/0.9" {
+			t.Fatalf("status line %q does not echo proto %q", lines[0], req.Proto)
+		}
+		for _, ln := range lines[1:] {
+			if ln == "" || strings.ContainsAny(ln, "\r\n") {
+				t.Fatalf("malformed header line %q in %q", ln, hdr)
+			}
+			if !strings.Contains(ln, ": ") {
+				t.Fatalf("header line %q lacks a separator", ln)
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package httpmsg
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ByteRange is one parsed byte-range-spec from a Range header
+// (RFC 7233). Three shapes exist:
+//
+//   - "A-B": Start=A, End=B (inclusive)
+//   - "A-":  Start=A, End=-1 (to end of file)
+//   - "-N":  Suffix=true, End=N (last N bytes)
+type ByteRange struct {
+	Start  int64
+	End    int64
+	Suffix bool
+}
+
+// ParseRange parses a Range header value. It returns nil when the
+// header should be ignored (wrong unit, multiple ranges, or a malformed
+// spec) — RFC 7233 lets a server ignore any Range header it does not
+// support, falling back to a full 200 response. Satisfiability against
+// a concrete file size is decided later by Resolve.
+func ParseRange(v string) *ByteRange {
+	v = strings.TrimSpace(v)
+	if len(v) < len("bytes=") || !strings.EqualFold(v[:len("bytes=")], "bytes=") {
+		return nil
+	}
+	spec := strings.TrimSpace(v[len("bytes="):])
+	if spec == "" || strings.ContainsRune(spec, ',') {
+		return nil // multiple ranges: unsupported, ignore
+	}
+	dash := strings.IndexByte(spec, '-')
+	if dash < 0 {
+		return nil
+	}
+	first, last := strings.TrimSpace(spec[:dash]), strings.TrimSpace(spec[dash+1:])
+	if first == "" {
+		// Suffix form "-N".
+		n, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || n < 0 {
+			return nil
+		}
+		return &ByteRange{Start: -1, End: n, Suffix: true}
+	}
+	start, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || start < 0 {
+		return nil
+	}
+	if last == "" {
+		return &ByteRange{Start: start, End: -1}
+	}
+	end, err := strconv.ParseInt(last, 10, 64)
+	if err != nil || end < start {
+		return nil
+	}
+	return &ByteRange{Start: start, End: end}
+}
+
+// Resolve maps the range onto a file of the given size, returning the
+// absolute byte offset and length to serve. ok is false when the range
+// is unsatisfiable (RFC 7233 §4.4: respond 416).
+func (r *ByteRange) Resolve(size int64) (off, n int64, ok bool) {
+	if r.Suffix {
+		if r.End <= 0 || size <= 0 {
+			return 0, 0, false
+		}
+		n = r.End
+		if n > size {
+			n = size
+		}
+		return size - n, n, true
+	}
+	if r.Start >= size {
+		return 0, 0, false
+	}
+	end := r.End
+	if end < 0 || end >= size {
+		end = size - 1
+	}
+	return r.Start, end - r.Start + 1, true
+}

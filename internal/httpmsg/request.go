@@ -34,6 +34,14 @@ type Request struct {
 	// IfModifiedSince is the parsed conditional time, zero if absent
 	// or unparseable.
 	IfModifiedSince time.Time
+	// IfNoneMatch is the raw If-None-Match header value ("" if absent).
+	// When present it takes precedence over IfModifiedSince (RFC 7232).
+	IfNoneMatch string
+	// IfRange is the raw If-Range header value ("" if absent).
+	IfRange string
+	// Range is the parsed single byte range, nil when the header is
+	// absent or should be ignored (malformed, multi-range).
+	Range *ByteRange
 }
 
 // Errors returned by the parser.
@@ -63,10 +71,36 @@ func HeaderEnd(buf []byte) int {
 	return -1
 }
 
-// ParseRequest parses a complete request header block (including the
-// terminating blank line).
+// SimpleRequestEnd returns the index just past a complete HTTP/0.9
+// simple request ("GET /path" + one line break, no version token, no
+// headers), or -1. A 1.x request line never matches: its three fields
+// include the HTTP version.
+func SimpleRequestEnd(buf []byte) int {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return -1
+	}
+	f := strings.Fields(strings.TrimRight(string(buf[:i]), "\r"))
+	if len(f) != 2 || f[0] != "GET" {
+		return -1
+	}
+	return i + 1
+}
+
+// RequestEnd returns the index just past one complete request head —
+// a terminated header block or an HTTP/0.9 simple request — or -1.
+func RequestEnd(buf []byte) int {
+	if e := HeaderEnd(buf); e >= 0 {
+		return e
+	}
+	return SimpleRequestEnd(buf)
+}
+
+// ParseRequest parses a complete request head: a header block including
+// the terminating blank line, or an HTTP/0.9 simple request (a lone
+// "GET /path" line, which has no headers to terminate).
 func ParseRequest(buf []byte) (*Request, error) {
-	end := HeaderEnd(buf)
+	end := RequestEnd(buf)
 	if end < 0 {
 		if len(buf) > MaxHeaderLen {
 			return nil, ErrHeaderTooBig
@@ -79,6 +113,15 @@ func ParseRequest(buf []byte) (*Request, error) {
 		return nil, ErrMalformed
 	}
 
+	// Tolerate a blank-line preamble before the request line (RFC 7230
+	// §3.5: robust servers ignore at least one stray CRLF).
+	for len(lines) > 0 && lines[0] == "" {
+		lines = lines[1:]
+	}
+	if len(lines) == 0 {
+		return nil, ErrMalformed
+	}
+
 	r := &Request{Headers: make(map[string]string)}
 	if err := r.parseRequestLine(lines[0]); err != nil {
 		return nil, err
@@ -86,6 +129,11 @@ func ParseRequest(buf []byte) (*Request, error) {
 	for _, ln := range lines[1:] {
 		if ln == "" {
 			break
+		}
+		if hasCtl(ln) {
+			// Bare CR, NUL, and friends inside a header line are
+			// request-smuggling vectors.
+			return nil, ErrMalformed
 		}
 		colon := strings.IndexByte(ln, ':')
 		if colon <= 0 {
@@ -103,7 +151,21 @@ func ParseRequest(buf []byte) (*Request, error) {
 	return r, nil
 }
 
+// hasCtl reports whether s contains a control byte (except HTAB, legal
+// in header field values) — none belong anywhere in a request head.
+func hasCtl(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if (s[i] < 0x20 && s[i] != '\t') || s[i] == 0x7f {
+			return true
+		}
+	}
+	return false
+}
+
 func (r *Request) parseRequestLine(line string) error {
+	if hasCtl(line) {
+		return ErrMalformed
+	}
 	parts := strings.Fields(line)
 	switch len(parts) {
 	case 3:
@@ -136,6 +198,13 @@ func (r *Request) parseRequestLine(line string) error {
 	if err != nil {
 		return ErrMalformed
 	}
+	for i := 0; i < len(decoded); i++ {
+		if decoded[i] < 0x20 || decoded[i] == 0x7f {
+			// Control bytes (notably NUL, CR, LF via %-escapes) have no
+			// business in a path and would poison logs and headers.
+			return ErrMalformed
+		}
+	}
 	r.Path = CleanPath(decoded)
 	return nil
 }
@@ -154,6 +223,11 @@ func (r *Request) applyDefaults() {
 		if t, err := ParseHTTPTime(ims); err == nil {
 			r.IfModifiedSince = t
 		}
+	}
+	r.IfNoneMatch = r.Headers["if-none-match"]
+	r.IfRange = r.Headers["if-range"]
+	if rg, ok := r.Headers["range"]; ok {
+		r.Range = ParseRange(rg)
 	}
 }
 

@@ -33,10 +33,14 @@ func StatusText(code int) string {
 		return "Method Not Allowed"
 	case 408:
 		return "Request Timeout"
+	case 412:
+		return "Precondition Failed"
 	case 413:
 		return "Request Entity Too Large"
 	case 414:
 		return "Request-URI Too Long"
+	case 416:
+		return "Range Not Satisfiable"
 	case 500:
 		return "Internal Server Error"
 	case 501:
@@ -53,11 +57,14 @@ type ResponseMeta struct {
 	Status        int
 	Proto         string // defaults to HTTP/1.1
 	ContentType   string
-	ContentLength int64 // -1 omits the header (close-delimited body)
+	ContentLength int64 // -1 omits the header (close- or chunk-delimited)
 	ModTime       time.Time
 	Date          time.Time
 	KeepAlive     bool
 	ServerName    string // defaults to DefaultServerName
+	ETag          string // emitted verbatim when non-empty
+	ContentRange  string // e.g. "bytes 0-99/1234" (206) or "bytes */1234" (416)
+	Chunked       bool   // emit Transfer-Encoding: chunked (body framed by AppendChunk)
 	ExtraHeaders  []string
 }
 
@@ -92,13 +99,21 @@ func BuildHeader(m ResponseMeta, align bool) []byte {
 	if m.ContentType != "" {
 		fmt.Fprintf(&b, "Content-Type: %s\r\n", m.ContentType)
 	}
-	if m.ContentLength >= 0 {
+	if m.Chunked {
+		b.WriteString("Transfer-Encoding: chunked\r\n")
+	} else if m.ContentLength >= 0 {
 		b.WriteString("Content-Length: ")
 		b.WriteString(strconv.FormatInt(m.ContentLength, 10))
 		b.WriteString("\r\n")
 	}
+	if m.ContentRange != "" {
+		fmt.Fprintf(&b, "Content-Range: %s\r\n", m.ContentRange)
+	}
 	if !m.ModTime.IsZero() {
 		fmt.Fprintf(&b, "Last-Modified: %s\r\n", FormatHTTPTime(m.ModTime))
+	}
+	if m.ETag != "" {
+		fmt.Fprintf(&b, "ETag: %s\r\n", m.ETag)
 	}
 	if m.KeepAlive {
 		b.WriteString("Connection: keep-alive\r\n")
