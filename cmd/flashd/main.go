@@ -7,6 +7,7 @@
 //	flashd -root ./public [-addr :8080] [-loops N] [-helpers 8] [-status]
 //	       [-userdir-base /home -userdir-suffix public_html]
 //	       [-access-log access.log] [-map-cache-mb 64] [-path-cache 6000]
+//	       [-sendfile-threshold 262144]
 package main
 
 import (
@@ -38,6 +39,8 @@ func main() {
 		accessLog  = flag.String("access-log", "", "Common Log Format access log file")
 		status     = flag.Bool("status", false, "serve live statistics at /server-status")
 		noAlign    = flag.Bool("no-align", false, "disable 32-byte response header alignment")
+		sfThresh   = flag.Int64("sendfile-threshold", flash.DefaultSendfileThreshold,
+			"minimum body bytes for the zero-copy sendfile transport (0 disables)")
 	)
 	flag.Parse()
 	if *root == "" {
@@ -56,6 +59,12 @@ func main() {
 		UserDirBase:        *userBase,
 		UserDirSuffix:      *userSuffix,
 		DisableHeaderAlign: *noAlign,
+		SendfileThreshold:  *sfThresh,
+	}
+	if *sfThresh == 0 {
+		// The flag's "0 = off" maps to the config's negative sentinel
+		// (a zero Config field means "use the default threshold").
+		cfg.SendfileThreshold = -1
 	}
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -91,7 +100,8 @@ func main() {
 				fmt.Fprintf(&b, "responses:     %d\n", st.Responses)
 				fmt.Fprintf(&b, "not found:     %d\n", st.NotFound)
 				fmt.Fprintf(&b, "errors:        %d\n", st.Errors)
-				fmt.Fprintf(&b, "bytes sent:    %d\n", st.BytesSent)
+				fmt.Fprintf(&b, "bytes sent:    %d (sendfile: %d, copied: %d)\n",
+					st.BytesSent, st.BytesSendfile, st.BytesCopied)
 				fmt.Fprintf(&b, "helper jobs:   %d\n", st.HelperJobs)
 				fmt.Fprintf(&b, "dynamic calls: %d\n", st.DynamicCalls)
 				fmt.Fprintf(&b, "path cache:    %.1f%% hit (%d/%d)\n",

@@ -8,13 +8,18 @@
 //	loadgen -addr localhost:8080 [-clients 64] [-duration 10s]
 //	        [-path /index.html | -trace access.log] [-keepalive]
 //	        [-range-frac 0.2] [-revalidate-frac 0.2]
+//	        [-large-frac 0.1 -large-path /large.bin]
 //
 // -range-frac issues that fraction of requests with "Range: bytes=0-1023"
 // (exercising the 206 partial-content path); -revalidate-frac issues
 // conditional If-None-Match revalidations using the ETag captured from
-// an earlier 200 for the same path (the 304 path). The summary reports
-// 206 and 304 counts alongside throughput, request rate, and latency
-// percentiles.
+// an earlier 200 for the same path (the 304 path); -large-frac diverts
+// that fraction of requests to -large-path, mixing a byte-bound
+// large-file workload (the sendfile transport's territory) into the
+// request-bound one. The summary reports 206 and 304 counts alongside
+// throughput in both requests/s and MB/s — large-file workloads are
+// byte-bound, so the request rate alone hides transport effects —
+// plus latency percentiles.
 package main
 
 import (
@@ -53,6 +58,8 @@ func main() {
 		keepAlive = flag.Bool("keepalive", false, "use persistent connections")
 		rangeFrac = flag.Float64("range-frac", 0, "fraction of requests sent as Range requests (0..1)")
 		revalFrac = flag.Float64("revalidate-frac", 0, "fraction of requests sent as If-None-Match revalidations (0..1)")
+		largeFrac = flag.Float64("large-frac", 0, "fraction of requests diverted to -large-path (0..1)")
+		largePath = flag.String("large-path", "/large.bin", "path requested by the -large-frac share of the mix")
 	)
 	flag.Parse()
 
@@ -95,12 +102,18 @@ func main() {
 		return paths[int(i)%len(paths)]
 	}
 
+	mix := clientMix{
+		rangeFrac: *rangeFrac,
+		revalFrac: *revalFrac,
+		largeFrac: *largeFrac,
+		largePath: *largePath,
+	}
 	start := time.Now()
 	for i := 0; i < *clients; i++ {
 		wg.Add(1)
 		go func(h *metrics.Histogram) {
 			defer wg.Done()
-			runClient(*addr, *keepAlive, *rangeFrac, *revalFrac, next, stop, &c, h.Observe)
+			runClient(*addr, *keepAlive, mix, next, stop, &c, h.Observe)
 		}(&hists[i])
 	}
 	time.Sleep(*duration)
@@ -124,7 +137,10 @@ func main() {
 	fmt.Printf("responses:   %d (%.1f req/s)\n", sum.Responses, sum.RequestsPerSec())
 	fmt.Printf("partial:     %d (206 range responses)\n", c.partial.Load())
 	fmt.Printf("revalidated: %d (304 not-modified responses)\n", c.notModified.Load())
-	fmt.Printf("bandwidth:   %.2f Mb/s\n", sum.MbitPerSec())
+	// Both units: large-file workloads are byte-bound, so MB/s is the
+	// number that moves when the transport does; req/s hides it.
+	fmt.Printf("throughput:  %.2f MB/s (%.2f Mb/s)\n",
+		float64(sum.Bytes)/1e6/elapsed.Seconds(), sum.MbitPerSec())
 	fmt.Printf("errors:      %d\n", sum.Errors)
 	fmt.Printf("latency:     mean=%v p50=%v p90=%v p99=%v max=%v\n",
 		hist.Mean().Round(time.Microsecond),
@@ -134,14 +150,24 @@ func main() {
 		hist.Max().Round(time.Microsecond))
 }
 
-// runClient is one closed-loop client. Range and revalidation mixes
-// use error diffusion (exact fractions, no RNG); revalidations reuse
-// the ETag captured from an earlier 200 for the same path.
-func runClient(addr string, keepAlive bool, rangeFrac, revalFrac float64,
+// clientMix describes the simulated client's request mix: which
+// fractions of requests are diverted to the large-file path, sent as
+// Range requests, or sent as conditional revalidations.
+type clientMix struct {
+	rangeFrac float64
+	revalFrac float64
+	largeFrac float64
+	largePath string
+}
+
+// runClient is one closed-loop client. All mix fractions use error
+// diffusion (exact fractions, no RNG); revalidations reuse the ETag
+// captured from an earlier 200 for the same path.
+func runClient(addr string, keepAlive bool, mix clientMix,
 	next func() string, stop <-chan struct{}, c *counters, observe func(time.Duration)) {
 	var conn net.Conn
 	var br *bufio.Reader
-	var rangeAcc, revalAcc float64
+	var rangeAcc, revalAcc, largeAcc float64
 	etags := make(map[string]string)
 	defer func() {
 		if conn != nil {
@@ -165,9 +191,16 @@ func runClient(addr string, keepAlive bool, rangeFrac, revalFrac float64,
 			br = bufio.NewReader(conn)
 		}
 		path := next()
+		if mix.largeFrac > 0 {
+			largeAcc += mix.largeFrac
+			if largeAcc >= 1 {
+				largeAcc--
+				path = mix.largePath
+			}
+		}
 		extra := ""
-		if revalFrac > 0 {
-			revalAcc += revalFrac
+		if mix.revalFrac > 0 {
+			revalAcc += mix.revalFrac
 			if revalAcc >= 1 {
 				revalAcc--
 				if et := etags[path]; et != "" {
@@ -175,8 +208,8 @@ func runClient(addr string, keepAlive bool, rangeFrac, revalFrac float64,
 				}
 			}
 		}
-		if extra == "" && rangeFrac > 0 {
-			rangeAcc += rangeFrac
+		if extra == "" && mix.rangeFrac > 0 {
+			rangeAcc += mix.rangeFrac
 			if rangeAcc >= 1 {
 				rangeAcc--
 				extra = "Range: bytes=0-1023\r\n"

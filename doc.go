@@ -27,6 +27,18 @@
 //     (DisableRanges, DisableETags, DisableChunked) restore the
 //     paper-faithful subset.
 //
+//     The response data path is one body-source pipeline with two
+//     static transports, chosen per response by
+//     Config.SendfileThreshold: small bodies walk the mapped-chunk
+//     cache and leave in a header-gathering writev (§5.5), while large
+//     bodies ship zero-copy from the pathname cache's refcounted file
+//     descriptor via sendfile(2) on Linux — never entering userspace
+//     or double-buffering in the map cache — with a portable
+//     pread+write fallback on other platforms. Stats.BytesSendfile
+//     and Stats.BytesCopied split the traffic by transport, and a
+//     byte-for-byte equivalence suite holds the two to identical wire
+//     output.
+//
 //   - A deterministic simulation of the paper's 1999 testbed
 //     (internal/sim*, internal/arch, internal/experiments) that rebuilds
 //     the four server architectures — AMPED, SPED, MP, MT — from one

@@ -2,6 +2,8 @@ package cache
 
 import (
 	"fmt"
+	"os"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -400,5 +402,66 @@ func TestMapCacheStatsAdd(t *testing.T) {
 	want := MapCacheStats{Stats: Stats{Hits: 1, Misses: 2}, BytesMapped: 300, BytesUnmapped: 30}
 	if got != want {
 		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+// --- FileRef ---
+
+func TestFileRefClosesOnLastRelease(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("payload"); err != nil {
+		t.Fatal(err)
+	}
+	r := NewFileRef(f)
+	r.Acquire() // a concurrent reader
+	r.Release() // cache entry evicted: descriptor must survive
+	buf := make([]byte, 7)
+	if _, err := r.File().ReadAt(buf, 0); err != nil {
+		t.Fatalf("read through surviving reference: %v", err)
+	}
+	if r.Refs() != 1 {
+		t.Fatalf("Refs = %d, want 1", r.Refs())
+	}
+	r.Release() // last reference: now it closes
+	if _, err := r.File().ReadAt(buf, 0); err == nil {
+		t.Fatal("descriptor still open after last release")
+	}
+}
+
+// TestFileRefConcurrentAcquireRelease hammers one descriptor from many
+// goroutines while the "cache" holds and finally drops its reference —
+// the pattern eviction-during-pread exercises. Run with -race.
+func TestFileRefConcurrentAcquireRelease(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("0123456789"); err != nil {
+		t.Fatal(err)
+	}
+	r := NewFileRef(f)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		r.Acquire() // handed out by the owner before the workers start
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer r.Release()
+			buf := make([]byte, 10)
+			for j := 0; j < 200; j++ {
+				if _, err := r.File().ReadAt(buf, 0); err != nil {
+					t.Errorf("read on live reference: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	r.Release() // the cache evicts mid-flight
+	wg.Wait()
+	if got := r.Refs(); got != 0 {
+		t.Fatalf("Refs = %d, want 0 after all releases", got)
 	}
 }

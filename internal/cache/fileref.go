@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// FileRef is a reference-counted file descriptor shared between the
+// pathname cache and in-flight readers: helper goroutines pread'ing
+// chunks through it, and writer goroutines feeding it to sendfile(2).
+// It mirrors Chunk.refs for descriptors — the cache holds one
+// reference for as long as the entry lives, and every concurrent user
+// acquires its own, so eviction or invalidation can never close a
+// descriptor out from under a read in flight. The descriptor is closed
+// exactly once, when the last reference is released.
+//
+// Unlike Chunk.refs (owned by a single event loop), the count is
+// atomic: releases happen on helper and writer goroutines, not just
+// the loop that owns the cache.
+type FileRef struct {
+	f    *os.File
+	refs atomic.Int32
+}
+
+// NewFileRef adopts f with a reference count of one (the creator's —
+// typically the cache entry's — reference).
+func NewFileRef(f *os.File) *FileRef {
+	r := &FileRef{f: f}
+	r.refs.Store(1)
+	return r
+}
+
+// File returns the underlying descriptor. Valid only while the caller
+// holds a reference.
+func (r *FileRef) File() *os.File { return r.f }
+
+// Acquire adds a reference on behalf of a new user. The caller must
+// already hold a reference (a count observed above zero can otherwise
+// race with the final Release).
+func (r *FileRef) Acquire() *FileRef {
+	r.refs.Add(1)
+	return r
+}
+
+// Release drops one reference, closing the descriptor when the last
+// one goes.
+func (r *FileRef) Release() {
+	if n := r.refs.Add(-1); n == 0 {
+		if r.f != nil {
+			r.f.Close()
+		}
+	} else if n < 0 {
+		panic("cache: FileRef over-released")
+	}
+}
+
+// Refs returns the current reference count (for tests).
+func (r *FileRef) Refs() int { return int(r.refs.Load()) }

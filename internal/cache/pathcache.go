@@ -46,6 +46,12 @@ func NewPathCacheEvict(capacity int, onEvict func(string, PathEntry)) *PathCache
 // Get returns the translation for a requested name.
 func (c *PathCache) Get(name string) (PathEntry, bool) { return c.l.get(name) }
 
+// Peek returns the translation without promoting the entry or counting
+// a hit/miss — for owners that must check whether a stale copy of an
+// entry is still the cached one (e.g. before releasing the descriptor
+// it carries) without distorting the LRU order or the stats.
+func (c *PathCache) Peek(name string) (PathEntry, bool) { return c.l.peek(name) }
+
 // Put records a translation.
 func (c *PathCache) Put(name string, e PathEntry) { c.l.put(name, e) }
 

@@ -23,6 +23,15 @@
 //   - File chunks are immutable []byte buffers; cache eviction drops
 //     the reference while in-flight writers keep theirs, so the garbage
 //     collector plays the role of munmap.
+//   - Every response is produced by one bodySource — the unified
+//     pipeline the loop drives and the writer consumes. Static bodies
+//     pick a transport per response (Config.SendfileThreshold): below
+//     the threshold the chunk-cache walk with header-gathering writev,
+//     at or above it the zero-copy sendfile(2) path straight from the
+//     pathname cache's refcounted descriptor (portable copy fallback
+//     off Linux). Descriptors are refcounted (cache.FileRef), so
+//     eviction never closes a file under an in-flight pread or
+//     sendfile.
 //
 // The three caches and the 32-byte response-header alignment are the
 // paper's §5 optimizations, byte-for-byte the same data structures the
@@ -77,6 +86,17 @@ type Config struct {
 	MapCacheBytes int64
 	// ChunkBytes is the mapping granularity (default 64 KB).
 	ChunkBytes int64
+
+	// SendfileThreshold selects the static-body transport per response:
+	// bodies of at least this many bytes are served straight from the
+	// cached descriptor — zero-copy sendfile(2) on Linux, a portable
+	// pread+write loop elsewhere — skipping the mapped-chunk cache so
+	// large files are not double-buffered in it. Smaller bodies walk
+	// the chunk cache, which stays faster for small hot files (bytes
+	// cached in memory, header gathered with the first chunk into one
+	// writev). Zero defaults to DefaultSendfileThreshold (256 KiB);
+	// negative disables the sendfile transport entirely.
+	SendfileThreshold int64
 
 	// EventLoops is the number of independent AMPED shards: event-loop
 	// goroutines, each owning a private set of pathname/header/chunk
@@ -138,6 +158,11 @@ type Config struct {
 	Clock func() time.Time
 }
 
+// DefaultSendfileThreshold is the body size at which static responses
+// switch from the chunk-cache copy path to the sendfile transport when
+// Config.SendfileThreshold is left zero.
+const DefaultSendfileThreshold = 256 << 10
+
 // Errors returned by configuration validation.
 var (
 	ErrNoDocRoot  = errors.New("flash: Config.DocRoot is required")
@@ -172,6 +197,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.ChunkBytes == 0 {
 		cfg.ChunkBytes = cache.DefaultChunkSize
+	}
+	if cfg.SendfileThreshold == 0 {
+		cfg.SendfileThreshold = DefaultSendfileThreshold
 	}
 	if cfg.EventLoops <= 0 {
 		cfg.EventLoops = runtime.NumCPU()

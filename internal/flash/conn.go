@@ -8,38 +8,36 @@ import (
 	"repro/internal/httpmsg"
 )
 
-// writeItem is one unit of work for a connection's writer goroutine:
-// optional inline bytes (header, error body, dynamic data) followed by
-// an optional immutable file chunk.
+// writeItem is the pipeline's wire format: one unit of work handed
+// from a response's bodySource to the connection's writer goroutine.
+// The writer transmits, in order, the inline bytes (header, error
+// body, dynamic data), then the chunk window — the two gathered into a
+// single writev, the §5.5 pattern — and then, for the zero-copy
+// transport, the descriptor window [sfOff, sfOff+sfLen) shipped with
+// sendfile(2) (or the portable copy loop). Sources produce items one
+// at a time; `last` marks the response's final item.
 type writeItem struct {
 	data  []byte
 	chunk *cache.Chunk
 	// body is the chunk bytes to transmit — a sub-slice of chunk.Data
 	// when a Range request clamps the window, else the whole chunk.
 	body []byte
-	last bool // response ends after this item
-	// onDone, if non-nil, runs on the event loop after the item is
-	// written (or discarded on failure); used by dynamic handlers for
-	// flow control.
-	onDone func(ok bool)
+	// sf, when non-nil, is an acquired descriptor reference whose
+	// [sfOff, sfOff+sfLen) byte window the writer ships after data.
+	sf           *cache.FileRef
+	sfOff, sfLen int64
+	last         bool // response ends after this item
 }
 
-// loopState is the per-connection state owned by the event loop.
+// loopState is the per-response state owned by the event loop. It is
+// reset at the start of every exchange; writer-channel state that must
+// survive mid-exchange resets (request restarts, reader rejections)
+// lives on conn instead.
 type loopState struct {
-	req        *httpmsg.Request
-	pe         cache.PathEntry
-	firstChunk int // first chunk index of the response window
-	endChunk   int // one past the last chunk index (0 = no file body)
-	nextChunk  int
-	rangeOff   int64 // absolute body byte window [rangeOff, rangeEnd)
-	rangeEnd   int64
-	hdr        []byte // pending header bytes for the first item
-	status     int
-	bytesSent  int64
-	inFlight   bool
-	failed     bool
-	writeDone  bool // writeCh has been closed
-	endPending bool // close writeCh when the in-flight item completes
+	req       *httpmsg.Request
+	src       bodySource // produces the response's items
+	status    int
+	bytesSent int64
 }
 
 // conn is one client connection: a reader goroutine (the serve method),
@@ -52,7 +50,15 @@ type conn struct {
 	nextCh  chan bool // loop → reader: response done; proceed if true
 	done    chan struct{}
 
-	ls loopState // loop-owned
+	ls loopState // loop-owned, reset per exchange
+
+	// Writer-channel state, also loop-owned but connection-scoped: a
+	// response restarted mid-exchange must still see that the writer
+	// already failed or that the channel is closed.
+	inFlight   bool
+	failed     bool
+	writeDone  bool // writeCh has been closed
+	endPending bool // close writeCh when the in-flight item completes
 }
 
 func newConn(sh *shard, nc net.Conn) *conn {
@@ -79,7 +85,16 @@ func (c *conn) abort() {
 // responses leave through the single writer in arrival order, which is
 // exactly the in-order guarantee HTTP/1.1 pipelining requires.
 func (c *conn) serve() {
-	go c.writeLoop()
+	// The writer joins the server's WaitGroup (the serve goroutine
+	// already holds it, so the count cannot be zero here): Close waits
+	// for writers before shutting the shard mailboxes, so a final
+	// itemDone post — and the descriptor release it carries — is never
+	// dropped on the floor during shutdown.
+	c.sh.srv.wg.Add(1)
+	go func() {
+		defer c.sh.srv.wg.Done()
+		c.writeLoop()
+	}()
 	defer func() {
 		c.nc.Close()
 		c.sh.post(func() { c.sh.connEnd(c) })
@@ -183,9 +198,11 @@ func (c *conn) waitResponse() bool {
 }
 
 // writeLoop is the writer goroutine: it performs the (potentially
-// blocking) socket writes so the event loop never does. After a write
-// error it keeps draining items, releasing their chunks, until the loop
-// closes the channel.
+// blocking) socket transmission — writev for inline bytes and chunk
+// windows, sendfile or the copy loop for descriptor windows — so the
+// event loop never does. After a write error it keeps draining items,
+// reporting them back so their sources release the pins, until the
+// loop closes the channel.
 func (c *conn) writeLoop() {
 	failed := false
 	for {
@@ -198,31 +215,52 @@ func (c *conn) writeLoop() {
 			}
 		case <-c.done:
 			// Forced shutdown; the caches die with the server, so
-			// in-flight pins need no release.
+			// chunk pins need no release — but a queued descriptor
+			// reference is shared with the path cache and refcounted,
+			// so drop it (FileRef is goroutine-safe).
+			select {
+			case it, ok := <-c.writeCh:
+				if ok && it.sf != nil {
+					it.sf.Release()
+				}
+			default:
+			}
 			return
 		}
-		var wrote int64
+		var wrote, sfWrote int64
 		if !failed {
-			c.nc.SetWriteDeadline(time.Now().Add(c.sh.cfg.WriteTimeout))
-			// Gather header and chunk into one writev (the §5.5 pattern:
-			// aligned header followed by file data in a single call).
-			var bufs net.Buffers
-			if len(item.data) > 0 {
-				bufs = append(bufs, item.data)
-			}
-			if len(item.body) > 0 {
-				bufs = append(bufs, item.body)
-			}
-			if len(bufs) > 0 {
-				n, err := bufs.WriteTo(c.nc)
-				wrote += n
+			if item.sf != nil {
+				// Transport item: header first, then the descriptor
+				// window — zero-copy where the platform supports it.
+				n, sfn, err := transportSend(c.nc, item.data, item.sf.File(),
+					item.sfOff, item.sfLen, c.sh.cfg.WriteTimeout)
+				wrote, sfWrote = n, sfn
 				if err != nil {
 					failed = true
+				}
+			} else {
+				c.nc.SetWriteDeadline(time.Now().Add(c.sh.cfg.WriteTimeout))
+				// Gather header and chunk into one writev (the §5.5
+				// pattern: aligned header followed by file data in a
+				// single call).
+				var bufs net.Buffers
+				if len(item.data) > 0 {
+					bufs = append(bufs, item.data)
+				}
+				if len(item.body) > 0 {
+					bufs = append(bufs, item.body)
+				}
+				if len(bufs) > 0 {
+					n, err := bufs.WriteTo(c.nc)
+					wrote += n
+					if err != nil {
+						failed = true
+					}
 				}
 			}
 		}
 		done := item
 		nowFailed := failed
-		c.sh.post(func() { c.sh.itemDone(c, done, wrote, !nowFailed) })
+		c.sh.post(func() { c.sh.itemDone(c, done, wrote, sfWrote, !nowFailed) })
 	}
 }

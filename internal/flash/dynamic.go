@@ -1,7 +1,6 @@
 package flash
 
 import (
-	"fmt"
 	"io"
 
 	"repro/internal/httpmsg"
@@ -31,15 +30,49 @@ func (f DynamicFunc) ServeDynamic(req *httpmsg.Request) (int, string, io.ReadClo
 // connection writer.
 const dynBufSize = 32 << 10
 
-// startDynamic launches the handler goroutine and streams its output.
-// On HTTP/1.1 the body is chunk-encoded so no Content-Length is needed
-// and the connection can persist; on 1.0 (or with DisableChunked) the
-// body is close-delimited as before. Runs on the event loop.
+// streamSource is the dynamic-content implementation of bodySource: a
+// producer goroutine (the "CGI process") reads the handler's output
+// and posts each buffer to the loop as one item, then blocks until the
+// pipeline acks it — so at most one buffer is ever in flight, the
+// paper's pipe acting as flow control. The roles invert relative to
+// the pull sources: release (and abort) ack the producer over the
+// flow-control channel, and next has nothing to do because the
+// producer pushes as acks arrive.
+type streamSource struct {
+	ack chan bool // pipeline → producer: item done; true = keep going
+}
+
+func (st *streamSource) next(*shard, *conn) {}
+
+func (st *streamSource) release(s *shard, c *conn, item writeItem, ok bool) {
+	select {
+	case st.ack <- ok:
+	default:
+	}
+}
+
+func (st *streamSource) abort(s *shard, c *conn) {
+	// Unblock a producer waiting on an ack that will never come; any
+	// later items it posts are dropped (and acked false) by queueItem.
+	select {
+	case st.ack <- false:
+	default:
+	}
+}
+
+// startDynamic launches the handler goroutine and streams its output
+// through a streamSource. On HTTP/1.1 the body is chunk-encoded so no
+// Content-Length is needed and the connection can persist; on 1.0 (or
+// with DisableChunked) the body is close-delimited as before. Runs on
+// the event loop.
 func (s *shard) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
 	s.stats.DynamicCalls++
 	chunked := req.Major == 1 && req.Minor >= 1 && !s.cfg.DisableChunked
 	keep := chunked && req.KeepAlive
 	req.KeepAlive = keep // finishResponse decides persistence from this
+
+	src := &streamSource{ack: make(chan bool, 1)}
+	c.ls.src = src
 
 	// The "CGI process": runs the handler and pumps its output through
 	// the loop to the connection writer, one buffer at a time, with
@@ -67,24 +100,14 @@ func (s *shard) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
 			ServerName:    s.cfg.ServerName,
 		}, !s.cfg.DisableHeaderAlign))
 
-		ack := make(chan bool, 1)
 		send := func(data []byte, last bool) bool {
 			s.post(func() {
 				c.ls.status = status
 				c.ls.req = req
-				s.queueItem(c, writeItem{
-					data: data,
-					last: last,
-					onDone: func(ok bool) {
-						select {
-						case ack <- ok:
-						default:
-						}
-					},
-				})
+				s.queueItem(c, writeItem{data: data, last: last})
 			})
 			select {
-			case ok := <-ack:
+			case ok := <-src.ack:
 				return ok
 			case <-c.done:
 				return false
@@ -133,9 +156,4 @@ func (s *shard) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
 			}
 		}
 	}()
-}
-
-// String implements fmt.Stringer for debugging.
-func (s *Server) String() string {
-	return fmt.Sprintf("flash.Server{docroot=%s}", s.cfg.DocRoot)
 }

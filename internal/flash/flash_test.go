@@ -100,7 +100,10 @@ func TestServeIndexFile(t *testing.T) {
 }
 
 func TestServeLargeFileMultiChunk(t *testing.T) {
-	s, base := newTestServer(t, nil)
+	// Pin the copy transport: this test exercises the multi-chunk
+	// cache walk, which the sendfile threshold would otherwise bypass
+	// for a 300 KB file.
+	s, base := newTestServer(t, func(c *Config) { c.SendfileThreshold = -1 })
 	resp, body := get(t, base+"/big.bin")
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -116,6 +119,32 @@ func TestServeLargeFileMultiChunk(t *testing.T) {
 	st := s.Stats()
 	if st.MapCache.Inserts < 5 {
 		t.Fatalf("MapCache.Inserts = %d, want >= 5 chunks", st.MapCache.Inserts)
+	}
+	if st.BytesSendfile != 0 {
+		t.Fatalf("BytesSendfile = %d with the transport disabled", st.BytesSendfile)
+	}
+}
+
+func TestServeLargeFileSendfileDefault(t *testing.T) {
+	// With the default threshold (256 KiB), a 300 KB file ships from
+	// the cached descriptor: no chunks enter the map cache, and the
+	// body bytes are accounted to the sendfile transport (on platforms
+	// without sendfile the fallback copies, so only the map-cache
+	// bypass is asserted there).
+	s, base := newTestServer(t, nil)
+	resp, body := get(t, base+"/big.bin")
+	if resp.StatusCode != 200 || len(body) != 300<<10 {
+		t.Fatalf("status=%d len=%d", resp.StatusCode, len(body))
+	}
+	st := s.Stats()
+	if st.MapCache.Inserts != 0 {
+		t.Fatalf("MapCache.Inserts = %d, want 0 (sendfile bypasses the map cache)", st.MapCache.Inserts)
+	}
+	if sendfileSupported && st.BytesSendfile != 300<<10 {
+		t.Fatalf("BytesSendfile = %d, want %d", st.BytesSendfile, 300<<10)
+	}
+	if st.BytesSent < 300<<10 {
+		t.Fatalf("BytesSent = %d, want >= body", st.BytesSent)
 	}
 }
 

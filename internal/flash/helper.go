@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/cache"
 )
 
 // jobKind selects the helper operation.
@@ -24,10 +26,14 @@ const (
 type helperJob struct {
 	kind     jobKind
 	fsPath   string
-	index    string   // index file name for directory requests (jobStat)
-	listings bool     // generate a listing when the index is missing
-	off, n   int64    // chunk range (jobChunk)
-	file     *os.File // cached descriptor for jobChunk (nil = open fsPath)
+	index    string // index file name for directory requests (jobStat)
+	listings bool   // generate a listing when the index is missing
+	off, n   int64  // chunk range (jobChunk)
+	// file is an acquired reference to the cached descriptor for
+	// jobChunk (nil = open fsPath instead). The submitter pins it; the
+	// helper releases the pin once the read is done, so path-cache
+	// eviction can never close the descriptor under the pread.
+	file *cache.FileRef
 	// done is posted to the event loop with the result.
 	done func(helperResult)
 }
@@ -170,8 +176,14 @@ func statJob(fsPath, index string, listings bool) helperResult {
 // chunkJob reads [off, off+n) of the file through the cached descriptor
 // (opening one only if the cache had none), re-checking identity so the
 // caches can detect modified files (§5.3). ReadAt is safe for
-// concurrent use of one descriptor across helpers.
-func chunkJob(fsPath string, f *os.File, off, n int64) helperResult {
+// concurrent use of one descriptor across helpers. The submitter's
+// descriptor pin is released here, once the read is done.
+func chunkJob(fsPath string, ref *cache.FileRef, off, n int64) helperResult {
+	var f *os.File
+	if ref != nil {
+		defer ref.Release()
+		f = ref.File()
+	}
 	if f == nil {
 		opened, err := os.Open(fsPath)
 		if err != nil {

@@ -59,27 +59,32 @@ func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 					s.serveListing(c, res.data)
 					return
 				}
+				cur, live := s.paths.Peek(req.Path)
 				if res.modTime == pe.ModTime && res.size == pe.Size &&
-					res.fsPath == pe.Translated {
-					// Unchanged: keep the cached descriptor, drop the
-					// freshly opened one, just bump the check time.
-					closeEntryFile(res.file)
+					res.fsPath == pe.Translated && live && cur.File == pe.File {
+					// Unchanged, and the entry (with its descriptor) is
+					// still the cached one: keep it, drop the freshly
+					// opened duplicate, just bump the check time.
+					closeFile(res.file)
 					pe.CheckedAt = s.cfg.Clock().UnixNano()
-					s.paths.Put(req.Path, pe)
+					s.putEntry(req.Path, pe)
 					s.afterTranslate(c, pe)
 					return
 				}
-				// Changed: retire every derived cache entry and adopt
-				// the new identity (and its descriptor).
+				// Changed — or the entry was evicted/replaced while the
+				// stat was in flight, in which case the old descriptor
+				// may already be released and must not be re-adopted.
+				// Retire every derived cache entry and adopt the new
+				// identity (and its descriptor).
 				s.invalidateFile(req.Path, pe)
 				fresh := cache.PathEntry{
 					Translated: res.fsPath,
-					File:       res.file,
+					File:       adoptFile(res.file),
 					Size:       res.size,
 					ModTime:    res.modTime,
 					CheckedAt:  s.cfg.Clock().UnixNano(),
 				}
-				s.paths.Put(req.Path, fresh)
+				s.putEntry(req.Path, fresh)
 				s.afterTranslate(c, fresh)
 			},
 		})
@@ -106,12 +111,12 @@ func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 			}
 			pe := cache.PathEntry{
 				Translated: res.fsPath,
-				File:       res.file,
+				File:       adoptFile(res.file),
 				Size:       res.size,
 				ModTime:    res.modTime,
 				CheckedAt:  s.cfg.Clock().UnixNano(),
 			}
-			s.paths.Put(req.Path, pe)
+			s.putEntry(req.Path, pe)
 			s.afterTranslate(c, pe)
 		},
 	})
@@ -139,9 +144,11 @@ func (s *shard) translate(reqPath string) (string, bool) {
 	return s.cfg.DocRoot + clean, true
 }
 
-// afterTranslate continues once the file identity is known.
+// afterTranslate continues once the file identity is known, ending in
+// the transport decision: HEAD and empty bodies answer with a fixed
+// buffer, bodies at or above SendfileThreshold ship zero-copy from the
+// cached descriptor, and everything else walks the chunk cache.
 func (s *shard) afterTranslate(c *conn, pe cache.PathEntry) {
-	c.ls.pe = pe
 	req := c.ls.req
 
 	etag := ""
@@ -212,17 +219,16 @@ func (s *shard) afterTranslate(c *conn, pe cache.PathEntry) {
 	// patch if it disagrees (cheap compare against rebuild).
 	hdr = headerFor(req, s.fixPersistence(hdr, req))
 
-	c.ls.hdr = hdr
 	if req.Method == "HEAD" || length == 0 {
-		s.queueItem(c, writeItem{data: hdr, last: true, onDone: nil})
+		s.respond(c, &fixedSource{data: hdr})
 		return
 	}
-	c.ls.rangeOff = off
-	c.ls.rangeEnd = off + length
-	c.ls.firstChunk = int(off / s.chunks.ChunkSize())
-	c.ls.endChunk = int((off+length-1)/s.chunks.ChunkSize()) + 1
-	c.ls.nextChunk = c.ls.firstChunk
-	s.sendNextChunk(c)
+	if s.useSendfile(length, pe) {
+		ref := entryRef(pe).Acquire() // the response's pin on the descriptor
+		s.respond(c, &sendfileSource{ref: ref, hdr: hdr, off: off, n: length})
+		return
+	}
+	s.respond(c, newChunkSource(s, pe, hdr, off, length))
 }
 
 // fixPersistence rewrites the request-specific parts of a cached
@@ -252,130 +258,59 @@ func (s *shard) fixPersistence(hdr []byte, req *httpmsg.Request) []byte {
 	return []byte(h)
 }
 
-// sendNextChunk ensures the next chunk is mapped and queues its write.
-func (s *shard) sendNextChunk(c *conn) {
-	ls := &c.ls
-	pe := ls.pe
-	idx := ls.nextChunk
-	key := cache.ChunkKey{Path: pe.Translated, Index: idx}
-	last := idx == ls.endChunk-1
-
-	if ch := s.chunks.Lookup(key); ch != nil {
-		// "mincore says resident": send directly.
-		s.queueChunk(c, ch, last)
-		return
-	}
-	// Miss: a helper loads the chunk (the loop never touches the disk).
-	off, n := s.chunks.ChunkRange(pe.Size, idx)
-	s.helpers.submit(helperJob{
-		kind:   jobChunk,
-		fsPath: pe.Translated,
-		file:   entryFile(pe),
-		off:    off,
-		n:      n,
-		done: func(res helperResult) {
-			if res.err != nil {
-				// The file vanished or changed size mid-response; the
-				// stated Content-Length can no longer be honored.
-				s.invalidateFile(ls.req.Path, pe)
-				s.failConn(c)
-				return
-			}
-			if res.modTime != pe.ModTime {
-				// Stale caches detected by the mapping layer (§5.3-5.4):
-				// invalidate and restart this request against the new file.
-				s.invalidateFile(ls.req.Path, pe)
-				if idx == ls.firstChunk && ls.hdr != nil && !ls.inFlight {
-					req := ls.req
-					s.handleRequest(c, req)
-					return
-				}
-				s.failConn(c)
-				return
-			}
-			ch := s.chunks.Insert(key, res.data, int64(len(res.data)))
-			s.queueChunk(c, ch, last)
-		},
-	})
-}
-
-// queueChunk queues one pinned chunk (plus the header, on the first),
-// clamping the transmitted bytes to the response's byte window.
-func (s *shard) queueChunk(c *conn, ch *cache.Chunk, last bool) {
-	ls := &c.ls
-	idx := ls.nextChunk
-	base := int64(idx) * s.chunks.ChunkSize()
-	a, b := int64(0), int64(len(ch.Data))
-	if ls.rangeOff > base {
-		a = ls.rangeOff - base
-	}
-	if ls.rangeEnd < base+b {
-		b = ls.rangeEnd - base
-	}
-	if a < 0 || a > b || b > int64(len(ch.Data)) {
-		// The chunk no longer covers the promised window (file shrank
-		// between identity checks): the response cannot be completed.
-		s.chunks.Release(ch)
-		s.failConn(c)
-		return
-	}
-	item := writeItem{chunk: ch, body: ch.Data[a:b], last: last}
-	if idx == ls.firstChunk {
-		item.data = ls.hdr
-	}
-	ls.nextChunk++
-	s.queueItem(c, item)
-}
-
 // queueItem hands an item to the writer. The writer holds at most one
 // item (channel capacity 1) and the loop sends only when idle, so this
 // never blocks the loop.
 func (s *shard) queueItem(c *conn, item writeItem) {
-	ls := &c.ls
-	if ls.failed || ls.writeDone {
-		// Connection already failing: drop, releasing any pin.
-		if item.chunk != nil {
-			s.chunks.Release(item.chunk)
-		}
-		if item.onDone != nil {
-			item.onDone(false)
+	if c.failed || c.writeDone {
+		// Connection already failing: drop, letting the source release
+		// any pins the item carries (and ack its producer, if any).
+		if src := c.ls.src; src != nil {
+			src.release(s, c, item, false)
 		}
 		return
 	}
-	if ls.inFlight {
+	if c.inFlight {
 		panic("flash: queueItem while an item is in flight")
 	}
-	ls.inFlight = true
+	c.inFlight = true
 	c.writeCh <- item
 }
 
-// itemDone runs after the writer finishes (or discards) an item.
-func (s *shard) itemDone(c *conn, item writeItem, wrote int64, ok bool) {
+// itemDone runs after the writer finishes (or discards) an item:
+// byte accounting, the source's release hook (unpinning chunks and
+// descriptors, acking producers), then either the next pull from the
+// source or the end of the response.
+func (s *shard) itemDone(c *conn, item writeItem, wrote, sfWrote int64, ok bool) {
 	ls := &c.ls
-	ls.inFlight = false
+	c.inFlight = false
 	ls.bytesSent += wrote
 	s.stats.BytesSent += wrote
-	if item.chunk != nil {
-		s.chunks.Release(item.chunk)
-	}
-	if item.onDone != nil {
-		item.onDone(ok && !ls.failed)
+	s.stats.BytesSendfile += sfWrote
+	s.stats.BytesCopied += wrote - sfWrote
+	src := ls.src
+	if src != nil {
+		src.release(s, c, item, ok && !c.failed)
 	}
 	if !ok {
-		ls.failed = true
+		s.markFailed(c)
 	}
 
 	switch {
-	case ls.failed:
-		s.stats.Errors++
+	case c.failed:
+		if src != nil {
+			src.abort(s, c)
+		}
 		s.closeWrite(c)
 		s.signalNext(c, false)
 	case item.last:
 		s.finishResponse(c)
-	case ls.endPending:
+	case c.endPending:
 		s.closeWrite(c)
-	case item.onDone == nil && ls.req != nil && ls.nextChunk < ls.endChunk:
-		s.sendNextChunk(c)
+	default:
+		if src != nil {
+			src.next(s, c)
+		}
 	}
 }
 
@@ -404,13 +339,25 @@ func (s *shard) signalNext(c *conn, keep bool) {
 	}
 }
 
+// markFailed transitions a connection into the failed state, counting
+// the error exactly once — a single dying response can otherwise be
+// reported several times (write failure, then a failConn from a
+// still-pending helper callback).
+func (s *shard) markFailed(c *conn) {
+	if !c.failed {
+		c.failed = true
+		s.stats.Errors++
+	}
+}
+
 // failConn aborts a connection mid-response (Content-Length already
 // committed, so the only correct signal is a close).
 func (s *shard) failConn(c *conn) {
-	ls := &c.ls
-	s.stats.Errors++
-	ls.failed = true
-	if !ls.inFlight {
+	s.markFailed(c)
+	if src := c.ls.src; src != nil {
+		src.abort(s, c)
+	}
+	if !c.inFlight {
 		s.closeWrite(c)
 		s.signalNext(c, false)
 	}
@@ -418,20 +365,25 @@ func (s *shard) failConn(c *conn) {
 
 // closeWrite closes the writer channel exactly once.
 func (s *shard) closeWrite(c *conn) {
-	ls := &c.ls
-	if ls.writeDone {
+	if c.writeDone {
 		return
 	}
-	if ls.inFlight {
-		ls.endPending = true
+	if c.inFlight {
+		c.endPending = true
 		return
 	}
-	ls.writeDone = true
+	c.writeDone = true
 	close(c.writeCh)
 }
 
-// connEnd runs when the reader goroutine exits.
+// connEnd runs when the reader goroutine exits: the response pipeline
+// (if one is still installed) is aborted so it drops any resources it
+// holds outside queued items — sources tolerate the abort arriving
+// after a completed response.
 func (s *shard) connEnd(c *conn) {
+	if src := c.ls.src; src != nil {
+		src.abort(s, c)
+	}
 	s.closeWrite(c)
 }
 
@@ -439,26 +391,60 @@ func (s *shard) connEnd(c *conn) {
 // responses of one path (the entry's Variant field names the window).
 const rangeVariantSlot = "range"
 
-// invalidateFile drops every cache entry derived from a file and closes
-// its cached descriptor.
+// invalidateFile drops every cache entry derived from a file. The
+// pathname entry — and the cache's reference to its descriptor — is
+// only dropped if pe is still the cached identity: a concurrent
+// response may already have invalidated it and a fresh entry (with a
+// fresh descriptor) taken its place, which must survive.
 func (s *shard) invalidateFile(reqPath string, pe cache.PathEntry) {
-	s.paths.Invalidate(reqPath)
+	if cur, ok := s.paths.Peek(reqPath); ok && cur.File == pe.File {
+		s.paths.Invalidate(reqPath)
+		releaseEntryFile(pe.File)
+	}
 	// A mismatched mtime drops the entry — both header variants.
 	s.hdrs.Get(pe.Translated, -1)
 	s.hdrs.GetVariant(pe.Translated, rangeVariantSlot, -1)
 	s.chunks.InvalidateFile(pe.Translated, s.chunks.NumChunks(pe.Size))
-	closeEntryFile(pe.File)
 }
 
-// entryFile extracts the cached descriptor from a path entry.
-func entryFile(pe cache.PathEntry) *os.File {
-	f, _ := pe.File.(*os.File)
-	return f
+// putEntry records a translation, dropping the cache's reference to
+// any different entry it replaces (two concurrent misses on one path
+// each open a descriptor; the loser's must not leak).
+func (s *shard) putEntry(reqPath string, pe cache.PathEntry) {
+	if old, ok := s.paths.Peek(reqPath); ok && old.File != pe.File {
+		releaseEntryFile(old.File)
+	}
+	s.paths.Put(reqPath, pe)
 }
 
-// closeEntryFile closes a cached descriptor if one is present.
-func closeEntryFile(v any) {
-	if f, ok := v.(*os.File); ok && f != nil {
+// entryRef extracts the refcounted descriptor from a path entry.
+func entryRef(pe cache.PathEntry) *cache.FileRef {
+	r, _ := pe.File.(*cache.FileRef)
+	return r
+}
+
+// adoptFile wraps a descriptor freshly opened by a stat helper into
+// the refcounted handle a path entry carries (the count starts at one:
+// the cache's reference).
+func adoptFile(f *os.File) any {
+	if f == nil {
+		return nil
+	}
+	return cache.NewFileRef(f)
+}
+
+// releaseEntryFile drops the cache's reference to an entry descriptor;
+// the file closes once in-flight readers release theirs.
+func releaseEntryFile(v any) {
+	if r, ok := v.(*cache.FileRef); ok && r != nil {
+		r.Release()
+	}
+}
+
+// closeFile closes a raw descriptor a helper opened but the cache
+// declined to adopt.
+func closeFile(f *os.File) {
+	if f != nil {
 		f.Close()
 	}
 }
@@ -477,7 +463,7 @@ func (s *shard) notModified(c *conn, etag string) {
 		ServerName:    s.cfg.ServerName,
 		ETag:          etag,
 	}, !s.cfg.DisableHeaderAlign)
-	s.queueItem(c, writeItem{data: hdr, last: true})
+	s.respond(c, &fixedSource{data: hdr})
 }
 
 // rangeNotSatisfiable sends a 416 carrying the resource's actual size
@@ -496,7 +482,7 @@ func (s *shard) rangeNotSatisfiable(c *conn, size int64) {
 		KeepAlive:     req.KeepAlive,
 		ServerName:    s.cfg.ServerName,
 	}, !s.cfg.DisableHeaderAlign)
-	s.queueItem(c, writeItem{data: append(append([]byte{}, hdr...), body...), last: true})
+	s.respond(c, &fixedSource{data: append(append([]byte{}, hdr...), body...)})
 }
 
 // responseProto echoes the request's protocol version in responses
@@ -552,5 +538,5 @@ func (s *shard) errorResponse(c *conn, status int, keepAlive bool) {
 		ls.req.KeepAlive = keepAlive && status < 500
 	}
 	hdr = headerFor(ls.req, hdr)
-	s.queueItem(c, writeItem{data: append(append([]byte{}, hdr...), body...), last: true})
+	s.respond(c, &fixedSource{data: append(append([]byte{}, hdr...), body...)})
 }

@@ -16,17 +16,23 @@ import (
 // Stats is a snapshot of server counters. Server.Stats merges the
 // per-shard snapshots; Server.ShardStats exposes them individually.
 type Stats struct {
-	Accepted     uint64
-	Active       int
-	Responses    uint64
-	NotFound     uint64
-	Errors       uint64
-	BytesSent    int64
-	HelperJobs   uint64
-	PathCache    cache.Stats
-	HeaderCache  cache.Stats
-	MapCache     cache.MapCacheStats
-	DynamicCalls uint64
+	Accepted  uint64
+	Active    int
+	Responses uint64
+	NotFound  uint64
+	Errors    uint64
+	BytesSent int64
+	// BytesSendfile and BytesCopied split BytesSent by transport: bytes
+	// the kernel moved with sendfile(2) versus bytes copied through
+	// userspace (headers, chunk-cache bodies, dynamic output, and the
+	// portable fallback on platforms without sendfile).
+	BytesSendfile int64
+	BytesCopied   int64
+	HelperJobs    uint64
+	PathCache     cache.Stats
+	HeaderCache   cache.Stats
+	MapCache      cache.MapCacheStats
+	DynamicCalls  uint64
 }
 
 // Add returns the field-wise sum of two snapshots (merging shard views
@@ -38,6 +44,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.NotFound += o.NotFound
 	s.Errors += o.Errors
 	s.BytesSent += o.BytesSent
+	s.BytesSendfile += o.BytesSendfile
+	s.BytesCopied += o.BytesCopied
 	s.HelperJobs += o.HelperJobs
 	s.DynamicCalls += o.DynamicCalls
 	s.PathCache = s.PathCache.Add(o.PathCache)
@@ -124,7 +132,10 @@ func newShard(srv *Server, id int) *shard {
 		id:  id,
 		cfg: cfg,
 		paths: cache.NewPathCacheEvict(max(cfg.PathCacheEntries/n, 1), func(_ string, e cache.PathEntry) {
-			closeEntryFile(e.File)
+			// Drop the cache's descriptor reference; helpers or writers
+			// still reading through it hold their own, so the file
+			// closes only when the last one finishes.
+			releaseEntryFile(e.File)
 		}),
 		hdrs:     cache.NewHeaderCache(max(cfg.HeaderCacheEntries/n, 1)),
 		chunks:   cache.NewMapCache(max(cfg.MapCacheBytes/int64(n), 1), cfg.ChunkBytes),
@@ -138,6 +149,11 @@ func newShard(srv *Server, id int) *shard {
 
 // NumShards returns the number of event-loop shards.
 func (s *Server) NumShards() int { return len(s.shards) }
+
+// String implements fmt.Stringer for debugging.
+func (s *Server) String() string {
+	return fmt.Sprintf("flash.Server{docroot=%s}", s.cfg.DocRoot)
+}
 
 // loop is a shard's event loop: the single goroutine that owns the
 // shard's caches and per-request decision state. Every other goroutine
@@ -344,7 +360,7 @@ func (s *Server) Close() error {
 		// Release cached descriptors before the loop exits.
 		sh.call(func() {
 			sh.paths.Each(func(_ string, e cache.PathEntry) {
-				closeEntryFile(e.File)
+				releaseEntryFile(e.File)
 			})
 			sh.paths.Clear()
 		})

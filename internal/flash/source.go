@@ -1,0 +1,242 @@
+package flash
+
+import (
+	"repro/internal/cache"
+)
+
+// bodySource is the unified response pipeline: every response —
+// static, dynamic, or fixed-buffer — is produced by one source, which
+// the event loop drives and the connection's writer goroutine
+// consumes, one writeItem at a time.
+//
+// Contract (every method runs on the event loop):
+//
+//   - next is invoked when the writer can accept an item: once when
+//     the response starts, and again after each non-final item
+//     completes. The source must eventually hand exactly one item per
+//     invocation to shard.queueItem — synchronously or from a posted
+//     completion (a helper load, a dynamic producer) — or end the
+//     response via shard.failConn. Push-style sources whose producer
+//     queues items on its own may treat next as a no-op.
+//   - release is invoked exactly once per queued item, after the
+//     writer transmits it or the pipeline discards it (ok reports
+//     which). The source drops the resources the item carried — chunk
+//     pins, descriptor references — and acks its producer, if any.
+//   - abort is invoked when the response dies before its final item
+//     completes (write failure, connection teardown). It may fire more
+//     than once, and connection teardown also fires it after a
+//     completed response; implementations must tolerate both. The
+//     source stops producing and drops anything still held outside
+//     queued items.
+type bodySource interface {
+	next(s *shard, c *conn)
+	release(s *shard, c *conn, item writeItem, ok bool)
+	abort(s *shard, c *conn)
+}
+
+// respond installs src as the connection's response pipeline and pulls
+// the first item.
+func (s *shard) respond(c *conn, src bodySource) {
+	c.ls.src = src
+	src.next(s, c)
+}
+
+// --- fixedSource ---
+
+// fixedSource is the fixed-buffer implementation: the whole response —
+// header plus any error/304/416/listing body — is one pre-assembled
+// buffer. It holds no resources, so release and abort have nothing to
+// do.
+type fixedSource struct {
+	data []byte
+}
+
+func (f *fixedSource) next(s *shard, c *conn) {
+	s.queueItem(c, writeItem{data: f.data, last: true})
+}
+
+func (f *fixedSource) release(*shard, *conn, writeItem, bool) {}
+
+func (f *fixedSource) abort(*shard, *conn) {}
+
+// --- chunkSource ---
+
+// chunkSource is the copy transport for static bodies: it walks the
+// mapped-chunk cache (§5.4) across the response's byte window, one
+// pinned chunk per item, dispatching misses to the disk helpers so the
+// loop never blocks. The first item gathers the response header with
+// the first chunk window in a single writev (§5.5). The source holds
+// one acquired reference to the entry descriptor for the whole walk —
+// chunk loads between items must not find a descriptor that eviction
+// closed — and drops it when the final item releases or the response
+// aborts.
+type chunkSource struct {
+	pe  cache.PathEntry
+	ref *cache.FileRef // the walk's pin on the entry descriptor; may be nil
+	hdr []byte         // pending header bytes for the first item
+	// Chunk walk over the absolute byte window [rangeOff, rangeEnd).
+	firstChunk int // first chunk index of the response window
+	endChunk   int // one past the last chunk index
+	nextChunk  int
+	rangeOff   int64
+	rangeEnd   int64
+}
+
+// newChunkSource builds the walker for the byte window [off, off+n).
+func newChunkSource(s *shard, pe cache.PathEntry, hdr []byte, off, n int64) *chunkSource {
+	ref := entryRef(pe)
+	if ref != nil {
+		ref.Acquire()
+	}
+	first := int(off / s.chunks.ChunkSize())
+	return &chunkSource{
+		pe:         pe,
+		ref:        ref,
+		hdr:        hdr,
+		firstChunk: first,
+		endChunk:   int((off+n-1)/s.chunks.ChunkSize()) + 1,
+		nextChunk:  first,
+		rangeOff:   off,
+		rangeEnd:   off + n,
+	}
+}
+
+// dropRef releases the walk's descriptor pin (idempotent).
+func (cs *chunkSource) dropRef() {
+	if cs.ref != nil {
+		cs.ref.Release()
+		cs.ref = nil
+	}
+}
+
+// next ensures the next chunk is mapped and queues its write.
+func (cs *chunkSource) next(s *shard, c *conn) {
+	pe := cs.pe
+	idx := cs.nextChunk
+	key := cache.ChunkKey{Path: pe.Translated, Index: idx}
+	last := idx == cs.endChunk-1
+
+	if ch := s.chunks.Lookup(key); ch != nil {
+		// "mincore says resident": send directly.
+		cs.queueChunk(s, c, ch, last)
+		return
+	}
+	// Miss: a helper loads the chunk (the loop never touches the disk).
+	off, n := s.chunks.ChunkRange(pe.Size, idx)
+	ref := cs.ref
+	if ref != nil {
+		// The helper's own pin (from the walk's live one): the read
+		// survives even if the walk aborts while the job is queued.
+		ref.Acquire()
+	}
+	s.helpers.submit(helperJob{
+		kind:   jobChunk,
+		fsPath: pe.Translated,
+		file:   ref,
+		off:    off,
+		n:      n,
+		done: func(res helperResult) {
+			if res.err != nil {
+				// The file vanished or changed size mid-response; the
+				// stated Content-Length can no longer be honored.
+				s.invalidateFile(c.ls.req.Path, pe)
+				s.failConn(c)
+				return
+			}
+			if res.modTime != pe.ModTime {
+				// Stale caches detected by the mapping layer (§5.3-5.4):
+				// invalidate and restart this request against the new file.
+				s.invalidateFile(c.ls.req.Path, pe)
+				if idx == cs.firstChunk && !c.inFlight && !c.failed &&
+					!c.writeDone && c.ls.src == bodySource(cs) {
+					cs.dropRef() // the restart builds its own pipeline
+					s.handleRequest(c, c.ls.req)
+					return
+				}
+				s.failConn(c)
+				return
+			}
+			ch := s.chunks.Insert(key, res.data, int64(len(res.data)))
+			cs.queueChunk(s, c, ch, last)
+		},
+	})
+}
+
+// queueChunk queues one pinned chunk (plus the header, on the first),
+// clamping the transmitted bytes to the response's byte window.
+func (cs *chunkSource) queueChunk(s *shard, c *conn, ch *cache.Chunk, last bool) {
+	idx := cs.nextChunk
+	base := int64(idx) * s.chunks.ChunkSize()
+	a, b := int64(0), int64(len(ch.Data))
+	if cs.rangeOff > base {
+		a = cs.rangeOff - base
+	}
+	if cs.rangeEnd < base+b {
+		b = cs.rangeEnd - base
+	}
+	if a < 0 || a > b || b > int64(len(ch.Data)) {
+		// The chunk no longer covers the promised window (file shrank
+		// between identity checks): the response cannot be completed.
+		s.chunks.Release(ch)
+		s.failConn(c)
+		return
+	}
+	item := writeItem{chunk: ch, body: ch.Data[a:b], last: last}
+	if idx == cs.firstChunk {
+		item.data = cs.hdr
+	}
+	cs.nextChunk++
+	s.queueItem(c, item)
+}
+
+// release unpins the item's chunk once the writer is done with it; the
+// final item also ends the walk's descriptor pin.
+func (cs *chunkSource) release(s *shard, c *conn, item writeItem, ok bool) {
+	if item.chunk != nil {
+		s.chunks.Release(item.chunk)
+	}
+	if item.last {
+		cs.dropRef()
+	}
+}
+
+func (cs *chunkSource) abort(*shard, *conn) { cs.dropRef() }
+
+// --- sendfileSource ---
+
+// sendfileSource is the zero-copy transport for static bodies: a
+// single item carrying the response header plus the cached
+// descriptor's byte window, which the writer ships with sendfile(2) on
+// Linux — file bytes never enter userspace or the map cache — or the
+// portable pread+writev loop elsewhere. The source holds one acquired
+// descriptor reference from creation until the item's release, so
+// path-cache eviction can never close the file mid-transfer.
+type sendfileSource struct {
+	ref    *cache.FileRef // acquired by the creator, released with the item
+	hdr    []byte
+	off, n int64 // absolute body byte window [off, off+n)
+}
+
+func (ss *sendfileSource) next(s *shard, c *conn) {
+	s.queueItem(c, writeItem{data: ss.hdr, sf: ss.ref, sfOff: ss.off, sfLen: ss.n, last: true})
+}
+
+func (ss *sendfileSource) release(s *shard, c *conn, item writeItem, ok bool) {
+	if item.sf != nil {
+		item.sf.Release()
+	}
+}
+
+func (ss *sendfileSource) abort(*shard, *conn) {}
+
+// useSendfile decides the static transport for a response body of n
+// bytes: bodies at or above the threshold ship straight from the
+// cached descriptor (no double-buffering of large files in the map
+// cache); smaller bodies — or a disabled threshold, or an entry with
+// no cached descriptor — walk the chunk cache, which stays the right
+// call for small hot files (bytes cached in memory, header merged with
+// the first chunk into one writev).
+func (s *shard) useSendfile(n int64, pe cache.PathEntry) bool {
+	return s.cfg.SendfileThreshold > 0 && n >= s.cfg.SendfileThreshold &&
+		entryRef(pe) != nil
+}

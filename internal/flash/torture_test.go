@@ -732,3 +732,58 @@ func TestTortureRangeVariantSlotBounded(t *testing.T) {
 		t.Fatalf("repeated identical windows did not hit the range slot: hits %d -> %d", before, after)
 	}
 }
+
+// TestTortureSendfilePrematureClose closes the client mid-transfer
+// while the body is streaming through the sendfile transport, then
+// asserts the server stays healthy and the descriptor pin taken for
+// the transfer is released (only the cache's own reference remains).
+func TestTortureSendfilePrematureClose(t *testing.T) {
+	s, base := newTestServer(t, func(c *Config) {
+		c.SendfileThreshold = 1 // every static body takes the transport
+		c.EventLoops = 1        // one shard, so the entry is findable below
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "GET /big.bin HTTP/1.1\r\nHost: t\r\n\r\n")
+	buf := make([]byte, 1024)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close() // mid-sendfile
+
+	// The server must still be healthy.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn2 := dialRaw(t, base)
+		fmt.Fprintf(conn2, "GET /hello.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+		resp, err := readResponse(bufio.NewReader(conn2), "GET")
+		conn2.Close()
+		if err == nil && resp.status == 200 && string(resp.body) == "hello, world\n" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server unhealthy after premature close during sendfile: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The aborted transfer's descriptor pin must drain back to the
+	// cache's single reference.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		refs := -1
+		s.shards[0].call(func() {
+			if pe, ok := s.shards[0].paths.Peek("/big.bin"); ok {
+				if r := entryRef(pe); r != nil {
+					refs = r.Refs()
+				}
+			}
+		})
+		if refs == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("big.bin descriptor refs = %d after aborted sendfile, want 1", refs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
