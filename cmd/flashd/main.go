@@ -1,21 +1,33 @@
 // Command flashd runs the Flash web server: an AMPED-architecture
 // static file server with pathname/header/chunk caching, helper-based
-// disk I/O, and an optional status endpoint.
+// disk I/O, an optional status endpoint, and optional Handler-v2 demo
+// mounts.
 //
 // Usage:
 //
 //	flashd -root ./public [-addr :8080] [-loops N] [-helpers 8] [-status]
 //	       [-userdir-base /home -userdir-suffix public_html]
 //	       [-access-log access.log] [-map-cache-mb 64] [-path-cache 6000]
-//	       [-sendfile-threshold 262144]
+//	       [-sendfile-threshold 262144] [-max-body 8388608] [-demo]
+//
+// -demo mounts two dynamic routes that exercise the Handler v2 API:
+//
+//	POST /echo    a native flash.Handler that streams the request body
+//	              straight back (Content-Type preserved) — the target
+//	              for `loadgen -post-frac`
+//	POST /upload  an unmodified net/http handler behind
+//	              flashhttp.Adapter that counts the uploaded bytes and
+//	              reports them as JSON
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/flash"
+	"repro/internal/flashhttp"
 	"repro/internal/httpmsg"
 )
 
@@ -41,6 +54,9 @@ func main() {
 		noAlign    = flag.Bool("no-align", false, "disable 32-byte response header alignment")
 		sfThresh   = flag.Int64("sendfile-threshold", flash.DefaultSendfileThreshold,
 			"minimum body bytes for the zero-copy sendfile transport (0 disables)")
+		maxBody = flag.Int64("max-body", flash.DefaultMaxBodyBytes,
+			"request body cap in bytes (larger bodies draw 413; 0 removes the cap)")
+		demo = flag.Bool("demo", false, "mount the /echo and /upload dynamic demo handlers")
 	)
 	flag.Parse()
 	if *root == "" {
@@ -60,11 +76,15 @@ func main() {
 		UserDirSuffix:      *userSuffix,
 		DisableHeaderAlign: *noAlign,
 		SendfileThreshold:  *sfThresh,
+		MaxBodyBytes:       *maxBody,
 	}
 	if *sfThresh == 0 {
 		// The flag's "0 = off" maps to the config's negative sentinel
 		// (a zero Config field means "use the default threshold").
 		cfg.SendfileThreshold = -1
+	}
+	if *maxBody == 0 {
+		cfg.MaxBodyBytes = -1 // flag's "0 = uncapped" → negative sentinel
 	}
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -80,6 +100,40 @@ func main() {
 	srv, err := flash.New(cfg)
 	if err != nil {
 		log.Fatalf("flashd: %v", err)
+	}
+	if *demo {
+		// A native v2 handler: stream the body straight back. The copy
+		// loop below never holds more than one pipe buffer — uploads of
+		// any size flow through without buffering whole.
+		srv.HandleFunc("POST", "/echo", func(w flash.ResponseWriter, r *flash.Request) {
+			if ct := r.Headers["content-type"]; ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			if r.ContentLength >= 0 {
+				w.Header().Set("Content-Length", fmt.Sprint(r.ContentLength))
+			}
+			if _, err := io.Copy(w, r.Body); err != nil {
+				// Refused or truncated upload: report it when nothing
+				// has been echoed yet (WriteHeader is a no-op once the
+				// response started; the teardown then carries the news).
+				if err == flash.ErrBodyTooLarge {
+					w.WriteHeader(413)
+				} else {
+					w.WriteHeader(400)
+				}
+			}
+		})
+		// The same workload through an unmodified net/http handler.
+		srv.Handle("POST", "/upload", flashhttp.Adapter(
+			http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				n, err := io.Copy(io.Discard, r.Body)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(map[string]int64{"bytes": n})
+			})))
 	}
 	if *status {
 		srv.HandleDynamic("/server-status", flash.DynamicFunc(

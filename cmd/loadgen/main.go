@@ -9,6 +9,7 @@
 //	        [-path /index.html | -trace access.log] [-keepalive]
 //	        [-range-frac 0.2] [-revalidate-frac 0.2]
 //	        [-large-frac 0.1 -large-path /large.bin]
+//	        [-post-frac 0.1 -post-bytes 1024 -post-path /echo]
 //
 // -range-frac issues that fraction of requests with "Range: bytes=0-1023"
 // (exercising the 206 partial-content path); -revalidate-frac issues
@@ -16,7 +17,10 @@
 // an earlier 200 for the same path (the 304 path); -large-frac diverts
 // that fraction of requests to -large-path, mixing a byte-bound
 // large-file workload (the sendfile transport's territory) into the
-// request-bound one. The summary reports 206 and 304 counts alongside
+// request-bound one; -post-frac diverts that fraction to POSTs of
+// -post-bytes bytes against -post-path (a Handler-v2 route — e.g.
+// `flashd -demo` mounts /echo), exercising the request-body path. The
+// summary reports 206, 304, POST 2xx, and 413 counts alongside
 // throughput in both requests/s and MB/s — large-file workloads are
 // byte-bound, so the request rate alone hides transport effects —
 // plus latency percentiles.
@@ -46,6 +50,8 @@ type counters struct {
 	errors      atomic.Uint64
 	partial     atomic.Uint64 // 206 responses
 	notModified atomic.Uint64 // 304 responses
+	postOK      atomic.Uint64 // 2xx responses to POSTs
+	tooLarge    atomic.Uint64 // 413 responses (body refused)
 }
 
 func main() {
@@ -60,6 +66,9 @@ func main() {
 		revalFrac = flag.Float64("revalidate-frac", 0, "fraction of requests sent as If-None-Match revalidations (0..1)")
 		largeFrac = flag.Float64("large-frac", 0, "fraction of requests diverted to -large-path (0..1)")
 		largePath = flag.String("large-path", "/large.bin", "path requested by the -large-frac share of the mix")
+		postFrac  = flag.Float64("post-frac", 0, "fraction of requests sent as POSTs with a body (0..1)")
+		postBytes = flag.Int("post-bytes", 1024, "body size of generated POSTs")
+		postPath  = flag.String("post-path", "/echo", "path POSTed to by the -post-frac share of the mix")
 	)
 	flag.Parse()
 
@@ -107,6 +116,9 @@ func main() {
 		revalFrac: *revalFrac,
 		largeFrac: *largeFrac,
 		largePath: *largePath,
+		postFrac:  *postFrac,
+		postBytes: *postBytes,
+		postPath:  *postPath,
 	}
 	start := time.Now()
 	for i := 0; i < *clients; i++ {
@@ -137,6 +149,10 @@ func main() {
 	fmt.Printf("responses:   %d (%.1f req/s)\n", sum.Responses, sum.RequestsPerSec())
 	fmt.Printf("partial:     %d (206 range responses)\n", c.partial.Load())
 	fmt.Printf("revalidated: %d (304 not-modified responses)\n", c.notModified.Load())
+	if *postFrac > 0 {
+		fmt.Printf("posted:      %d accepted (2xx), %d refused (413)\n",
+			c.postOK.Load(), c.tooLarge.Load())
+	}
 	// Both units: large-file workloads are byte-bound, so MB/s is the
 	// number that moves when the transport does; req/s hides it.
 	fmt.Printf("throughput:  %.2f MB/s (%.2f Mb/s)\n",
@@ -152,12 +168,16 @@ func main() {
 
 // clientMix describes the simulated client's request mix: which
 // fractions of requests are diverted to the large-file path, sent as
-// Range requests, or sent as conditional revalidations.
+// Range requests, sent as conditional revalidations, or sent as
+// bodied POSTs.
 type clientMix struct {
 	rangeFrac float64
 	revalFrac float64
 	largeFrac float64
 	largePath string
+	postFrac  float64
+	postBytes int
+	postPath  string
 }
 
 // runClient is one closed-loop client. All mix fractions use error
@@ -167,8 +187,12 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 	next func() string, stop <-chan struct{}, c *counters, observe func(time.Duration)) {
 	var conn net.Conn
 	var br *bufio.Reader
-	var rangeAcc, revalAcc, largeAcc float64
+	var rangeAcc, revalAcc, largeAcc, postAcc float64
 	etags := make(map[string]string)
+	var postBody string
+	if mix.postFrac > 0 {
+		postBody = strings.Repeat("p", mix.postBytes)
+	}
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -190,33 +214,53 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 			conn = nc
 			br = bufio.NewReader(conn)
 		}
+		// Every accumulator advances every iteration so each knob stays
+		// an exact fraction of ALL requests (error diffusion), but a
+		// token is only CONSUMED on an iteration where it can apply —
+		// POST wins the request shape, then revalidate over range. With
+		// commensurate fractions the firing patterns phase-lock (e.g.
+		// -post-frac 0.3 -range-frac 0.1 fire on exactly the same every
+		// tenth request), so consuming a blocked token would silently
+		// zero the smaller share; deferring it to the next eligible
+		// request keeps every fraction exact.
 		path := next()
+		method, body := "GET", ""
+		if mix.postFrac > 0 {
+			postAcc += mix.postFrac
+			if postAcc >= 1 {
+				postAcc--
+				method, body, path = "POST", postBody, mix.postPath
+			}
+		}
 		if mix.largeFrac > 0 {
 			largeAcc += mix.largeFrac
-			if largeAcc >= 1 {
+			if largeAcc >= 1 && method == "GET" {
 				largeAcc--
 				path = mix.largePath
 			}
 		}
 		extra := ""
+		if method == "POST" {
+			extra = fmt.Sprintf("Content-Length: %d\r\n", len(body))
+		}
 		if mix.revalFrac > 0 {
 			revalAcc += mix.revalFrac
-			if revalAcc >= 1 {
+			if revalAcc >= 1 && method == "GET" {
 				revalAcc--
 				if et := etags[path]; et != "" {
 					extra = "If-None-Match: " + et + "\r\n"
 				}
 			}
 		}
-		if extra == "" && mix.rangeFrac > 0 {
+		if mix.rangeFrac > 0 {
 			rangeAcc += mix.rangeFrac
-			if rangeAcc >= 1 {
+			if rangeAcc >= 1 && method == "GET" && extra == "" {
 				rangeAcc--
 				extra = "Range: bytes=0-1023\r\n"
 			}
 		}
 		begin := time.Now()
-		res, err := doRequest(conn, br, path, keepAlive, extra)
+		res, err := doRequest(conn, br, method, path, body, keepAlive, extra)
 		if err != nil {
 			c.errors.Add(1)
 			conn.Close()
@@ -226,15 +270,20 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 		observe(time.Since(begin))
 		c.responses.Add(1)
 		c.bytes.Add(res.bodyBytes)
-		switch res.status {
-		case 206:
+		switch {
+		case res.status == 206:
 			c.partial.Add(1)
-		case 304:
+		case res.status == 304:
 			c.notModified.Add(1)
-		case 200:
+		case res.status == 413:
+			c.tooLarge.Add(1)
+		case res.status == 200 && method == "GET":
 			if res.etag != "" {
 				etags[path] = res.etag
 			}
+		}
+		if method == "POST" && res.status >= 200 && res.status < 300 {
+			c.postOK.Add(1)
 		}
 		if !res.keep {
 			conn.Close()
@@ -251,9 +300,9 @@ type respResult struct {
 	keep      bool
 }
 
-// doRequest writes one GET (plus optional extra headers) and reads the
-// complete response.
-func doRequest(conn net.Conn, br *bufio.Reader, path string, keepAlive bool, extra string) (respResult, error) {
+// doRequest writes one request (plus optional extra headers and body)
+// and reads the complete response.
+func doRequest(conn net.Conn, br *bufio.Reader, method, path, body string, keepAlive bool, extra string) (respResult, error) {
 	connHdr := "close"
 	proto := "HTTP/1.0"
 	if keepAlive {
@@ -261,8 +310,8 @@ func doRequest(conn net.Conn, br *bufio.Reader, path string, keepAlive bool, ext
 		proto = "HTTP/1.1"
 	}
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
-	if _, err := fmt.Fprintf(conn, "GET %s %s\r\nHost: loadgen\r\n%sConnection: %s\r\n\r\n",
-		path, proto, extra, connHdr); err != nil {
+	if _, err := fmt.Fprintf(conn, "%s %s %s\r\nHost: loadgen\r\n%sConnection: %s\r\n\r\n%s",
+		method, path, proto, extra, connHdr, body); err != nil {
 		return respResult{}, err
 	}
 

@@ -27,6 +27,19 @@
 //     (DisableRanges, DisableETags, DisableChunked) restore the
 //     paper-faithful subset.
 //
+//     Dynamic content goes through the Handler v2 API — the full-peer
+//     analogue of the paper's §5.6 CGI processes: a Handler runs on
+//     its own goroutine, reads a streaming request Body (Content-
+//     Length or chunked framing, Expect: 100-continue answered on
+//     first read, Config.MaxBodyBytes limits with per-route
+//     overrides, unread bodies drained before the next pipelined
+//     request), and writes through a ResponseWriter whose output
+//     flows through the event loop one pipe buffer at a time. Routing
+//     is method + longest-prefix with 405/Allow on method misses,
+//     registered before Serve. The v1 DynamicHandler interface
+//     remains as a byte-equivalent adapter, and internal/flashhttp
+//     mounts any unmodified net/http.Handler on the same surface.
+//
 //     The response data path is one body-source pipeline with two
 //     static transports, chosen per response by
 //     Config.SendfileThreshold: small bodies walk the mapped-chunk
@@ -69,8 +82,31 @@ type Config = flash.Config
 // Stats is a snapshot of server counters (see flash.Stats).
 type Stats = flash.Stats
 
-// DynamicHandler produces dynamic content on its own goroutine, the
-// stand-in for the paper's CGI-bin processes (see flash.DynamicHandler).
+// Handler is the v2 dynamic-content interface: a full peer of the
+// server that reads the request body and writes arbitrary headers and
+// body through a ResponseWriter (see flash.Handler).
+type Handler = flash.Handler
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc = flash.HandlerFunc
+
+// ResponseWriter assembles a Handler's response (see
+// flash.ResponseWriter).
+type ResponseWriter = flash.ResponseWriter
+
+// Request is a Handler's view of one request, including its streaming
+// Body (see flash.Request).
+type Request = flash.Request
+
+// Header holds a Handler's response header fields (see flash.Header).
+type Header = flash.Header
+
+// Route is one handler registration: method, path prefix, handler,
+// and an optional per-route body cap (see flash.Route).
+type Route = flash.Route
+
+// DynamicHandler is the v1 dynamic-content interface, kept as a thin
+// adapter over Handler (see flash.DynamicHandler).
 type DynamicHandler = flash.DynamicHandler
 
 // DynamicFunc adapts a function to DynamicHandler.

@@ -1,6 +1,15 @@
-// Dynamic: serve CGI-style dynamic content (§5.6). Each handler runs on
-// its own goroutine — the stand-in for Flash's persistent CGI
-// processes — so a slow handler never stalls static serving.
+// Dynamic: serve CGI-style dynamic content (§5.6) through the Handler
+// v2 API. Each handler runs on its own goroutine — the stand-in for
+// Flash's persistent CGI processes — so a slow handler never stalls
+// static serving, and with v2 a handler is a full peer of the server:
+// it reads the request body, sets arbitrary response headers, and
+// streams its output through the loop's flow-control pipe.
+//
+// The walkthrough mounts the same workload three ways:
+//
+//	v2 native    repro.HandlerFunc       POST /echo (reads the body)
+//	v1 legacy    repro.DynamicFunc       GET /cgi-bin/slow (adapter-backed)
+//	net/http     flashhttp.Adapter       GET /std/... (http.FileServer)
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/flashhttp"
 	"repro/internal/httpmsg"
 )
 
@@ -26,6 +36,8 @@ func main() {
 	defer os.RemoveAll(root)
 	os.WriteFile(filepath.Join(root, "index.html"),
 		[]byte("<html>static content</html>"), 0o644)
+	os.WriteFile(filepath.Join(root, "ecosystem.txt"),
+		[]byte("served by net/http.FileServer on a flash core\n"), 0o644)
 
 	srv, err := repro.New(repro.Config{DocRoot: root})
 	if err != nil {
@@ -33,20 +45,31 @@ func main() {
 	}
 	defer srv.Close()
 
-	// A fast handler: echo the query string.
-	srv.HandleDynamic("/cgi-bin/echo", repro.DynamicFunc(
-		func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
-			body := fmt.Sprintf("you sent: %q\n", req.Query)
-			return 200, "text/plain", io.NopCloser(strings.NewReader(body)), nil
-		}))
+	// v2 native: a POST handler that reads the request body — something
+	// the v1 API could not express at all.
+	srv.HandleFunc("POST", "/echo", func(w repro.ResponseWriter, r *repro.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(400)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		w.Header().Set("X-Handler", "flash-v2")
+		fmt.Fprintf(w, "you posted %d bytes: %q\n", len(body), body)
+	})
 
-	// A deliberately slow handler: static requests keep flowing while
-	// it sleeps (the §5.6 isolation property).
+	// v1 legacy: the old four-value interface still works, now riding
+	// on a v2 adapter. Deliberately slow, to show the §5.6 isolation:
+	// static requests keep flowing while it sleeps.
 	srv.HandleDynamic("/cgi-bin/slow", repro.DynamicFunc(
 		func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
 			time.Sleep(500 * time.Millisecond)
 			return 200, "text/plain", io.NopCloser(strings.NewReader("finally done\n")), nil
 		}))
+
+	// The Go ecosystem: an unmodified net/http handler on the flash core.
+	srv.Handle("", "/std/", flashhttp.Adapter(
+		http.StripPrefix("/std/", http.FileServer(http.Dir(root)))))
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -55,7 +78,7 @@ func main() {
 	go srv.Serve(l)
 	base := "http://" + l.Addr().String()
 
-	// Kick off the slow request...
+	// Kick off the slow v1 request...
 	slowDone := make(chan string, 1)
 	go func() {
 		resp, err := http.Get(base + "/cgi-bin/slow")
@@ -81,14 +104,24 @@ func main() {
 		served++
 	}
 	fmt.Printf("served %d static requests while /cgi-bin/slow was blocked\n", served)
-	fmt.Printf("slow handler said: %s\n", <-slowDone)
+	fmt.Printf("slow v1 handler said: %s\n", <-slowDone)
 
-	resp, err := http.Get(base + "/cgi-bin/echo?greeting=hello")
+	// POST a body to the v2 handler.
+	resp, err := http.Post(base+"/echo", "text/plain", strings.NewReader("hello, handler v2"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	fmt.Printf("echo handler said: %s", body)
+	fmt.Printf("v2 echo (%s): %s", resp.Header.Get("X-Handler"), body)
+
+	// And fetch through the mounted net/http file server.
+	resp, err = http.Get(base + "/std/ecosystem.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("net/http adapter: %s", body)
 	fmt.Printf("dynamic calls: %d\n", srv.Stats().DynamicCalls)
 }

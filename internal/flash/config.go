@@ -134,6 +134,22 @@ type Config struct {
 	// MaxHeaderBytes bounds a request header block (default 32 KB).
 	MaxHeaderBytes int
 
+	// BodyReadTimeout bounds the total wall-clock time one request
+	// body may take to arrive (the per-operation ReadTimeout still
+	// applies to each read, but alone it would let a peer trickle one
+	// byte per ReadTimeout forever). Zero defaults to 2 minutes;
+	// negative disables the aggregate bound.
+	BodyReadTimeout time.Duration
+
+	// MaxBodyBytes bounds a request body delivered to a v2 Handler:
+	// a Content-Length beyond it draws an immediate 413 (without a
+	// 100 Continue, when one was expected), and a chunked body is cut
+	// off with ErrBodyTooLarge once its decoded size passes the cap.
+	// Individual routes may override it (Route.MaxBodyBytes). Zero
+	// defaults to DefaultMaxBodyBytes (8 MiB); negative means
+	// unlimited.
+	MaxBodyBytes int64
+
 	// IdleTimeout closes keep-alive connections with no request
 	// (default 30s). ReadTimeout and WriteTimeout bound single I/O
 	// operations (default 30s each).
@@ -162,6 +178,10 @@ type Config struct {
 // switch from the chunk-cache copy path to the sendfile transport when
 // Config.SendfileThreshold is left zero.
 const DefaultSendfileThreshold = 256 << 10
+
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
+// left zero.
+const DefaultMaxBodyBytes = 8 << 20
 
 // Errors returned by configuration validation.
 var (
@@ -212,6 +232,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.MaxHeaderBytes == 0 {
 		cfg.MaxHeaderBytes = httpmsg.MaxHeaderLen
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.BodyReadTimeout == 0 {
+		cfg.BodyReadTimeout = 2 * time.Minute
 	}
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 30 * time.Second

@@ -2,6 +2,7 @@ package flash
 
 import (
 	"net"
+	"os"
 	"time"
 
 	"repro/internal/cache"
@@ -50,6 +51,12 @@ type conn struct {
 	nextCh  chan bool // loop → reader: response done; proceed if true
 	done    chan struct{}
 
+	// rbuf is the pipelining carry-over: bytes read past the current
+	// request head. It is owned by the reader goroutine between
+	// exchanges and by the request's bodyReader during one (the reader
+	// is parked in waitResponse then), never both at once.
+	rbuf []byte
+
 	ls loopState // loop-owned, reset per exchange
 
 	// Writer-channel state, also loop-owned but connection-scoped: a
@@ -78,12 +85,62 @@ func (c *conn) abort() {
 	c.nc.Close()
 }
 
+// readRaw fills p from the carry-over buffer, then the socket (used by
+// body readers; the head parser manages rbuf directly). A non-zero cap
+// bounds the aggregate wait: the per-read deadline never extends past
+// it, so a trickling peer cannot hold the exchange open by renewing
+// the ReadTimeout one byte at a time.
+func (c *conn) readRaw(p []byte, cap time.Time) (int, error) {
+	if len(c.rbuf) > 0 {
+		n := copy(p, c.rbuf)
+		c.rbuf = c.rbuf[n:]
+		return n, nil
+	}
+	d := time.Now().Add(c.sh.cfg.ReadTimeout)
+	if !cap.IsZero() {
+		if !time.Now().Before(cap) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if cap.Before(d) {
+			d = cap
+		}
+	}
+	c.nc.SetReadDeadline(d)
+	return c.nc.Read(p)
+}
+
+// unread pushes bytes a body reader consumed past its framing back to
+// the front of the carry-over (they belong to the next request).
+func (c *conn) unread(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	merged := make([]byte, 0, len(b)+len(c.rbuf))
+	merged = append(merged, b...)
+	merged = append(merged, c.rbuf...)
+	c.rbuf = merged
+}
+
+// exchangePlan is the reader's pre-computed decision for one request:
+// either a protocol-level rejection, a routed handler dispatch (with
+// its body reader), or the static path (both nil).
+type exchangePlan struct {
+	req    *httpmsg.Request
+	rt     *Route      // non-nil: dispatch to the v2 handler
+	body   *bodyReader // non-nil: the request carries (or may carry) a body
+	reject int         // non-zero: answer this status instead
+	allow  string      // Allow header value for a 405 rejection
+}
+
 // serve is the reader goroutine: parse requests, hand them to the event
 // loop, and wait for each response to finish before parsing the next.
 // Bytes read beyond one request's header block are kept, so a pipelined
 // burst is consumed request by request without touching the socket —
 // responses leave through the single writer in arrival order, which is
-// exactly the in-order guarantee HTTP/1.1 pipelining requires.
+// exactly the in-order guarantee HTTP/1.1 pipelining requires. Request
+// bodies are consumed by the handler (through the plan's bodyReader)
+// while the reader is parked; whatever is left unread is drained here
+// before the next head is parsed, keeping pipelined framing intact.
 func (c *conn) serve() {
 	// The writer joins the server's WaitGroup (the serve goroutine
 	// already holds it, so the count cannot be zero here): Close waits
@@ -100,7 +157,6 @@ func (c *conn) serve() {
 		c.sh.post(func() { c.sh.connEnd(c) })
 	}()
 
-	var buf []byte
 	tmp := make([]byte, 4096)
 	for {
 		// Tolerate stray blank lines before a request (clients
@@ -109,24 +165,24 @@ func (c *conn) serve() {
 		// trickling CRLFs forever would never trip it.
 		preamble := 0
 		skipBlank := func() {
-			for len(buf) > 0 && (buf[0] == '\r' || buf[0] == '\n') {
-				buf = buf[1:]
+			for len(c.rbuf) > 0 && (c.rbuf[0] == '\r' || c.rbuf[0] == '\n') {
+				c.rbuf = c.rbuf[1:]
 				preamble++
 			}
 		}
 		skipBlank()
 		// Accumulate one complete request head (a terminated header
-		// block, or an HTTP/0.9 simple request) at the head of buf.
+		// block, or an HTTP/0.9 simple request) at the head of rbuf.
 		c.nc.SetReadDeadline(time.Now().Add(c.sh.cfg.IdleTimeout))
-		for httpmsg.RequestEnd(buf) < 0 {
-			if len(buf)+preamble > c.sh.cfg.MaxHeaderBytes {
+		for httpmsg.RequestEnd(c.rbuf) < 0 {
+			if len(c.rbuf)+preamble > c.sh.cfg.MaxHeaderBytes {
 				c.sh.post(func() { c.sh.rejectRequest(c, nil, 400) })
 				c.waitResponse()
 				return
 			}
 			n, err := c.nc.Read(tmp)
 			if n > 0 {
-				buf = append(buf, tmp[:n]...)
+				c.rbuf = append(c.rbuf, tmp[:n]...)
 				c.nc.SetReadDeadline(time.Now().Add(c.sh.cfg.ReadTimeout))
 				skipBlank()
 			}
@@ -134,9 +190,9 @@ func (c *conn) serve() {
 				return // EOF or timeout between requests
 			}
 		}
-		end := httpmsg.RequestEnd(buf)
-		req, err := httpmsg.ParseRequest(buf[:end])
-		buf = buf[end:] // keep pipelined followers for the next iteration
+		end := httpmsg.RequestEnd(c.rbuf)
+		req, err := httpmsg.ParseRequest(c.rbuf[:end])
+		c.rbuf = c.rbuf[end:] // keep pipelined followers (or body bytes)
 		if err != nil {
 			status := 400
 			if err == httpmsg.ErrTargetTooBig {
@@ -148,42 +204,120 @@ func (c *conn) serve() {
 			c.waitResponse()
 			return
 		}
-		// Request bodies are never read (GET/HEAD server): unread body
-		// bytes would desynchronize the pipelined request framing, so a
-		// bodied request always closes the connection after its response,
-		// and on GET/HEAD it is rejected outright (the method check in
-		// handleRequest answers 405 for everything else).
-		if status, bodied := announcesBody(req); bodied {
-			req.KeepAlive = false
-			if req.Method == "GET" || req.Method == "HEAD" {
-				c.sh.post(func() { c.sh.rejectRequest(c, req, status) })
-				c.waitResponse()
-				return
-			}
+
+		plan := c.planExchange(req)
+		c.sh.post(func() { c.sh.handleExchange(c, plan) })
+		keep := c.waitResponse()
+		if plan.body != nil && keep {
+			// The handler may have left body bytes on the wire; the next
+			// head cannot be parsed until they are gone.
+			keep = plan.body.drain()
 		}
-		c.sh.post(func() { c.sh.handleRequest(c, req) })
-		if !c.waitResponse() {
+		if !keep {
 			return
 		}
 	}
 }
 
-// announcesBody reports whether the request declares a body, and the
-// status a GET/HEAD request carrying one should be refused with.
-func announcesBody(req *httpmsg.Request) (status int, bodied bool) {
-	if _, ok := req.Headers["transfer-encoding"]; ok {
-		return 501, true
-	}
-	if cl, ok := req.Headers["content-length"]; ok {
-		n, err := httpmsg.ParseContentLength(cl)
-		if err != nil {
-			return 400, true
+// planExchange classifies one parsed request: body framing, Expect
+// handling, route lookup, and size limits, producing either a
+// rejection or a dispatch plan. Runs on the reader goroutine; the
+// route table is immutable once the server starts, so the lookup is
+// lock-free.
+func (c *conn) planExchange(req *httpmsg.Request) exchangePlan {
+	cfg := c.sh.cfg
+	plan := exchangePlan{req: req}
+
+	kind, clen, ferr := req.BodyFraming()
+	if ferr != nil {
+		plan.reject = 400
+		if ferr == httpmsg.ErrBadTransferEncoding {
+			plan.reject = 501
 		}
-		if n > 0 {
-			return 413, true
-		}
+		req.KeepAlive = false // framing unknown: resync is impossible
+		return plan
 	}
-	return 0, false
+	hasBody := kind != httpmsg.BodyNone
+
+	expectContinue := false
+	if req.HasExpectation() {
+		if !req.ExpectsContinue() && req.Major == 1 && req.Minor >= 1 {
+			// An expectation this server does not implement (RFC 7231
+			// §5.1.1 allows only 100-continue).
+			plan.reject = 417
+			if hasBody {
+				req.KeepAlive = false
+			}
+			return plan
+		}
+		expectContinue = req.ExpectsContinue()
+	}
+
+	rt, allow := c.sh.srv.routes.match(req.Method, req.Path)
+	if rt == nil {
+		if allow == "" && (req.Method == "GET" || req.Method == "HEAD") {
+			// Static path. Bodied GET/HEAD requests are refused as
+			// before: the static planner never reads bodies, and an
+			// unread body would desynchronize the pipelined framing.
+			if hasBody {
+				plan.reject = 413
+				if kind == httpmsg.BodyChunked {
+					plan.reject = 501
+				}
+				req.KeepAlive = false
+			}
+			return plan
+		}
+		if allow == "" {
+			allow = "GET, HEAD" // static resources answer GET and HEAD
+		}
+		plan.reject = 405
+		plan.allow = allow
+		if hasBody {
+			req.KeepAlive = false
+		}
+		return plan
+	}
+
+	plan.rt = rt
+	maxBody := cfg.MaxBodyBytes
+	if rt.MaxBodyBytes != 0 {
+		maxBody = rt.MaxBodyBytes
+	}
+	if kind == httpmsg.BodyLength && maxBody > 0 && clen > maxBody {
+		// Refused up front — and deliberately without a 100 Continue,
+		// the RFC's reject-without-continue path. The unsent body makes
+		// the connection unusable afterwards.
+		plan.reject = 413
+		plan.rt = nil
+		req.KeepAlive = false
+		return plan
+	}
+	if _, declared := req.Headers["content-length"]; kind == httpmsg.BodyNone &&
+		!declared && methodRequiresLength(req.Method) {
+		// A payload method with neither Content-Length nor chunked
+		// framing: require a length rather than guessing (RFC 7230
+		// §3.3.3 would read this as "no body", which is never what a
+		// POST meant). An explicit "Content-Length: 0" is a declared —
+		// empty — body and passes through.
+		plan.reject = 411
+		plan.rt = nil
+		return plan
+	}
+	if hasBody || expectContinue {
+		plan.body = newBodyReader(c, kind, clen, maxBody, expectContinue)
+	}
+	return plan
+}
+
+// methodRequiresLength lists the methods whose requests are defined by
+// their payload; without any body framing they draw a 411.
+func methodRequiresLength(method string) bool {
+	switch method {
+	case "POST", "PUT", "PATCH":
+		return true
+	}
+	return false
 }
 
 // waitResponse blocks until the loop reports the response finished,

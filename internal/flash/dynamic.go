@@ -6,11 +6,12 @@ import (
 	"repro/internal/httpmsg"
 )
 
-// DynamicHandler produces dynamic content (§5.6). Each invocation runs
-// on its own goroutine — the stand-in for the paper's persistent
-// CGI-bin processes connected by pipes — so a handler may block on disk,
-// the network, or long computations without affecting the server's
-// event loop.
+// DynamicHandler is the v1 dynamic-content interface (§5.6), kept as a
+// thin adapter over Handler: each invocation still runs on its own
+// goroutine — the stand-in for the paper's persistent CGI-bin
+// processes connected by pipes — but it can neither set response
+// headers nor read a request body. New code should implement Handler;
+// see the README's migration table.
 type DynamicHandler interface {
 	// ServeDynamic handles one request. The returned reader streams the
 	// response body; it is drained and closed by the server. A nil
@@ -30,14 +31,13 @@ func (f DynamicFunc) ServeDynamic(req *httpmsg.Request) (int, string, io.ReadClo
 // connection writer.
 const dynBufSize = 32 << 10
 
-// streamSource is the dynamic-content implementation of bodySource: a
-// producer goroutine (the "CGI process") reads the handler's output
-// and posts each buffer to the loop as one item, then blocks until the
-// pipeline acks it — so at most one buffer is ever in flight, the
-// paper's pipe acting as flow control. The roles invert relative to
-// the pull sources: release (and abort) ack the producer over the
-// flow-control channel, and next has nothing to do because the
-// producer pushes as acks arrive.
+// streamSource is the handler-output implementation of bodySource: the
+// handler goroutine (the "CGI process") posts each buffer to the loop
+// as one item, then blocks until the pipeline acks it — so at most one
+// buffer is ever in flight, the paper's pipe acting as flow control.
+// The roles invert relative to the pull sources: release (and abort)
+// ack the producer over the flow-control channel, and next has nothing
+// to do because the producer pushes as acks arrive.
 type streamSource struct {
 	ack chan bool // pipeline → producer: item done; true = keep going
 }
@@ -60,100 +60,68 @@ func (st *streamSource) abort(s *shard, c *conn) {
 	}
 }
 
-// startDynamic launches the handler goroutine and streams its output
-// through a streamSource. On HTTP/1.1 the body is chunk-encoded so no
-// Content-Length is needed and the connection can persist; on 1.0 (or
-// with DisableChunked) the body is close-delimited as before. Runs on
-// the event loop.
-func (s *shard) startDynamic(c *conn, req *httpmsg.Request, h DynamicHandler) {
-	s.stats.DynamicCalls++
-	chunked := req.Major == 1 && req.Minor >= 1 && !s.cfg.DisableChunked
-	keep := chunked && req.KeepAlive
-	req.KeepAlive = keep // finishResponse decides persistence from this
+// dynamicAdapter reimplements the v1 contract on the v2 surface: run
+// the handler, translate its four return values into header fields and
+// writer calls, and reproduce the v1 wire format byte for byte — the
+// equivalence suite (v1equiv_test.go) holds it to that, modulo three
+// pinned divergences: 204/304 are no longer chunk-framed and HEAD
+// responses no longer carry a body (both v1 protocol violations), and
+// a bodied GET to a dynamic prefix is now served (body drained by the
+// server) instead of v1's reader-level 413 — opening bodied traffic to
+// handlers is this API's purpose, and the adapter rides the same
+// routes.
+type dynamicAdapter struct {
+	h DynamicHandler
+}
 
-	src := &streamSource{ack: make(chan bool, 1)}
-	c.ls.src = src
-
-	// The "CGI process": runs the handler and pumps its output through
-	// the loop to the connection writer, one buffer at a time, with
-	// per-buffer acknowledgement for flow control (the pipe).
-	go func() {
-		status, ctype, body, err := h.ServeDynamic(req)
-		if err != nil || status == 0 {
-			s.post(func() { s.errorResponse(c, 500, false) })
-			if body != nil {
-				body.Close()
-			}
-			return
+// ServeFlash implements Handler.
+func (a dynamicAdapter) ServeFlash(w ResponseWriter, r *Request) {
+	status, ctype, body, err := a.h.ServeDynamic(r.Request)
+	if err != nil || status == 0 {
+		if body != nil {
+			body.Close()
 		}
-		if ctype == "" {
-			ctype = "text/html"
+		// The v1 error contract: the loop's fixed 500 response, closing
+		// the connection.
+		if rw, ok := w.(*responseWriter); ok {
+			rw.hijackError(500)
+		} else {
+			w.WriteHeader(500)
 		}
-		hdr := headerFor(req, httpmsg.BuildHeader(httpmsg.ResponseMeta{
-			Status:        status,
-			Proto:         req.Proto,
-			ContentType:   ctype,
-			ContentLength: -1, // unknown: chunking or the close delimits
-			Chunked:       chunked,
-			Date:          s.cfg.Clock(),
-			KeepAlive:     keep,
-			ServerName:    s.cfg.ServerName,
-		}, !s.cfg.DisableHeaderAlign))
-
-		send := func(data []byte, last bool) bool {
-			s.post(func() {
-				c.ls.status = status
-				c.ls.req = req
-				s.queueItem(c, writeItem{data: data, last: last})
-			})
-			select {
-			case ok := <-src.ack:
-				return ok
-			case <-c.done:
-				return false
-			}
-		}
-
-		if body == nil {
-			if chunked {
-				hdr = append(hdr, httpmsg.FinalChunk...)
-			}
-			send(hdr, true)
-			return
-		}
-		defer body.Close()
-
-		pending := hdr // header bytes ride along with the first body item
-		buf := make([]byte, dynBufSize)
-		for {
-			n, rerr := body.Read(buf)
-			if n > 0 {
-				out := append([]byte{}, pending...)
-				if chunked {
-					out = httpmsg.AppendChunk(out, buf[:n])
-				} else {
-					out = append(out, buf[:n]...)
-				}
-				pending = nil
-				if !send(out, false) {
-					return
-				}
-			}
-			if rerr != nil {
-				if chunked && rerr != io.EOF {
-					// Mid-stream producer failure: close without the
-					// terminal chunk so the client sees the truncation.
-					s.post(func() { s.failConn(c) })
-					return
-				}
-				// Trailing (possibly empty) item carries the last flag.
-				tail := append([]byte{}, pending...)
-				if chunked {
-					tail = append(tail, httpmsg.FinalChunk...)
-				}
-				send(tail, true)
+		return
+	}
+	if ctype == "" {
+		ctype = "text/html"
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.WriteHeader(status)
+	if body == nil {
+		return
+	}
+	defer body.Close()
+	buf := make([]byte, dynBufSize)
+	for {
+		n, rerr := body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
 				return
 			}
+			// v1 streamed one pipe buffer per item; Flush preserves that
+			// cadence (and its wire framing) instead of coalescing.
+			w.Flush()
 		}
-	}()
+		if rerr == io.EOF {
+			return
+		}
+		if rerr != nil {
+			// Mid-stream producer failure: under chunked framing, abort
+			// so the client sees the truncation instead of a clean
+			// terminator; a close-delimited body is truncated by the
+			// close itself (the v1 behaviour, byte for byte).
+			if rw, ok := w.(*responseWriter); ok && rw.chunked {
+				rw.fail()
+			}
+			return
+		}
+	}
 }

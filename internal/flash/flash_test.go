@@ -18,8 +18,10 @@ import (
 )
 
 // newTestServer builds a docroot, starts a server on a random port, and
-// returns its base URL plus a cleanup-registered server handle.
-func newTestServer(t *testing.T, mutate func(*Config)) (*Server, string) {
+// returns its base URL plus a cleanup-registered server handle. Route
+// registration must happen before Serve, so tests that mount handlers
+// pass them as register funcs instead of calling Handle* afterwards.
+func newTestServer(t *testing.T, mutate func(*Config), register ...func(*Server)) (*Server, string) {
 	t.Helper()
 	root := t.TempDir()
 	mustWrite(t, root, "index.html", "<html>home</html>")
@@ -34,6 +36,9 @@ func newTestServer(t *testing.T, mutate func(*Config)) (*Server, string) {
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, reg := range register {
+		reg(s)
 	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -339,12 +344,13 @@ func mustWriteAbs(t *testing.T, path, content string) {
 }
 
 func TestDynamicHandler(t *testing.T) {
-	s, base := newTestServer(t, nil)
-	s.HandleDynamic("/cgi-bin/", DynamicFunc(
-		func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
-			body := fmt.Sprintf("query=%s", req.Query)
-			return 200, "text/plain", io.NopCloser(strings.NewReader(body)), nil
-		}))
+	s, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleDynamic("/cgi-bin/", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				body := fmt.Sprintf("query=%s", req.Query)
+				return 200, "text/plain", io.NopCloser(strings.NewReader(body)), nil
+			}))
+	})
 	resp, body := get(t, base+"/cgi-bin/echo?a=1")
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -358,13 +364,14 @@ func TestDynamicHandler(t *testing.T) {
 }
 
 func TestDynamicHandlerStreamsLargeBody(t *testing.T) {
-	s, base := newTestServer(t, nil)
 	const n = 256 << 10
-	s.HandleDynamic("/stream", DynamicFunc(
-		func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
-			return 200, "application/octet-stream",
-				io.NopCloser(io.LimitReader(repeatReader('z'), n)), nil
-		}))
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleDynamic("/stream", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 200, "application/octet-stream",
+					io.NopCloser(io.LimitReader(repeatReader('z'), n)), nil
+			}))
+	})
 	resp, body := get(t, base+"/stream")
 	if resp.StatusCode != 200 || len(body) != n {
 		t.Fatalf("status=%d len=%d", resp.StatusCode, len(body))
@@ -372,11 +379,12 @@ func TestDynamicHandlerStreamsLargeBody(t *testing.T) {
 }
 
 func TestDynamicHandlerError(t *testing.T) {
-	s, base := newTestServer(t, nil)
-	s.HandleDynamic("/fail", DynamicFunc(
-		func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
-			return 0, "", nil, fmt.Errorf("boom")
-		}))
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleDynamic("/fail", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 0, "", nil, fmt.Errorf("boom")
+			}))
+	})
 	resp, _ := get(t, base+"/fail")
 	if resp.StatusCode != 500 {
 		t.Fatalf("status = %d, want 500", resp.StatusCode)

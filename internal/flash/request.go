@@ -12,24 +12,54 @@ import (
 
 // All functions in this file run on the event loop.
 
-// handleRequest starts processing one parsed request.
-func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
+// handleExchange starts processing one exchange from the reader's
+// pre-computed plan: protocol-level rejections first, then Host
+// enforcement, then either the v2 handler dispatch or the static path.
+func (s *shard) handleExchange(c *conn, plan exchangePlan) {
+	req := plan.req
 	c.ls = loopState{req: req, status: 200}
 	if s.shutdown {
 		s.errorResponse(c, 503, false)
 		return
 	}
 	if req.Major == 1 && req.Minor >= 1 && req.Host() == "" {
-		// RFC 7230 §5.4: a 1.1 request without Host gets a 400.
-		s.errorResponse(c, 400, req.KeepAlive)
+		// RFC 7230 §5.4: a 1.1 request without Host gets a 400 — before
+		// any other verdict (405/411/413/417), because the MUST applies
+		// to every 1.1 request, reject-bound or not. planExchange has
+		// already cleared KeepAlive when an unread body makes resync
+		// impossible; a body whose drain may fail (stranded Expect,
+		// unbounded chunked) would make the reader close right after,
+		// so the 400 must not promise persistence either (mirrors
+		// responseWriter.finish).
+		keep := req.KeepAlive
+		if plan.body != nil && plan.body.mayCloseOnDrain() {
+			keep = false
+		}
+		s.errorResponse(c, 400, keep)
 		return
 	}
+	if plan.reject != 0 {
+		var extra []string
+		if plan.reject == 405 && plan.allow != "" {
+			extra = []string{"Allow: " + plan.allow}
+		}
+		s.errorResponseExtra(c, plan.reject, req.KeepAlive, extra)
+		return
+	}
+	if plan.rt != nil {
+		s.startHandler(c, req, plan.rt.Handler, plan.body)
+		return
+	}
+	s.handleRequest(c, req)
+}
+
+// handleRequest runs the static-file path for one request (also the
+// re-entry point when a chunk walk detects a changed file and restarts
+// the exchange).
+func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
+	c.ls = loopState{req: req, status: 200}
 	if req.Method != "GET" && req.Method != "HEAD" {
-		s.errorResponse(c, 405, req.KeepAlive)
-		return
-	}
-	if h := s.findDynamic(req.Path); h != nil {
-		s.startDynamic(c, req, h)
+		s.errorResponseExtra(c, 405, req.KeepAlive, []string{"Allow: GET, HEAD"})
 		return
 	}
 
@@ -516,6 +546,12 @@ func (s *shard) rejectRequest(c *conn, req *httpmsg.Request, status int) {
 
 // errorResponse sends a complete error response.
 func (s *shard) errorResponse(c *conn, status int, keepAlive bool) {
+	s.errorResponseExtra(c, status, keepAlive, nil)
+}
+
+// errorResponseExtra sends a complete error response carrying
+// additional header lines (e.g. the Allow list of a 405).
+func (s *shard) errorResponseExtra(c *conn, status int, keepAlive bool, extra []string) {
 	if c.ls.req == nil {
 		c.ls = loopState{req: &httpmsg.Request{Method: "GET", Target: "-", Proto: "HTTP/1.0", Major: 1}}
 	}
@@ -533,6 +569,7 @@ func (s *shard) errorResponse(c *conn, status int, keepAlive bool) {
 		Date:          s.cfg.Clock(),
 		KeepAlive:     keepAlive && status < 500,
 		ServerName:    s.cfg.ServerName,
+		ExtraHeaders:  extra,
 	}, !s.cfg.DisableHeaderAlign)
 	if ls.req != nil {
 		ls.req.KeepAlive = keepAlive && status < 500

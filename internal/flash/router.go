@@ -1,0 +1,95 @@
+package flash
+
+import (
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Route is one handler registration: a method plus a path prefix,
+// longest prefix winning. Method "" matches every method. MaxBodyBytes
+// overrides Config.MaxBodyBytes for requests landing on this route
+// (0 = server default, negative = unlimited).
+type Route struct {
+	Method       string
+	Prefix       string
+	Handler      Handler
+	MaxBodyBytes int64
+}
+
+// router is the server's route table. It is built before Serve and
+// immutable afterwards, so shards' event loops and connection readers
+// both consult it without locks (the registration-before-Serve
+// contract is enforced by Server.Handle).
+type router struct {
+	routes []Route // sorted: longer prefixes first, stable within a length
+}
+
+// add registers a route, keeping the table ordered longest-prefix
+// first — with equal prefixes contiguous — so match can scan the
+// winning prefix's whole method set from its first hit.
+func (rt *router) add(r Route) {
+	rt.routes = append(rt.routes, r)
+	sort.SliceStable(rt.routes, func(i, j int) bool {
+		a, b := rt.routes[i].Prefix, rt.routes[j].Prefix
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		return a < b
+	})
+}
+
+// match finds the route for a request. The longest registered prefix
+// that contains path decides the resource; within it, an exact method
+// match wins, then a wildcard ("") route, and a HEAD request falls
+// back to the GET route (handlers see Method "HEAD" and the response
+// writer suppresses the body). When the prefix exists but no method
+// matches, match returns nil with the Allow header value for the 405.
+func (rt *router) match(method, path string) (r *Route, allow string) {
+	for i := range rt.routes {
+		if !strings.HasPrefix(path, rt.routes[i].Prefix) {
+			continue
+		}
+		prefix := rt.routes[i].Prefix
+		var wildcard, get *Route
+		end := i
+		for ; end < len(rt.routes); end++ {
+			cand := &rt.routes[end]
+			if cand.Prefix != prefix {
+				break // equal prefixes are contiguous; anything else is a different resource
+			}
+			switch cand.Method {
+			case method:
+				return cand, ""
+			case "":
+				if wildcard == nil {
+					wildcard = cand
+				}
+			case "GET":
+				if get == nil {
+					get = cand
+				}
+			}
+		}
+		if wildcard != nil {
+			return wildcard, ""
+		}
+		if method == "HEAD" && get != nil {
+			return get, ""
+		}
+		// Method miss: only now — off the hot path — assemble the
+		// prefix's Allow set for the 405.
+		list := make([]string, 0, end-i+1)
+		for j := i; j < end; j++ {
+			if m := rt.routes[j].Method; m != "" && !slices.Contains(list, m) {
+				list = append(list, m)
+			}
+		}
+		if get != nil && !slices.Contains(list, "HEAD") {
+			list = append(list, "HEAD") // a GET route answers HEAD too
+		}
+		sort.Strings(list)
+		return nil, strings.Join(list, ", ")
+	}
+	return nil, ""
+}

@@ -3,7 +3,6 @@ package flash
 import (
 	"fmt"
 	"net"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +63,12 @@ type Server struct {
 	cfg    Config
 	shards []*shard
 
+	// routes is the v2 handler table. It is mutable only before the
+	// server starts (Handle panics afterwards), so shards and
+	// connection readers consult it without locks.
+	routes  router
+	started atomic.Bool // set by Serve; freezes the route table
+
 	nextShard atomic.Uint64 // round-robin accept distribution
 
 	logMu sync.Mutex // serializes AccessLog writes across shards
@@ -72,6 +77,8 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	conns     map[*conn]struct{}
 	closed    bool
+	drainCh   chan struct{} // closed when the last conn unregisters during Shutdown
+	draining  bool
 
 	wg sync.WaitGroup
 }
@@ -89,18 +96,11 @@ type shard struct {
 	hdrs     *cache.HeaderCache
 	chunks   *cache.MapCache
 	stats    Stats
-	dynamic  []dynamicRoute
 	shutdown bool
 
 	msgs     chan func() // the loop's mailbox
 	helpers  *helperPool
 	loopDone chan struct{}
-}
-
-// dynamicRoute maps a path prefix to a dynamic content handler.
-type dynamicRoute struct {
-	prefix string
-	h      DynamicHandler
 }
 
 // New creates a server from cfg.
@@ -230,31 +230,42 @@ func (s *Server) ShardStats() []Stats {
 	return out
 }
 
-// HandleDynamic registers a dynamic content handler for a path prefix
-// (e.g. "/cgi-bin/") on every shard. Longest prefix wins. Must be
-// called before Serve.
-func (s *Server) HandleDynamic(prefix string, h DynamicHandler) {
-	if !strings.HasPrefix(prefix, "/") {
-		panic("flash: dynamic prefix must start with /")
+// HandleRoute registers a v2 handler route: a method (or "" for every
+// method) plus a path prefix, longest prefix winning, with an optional
+// per-route body-size cap. Registration must happen before Serve —
+// the route table is deliberately lock-free once connections exist —
+// and panics afterwards, as it does on a malformed route.
+func (s *Server) HandleRoute(r Route) {
+	if s.started.Load() {
+		panic("flash: route registration after Serve")
 	}
-	for _, sh := range s.shards {
-		sh.call(func() {
-			sh.dynamic = append(sh.dynamic, dynamicRoute{prefix: prefix, h: h})
-			sort.SliceStable(sh.dynamic, func(i, j int) bool {
-				return len(sh.dynamic[i].prefix) > len(sh.dynamic[j].prefix)
-			})
-		})
+	if !strings.HasPrefix(r.Prefix, "/") {
+		panic("flash: route prefix must start with /")
 	}
+	if r.Handler == nil {
+		panic("flash: route handler must not be nil")
+	}
+	s.routes.add(r)
 }
 
-// findDynamic returns the handler for a path, or nil. Loop-only.
-func (s *shard) findDynamic(path string) DynamicHandler {
-	for _, r := range s.dynamic {
-		if strings.HasPrefix(path, r.prefix) {
-			return r.h
-		}
-	}
-	return nil
+// Handle registers h for every request whose path starts with prefix
+// and whose method matches (method "" matches all; a GET route also
+// answers HEAD). Must be called before Serve.
+func (s *Server) Handle(method, prefix string, h Handler) {
+	s.HandleRoute(Route{Method: method, Prefix: prefix, Handler: h})
+}
+
+// HandleFunc registers a handler function; see Handle.
+func (s *Server) HandleFunc(method, prefix string, f func(ResponseWriter, *Request)) {
+	s.Handle(method, prefix, HandlerFunc(f))
+}
+
+// HandleDynamic registers a v1 dynamic content handler for a path
+// prefix (e.g. "/cgi-bin/"), adapted onto the v2 route table for GET
+// and HEAD (the only methods the v1 server ever dispatched). Longest
+// prefix wins. Must be called before Serve; panics afterwards.
+func (s *Server) HandleDynamic(prefix string, h DynamicHandler) {
+	s.Handle("GET", prefix, dynamicAdapter{h: h})
 }
 
 // ListenAndServe listens on addr ("host:port") and serves until the
@@ -271,6 +282,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // distributing them round-robin across the shards. l is closed when
 // Serve returns.
 func (s *Server) Serve(l net.Listener) error {
+	s.started.Store(true) // freezes the route table (see HandleRoute)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -318,6 +330,12 @@ func (s *Server) Serve(l net.Listener) error {
 			c.serve()
 			s.mu.Lock()
 			delete(s.conns, c)
+			if s.draining && len(s.conns) == 0 {
+				// Last connection out during Shutdown: wake the drain
+				// waiter instead of leaving it to poll.
+				s.draining = false
+				close(s.drainCh)
+			}
 			s.mu.Unlock()
 		}()
 	}
@@ -370,8 +388,14 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Shutdown closes listeners, then waits up to timeout for active
-// connections to finish before forcing them closed.
+// Shutdown closes listeners and stops accepting new work (in-flight
+// requests complete; new requests on surviving connections draw 503
+// and responses stop advertising keep-alive), then waits up to timeout
+// for active connections to finish before forcing them closed. The
+// wait is event-driven: the goroutine that unregisters the last
+// connection signals a drain channel, so an early drain returns
+// immediately — with nothing left to force-close — instead of
+// sleep-polling the registry.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	s.mu.Lock()
 	if s.closed {
@@ -381,17 +405,26 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	for l := range s.listeners {
 		l.Close()
 	}
+	var drained chan struct{}
+	if len(s.conns) > 0 && !s.draining {
+		s.draining = true
+		s.drainCh = make(chan struct{})
+	}
+	drained = s.drainCh
+	empty := len(s.conns) == 0
 	s.mu.Unlock()
 
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		s.mu.Lock()
-		n := len(s.conns)
-		s.mu.Unlock()
-		if n == 0 {
-			break
+	// Stop extending keep-alive: finishResponse consults this flag, so
+	// every connection closes after its current response.
+	for _, sh := range s.shards {
+		sh.post(func() { sh.shutdown = true })
+	}
+
+	if !empty && drained != nil {
+		select {
+		case <-drained:
+		case <-time.After(timeout):
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
 	return s.Close()
 }

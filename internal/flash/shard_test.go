@@ -15,14 +15,18 @@ import (
 )
 
 // newShardedServer starts a server with a fixed shard count over a
-// docroot containing hello.txt.
-func newShardedServer(t *testing.T, loops int) (*Server, string) {
+// docroot containing hello.txt. Handlers must be mounted before Serve,
+// so they arrive as register funcs.
+func newShardedServer(t *testing.T, loops int, register ...func(*Server)) (*Server, string) {
 	t.Helper()
 	root := t.TempDir()
 	mustWrite(t, root, "hello.txt", "hello, world\n")
 	s, err := New(Config{DocRoot: root, EventLoops: loops})
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, reg := range register {
+		reg(s)
 	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -190,11 +194,12 @@ func TestKeepAliveStaysOnOneShard(t *testing.T) {
 
 func TestDynamicHandlerRegisteredOnEveryShard(t *testing.T) {
 	const loops = 4
-	s, addr := newShardedServer(t, loops)
-	s.HandleDynamic("/api/", DynamicFunc(
-		func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
-			return 200, "text/plain", io.NopCloser(strings.NewReader("ok")), nil
-		}))
+	s, addr := newShardedServer(t, loops, func(s *Server) {
+		s.HandleDynamic("/api/", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 200, "text/plain", io.NopCloser(strings.NewReader("ok")), nil
+			}))
+	})
 	// One connection per shard; round-robin guarantees every shard sees
 	// one, so the handler must be registered on all of them.
 	for i := 0; i < loops; i++ {

@@ -1,0 +1,714 @@
+package flash
+
+// The request-body torture suite: raw-socket scripts exercising the
+// Handler v2 body path — pipelined POSTs, bodies split across TCP
+// segments, size limits, chunked framing with trailers, and both arms
+// of Expect: 100-continue. Like torture_test.go, everything speaks
+// bytes so the framing itself is under test. CI runs these under
+// -race as a named step.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpmsg"
+)
+
+// echoRoute mounts a v2 handler at /echo that reads the whole body and
+// answers "n:<len>:<body>" with Content-Type text/plain.
+func echoRoute(s *Server) {
+	s.HandleFunc("POST", "/echo", func(w ResponseWriter, r *Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.Header().Set("Content-Type", "text/plain")
+			w.WriteHeader(400)
+			fmt.Fprintf(w, "read error: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintf(w, "n:%d:%s", len(body), body)
+	})
+}
+
+// TestTortureBodyPipelinedPosts sends three bodied POSTs and a static
+// GET in one packet on one connection; responses must come back intact
+// and in order, with the bodies delivered to the handler.
+func TestTortureBodyPipelinedPosts(t *testing.T) {
+	s, base := newTestServer(t, nil, echoRoute)
+	post := func(body, extra string) string {
+		return fmt.Sprintf("POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n%s\r\n%s",
+			len(body), extra, body)
+	}
+	script := post("alpha", "") + post("", "") +
+		"GET /hello.txt HTTP/1.1\r\nHost: t\r\n\r\n" +
+		post(strings.Repeat("Q", 70000), "") + // crosses the 32 KiB pipe buffer twice
+		post("omega", "Connection: close\r\n")
+
+	conn := dialRaw(t, base)
+	if _, err := conn.Write([]byte(script)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	want := []string{"n:5:alpha", "n:0:", "hello, world\n",
+		"n:70000:" + strings.Repeat("Q", 70000), "n:5:omega"}
+	for i, w := range want {
+		resp, err := readResponse(br, "GET")
+		if err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+		if resp.status != 200 || string(resp.body) != w {
+			t.Fatalf("exchange %d: status=%d body=%.60q, want %.60q", i, resp.status, resp.body, w)
+		}
+	}
+	if st := s.Stats(); st.Accepted != 1 {
+		t.Fatalf("Accepted = %d, want 1 (whole burst on one connection)", st.Accepted)
+	}
+}
+
+// TestTortureBodySplitAcrossSegments trickles a POST a few bytes at a
+// time so the head/body boundary and the body itself land on every
+// possible segment split.
+func TestTortureBodySplitAcrossSegments(t *testing.T) {
+	_, base := newTestServer(t, nil, echoRoute)
+	body := "split across many tiny segments"
+	script := fmt.Sprintf("POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		len(body), body)
+	conn := dialRaw(t, base)
+	for i := 0; i < len(script); i += 3 {
+		end := min(i+3, len(script))
+		if _, err := conn.Write([]byte(script[i:end])); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := readResponse(bufio.NewReader(conn), "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 200 || string(resp.body) != fmt.Sprintf("n:%d:%s", len(body), body) {
+		t.Fatalf("status=%d body=%q", resp.status, resp.body)
+	}
+}
+
+// TestTortureBodyOversized413Closes asserts a Content-Length beyond
+// the cap draws an immediate 413 with Connection: close — before the
+// body is read — and that the connection really closes.
+func TestTortureBodyOversized413Closes(t *testing.T) {
+	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 1 << 10 }, echoRoute)
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n", 1<<20)
+	br := bufio.NewReader(conn)
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 413 {
+		t.Fatalf("status = %d, want 413", resp.status)
+	}
+	if got := resp.headers["connection"]; got != "close" {
+		t.Fatalf("connection = %q, want close", got)
+	}
+	if extra, _ := io.ReadAll(br); len(extra) != 0 {
+		t.Fatalf("trailing bytes after 413: %q", extra)
+	}
+}
+
+// TestTortureBodyPerRouteLimit asserts Route.MaxBodyBytes overrides
+// the server cap in both directions.
+func TestTortureBodyPerRouteLimit(t *testing.T) {
+	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 1 << 10 }, func(s *Server) {
+		echo := func(w ResponseWriter, r *Request) {
+			n, _ := io.Copy(io.Discard, r.Body)
+			fmt.Fprintf(w, "n:%d", n)
+		}
+		s.HandleRoute(Route{Method: "POST", Prefix: "/roomy", Handler: HandlerFunc(echo), MaxBodyBytes: 1 << 20})
+		s.HandleRoute(Route{Method: "POST", Prefix: "/tight", Handler: HandlerFunc(echo), MaxBodyBytes: 4})
+	})
+	// 8 KiB beats the 1 KiB server cap but fits the roomy route.
+	body := strings.Repeat("r", 8<<10)
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /roomy HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", len(body), body)
+	resp, err := readResponse(bufio.NewReader(conn), "POST")
+	if err != nil || resp.status != 200 || string(resp.body) != "n:8192" {
+		t.Fatalf("roomy: %v status=%d body=%q", err, resp.status, resp.body)
+	}
+	// 5 bytes trips the tight route's 4-byte cap.
+	conn2 := dialRaw(t, base)
+	fmt.Fprintf(conn2, "POST /tight HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello")
+	resp2, err := readResponse(bufio.NewReader(conn2), "POST")
+	if err != nil || resp2.status != 413 {
+		t.Fatalf("tight: %v status=%d, want 413", err, resp2.status)
+	}
+}
+
+// TestTortureBodyChunkedWithTrailers decodes a chunked request body
+// whose terminal chunk carries trailer fields; the trailers must be
+// ignored and the next pipelined request must still parse.
+func TestTortureBodyChunkedWithTrailers(t *testing.T) {
+	_, base := newTestServer(t, nil, echoRoute)
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n"+
+		"7\r\nchunked\r\n6\r\n body \r\n4\r\ndata\r\n"+
+		"0\r\nX-Checksum: deadbeef\r\nX-Ignored: yes\r\n\r\n"+
+		"GET /hello.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	br := bufio.NewReader(conn)
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 200 || string(resp.body) != "n:17:chunked body data" {
+		t.Fatalf("status=%d body=%q", resp.status, resp.body)
+	}
+	resp2, err := readResponse(br, "GET")
+	if err != nil {
+		t.Fatalf("pipelined follower after trailers: %v", err)
+	}
+	if resp2.status != 200 || string(resp2.body) != "hello, world\n" {
+		t.Fatalf("follower: status=%d body=%q", resp2.status, resp2.body)
+	}
+}
+
+// TestTortureBodyChunkedOverLimitCloses asserts a chunked body is cut
+// off once its decoded size passes the cap: the handler sees the read
+// error and the connection closes (its framing can no longer be
+// trusted).
+func TestTortureBodyChunkedOverLimitCloses(t *testing.T) {
+	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 16 }, func(s *Server) {
+		s.HandleFunc("POST", "/sink", func(w ResponseWriter, r *Request) {
+			_, err := io.Copy(io.Discard, r.Body)
+			if err == ErrBodyTooLarge {
+				w.WriteHeader(413)
+				return
+			}
+			w.WriteHeader(200)
+		})
+	})
+	conn := dialRaw(t, base)
+	var chunks []byte
+	for i := 0; i < 8; i++ {
+		chunks = httpmsg.AppendChunk(chunks, []byte("0123456789"))
+	}
+	chunks = append(chunks, httpmsg.FinalChunk...)
+	fmt.Fprintf(conn, "POST /sink HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n%s", chunks)
+	br := bufio.NewReader(conn)
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 413 {
+		t.Fatalf("status = %d, want handler's 413", resp.status)
+	}
+	if extra, _ := io.ReadAll(br); len(extra) != 0 {
+		t.Fatalf("connection survived an overflowed chunked body: %q", extra)
+	}
+}
+
+// TestTortureBodyUnreadChunkedOverCapAdvertisesClose: a handler that
+// ignores a capped chunked body of unknown size gets a response that
+// says close — the post-response drain may overflow the cap, and a
+// keep-alive promise the reader then revokes would strand a pipelined
+// client.
+func TestTortureBodyUnreadChunkedOverCapAdvertisesClose(t *testing.T) {
+	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 16 }, func(s *Server) {
+		s.HandleFunc("POST", "/ignore", func(w ResponseWriter, r *Request) {
+			w.Header().Set("Content-Type", "text/plain")
+			io.WriteString(w, "ignored")
+		})
+	})
+	conn := dialRaw(t, base)
+	var chunks []byte
+	for i := 0; i < 8; i++ {
+		chunks = httpmsg.AppendChunk(chunks, []byte("0123456789"))
+	}
+	chunks = append(chunks, httpmsg.FinalChunk...)
+	fmt.Fprintf(conn, "POST /ignore HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n%s", chunks)
+	br := bufio.NewReader(conn)
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 200 || string(resp.body) != "ignored" {
+		t.Fatalf("status=%d body=%q", resp.status, resp.body)
+	}
+	if got := resp.headers["connection"]; got != "close" {
+		t.Fatalf("connection = %q, want close (drain may overflow the cap)", got)
+	}
+	if extra, _ := io.ReadAll(br); len(extra) != 0 {
+		t.Fatalf("bytes after the close-advertised response: %q", extra)
+	}
+}
+
+// TestTortureBodyExpectContinue covers the grant arm: the 100 arrives
+// only once the handler reads, then the body flows and the final
+// response follows on a still-alive connection.
+func TestTortureBodyExpectContinue(t *testing.T) {
+	_, base := newTestServer(t, nil, echoRoute)
+	conn := dialRaw(t, base)
+	body := "authorized payload"
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nExpect: 100-continue\r\n\r\n", len(body))
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "HTTP/1.1 100 ") {
+		t.Fatalf("interim = %q err=%v, want HTTP/1.1 100", line, err)
+	}
+	if blank, _ := br.ReadString('\n'); strings.TrimRight(blank, "\r\n") != "" {
+		t.Fatalf("100 Continue not terminated by a blank line: %q", blank)
+	}
+	fmt.Fprint(conn, body)
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 200 || string(resp.body) != fmt.Sprintf("n:%d:%s", len(body), body) {
+		t.Fatalf("status=%d body=%q", resp.status, resp.body)
+	}
+	// The connection is still good for another exchange.
+	fmt.Fprintf(conn, "GET /hello.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	resp2, err := readResponse(br, "GET")
+	if err != nil || resp2.status != 200 {
+		t.Fatalf("follower after 100-continue: %v status=%d", err, resp2.status)
+	}
+}
+
+// TestTortureBodyExpectRejectWithoutContinue covers the refusal arm:
+// an oversized Expect request draws its 413 straight away — no 100
+// first — and the connection closes.
+func TestTortureBodyExpectRejectWithoutContinue(t *testing.T) {
+	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 64 }, echoRoute)
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 4096\r\nExpect: 100-continue\r\n\r\n")
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(line, " 100 ") {
+		t.Fatalf("server sent 100 Continue before rejecting: %q", line)
+	}
+	if !strings.Contains(line, " 413 ") {
+		t.Fatalf("status line = %q, want 413", line)
+	}
+	// Drain the rest; the stream must end (close, not keep-alive).
+	rest, _ := io.ReadAll(br)
+	if !strings.Contains(line+string(rest), "close") && !strings.Contains(string(rest), "close") {
+		t.Fatalf("413 without Connection: close: %q", rest)
+	}
+}
+
+// TestTortureBodyStrandedExpectAdvertisesClose: a handler that answers
+// without ever reading an Expect: 100-continue body strands the client
+// mid-handshake; the server closes — and must say so in the response
+// header rather than advertising a keep-alive it won't honor.
+func TestTortureBodyStrandedExpectAdvertisesClose(t *testing.T) {
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleFunc("POST", "/noread", func(w ResponseWriter, r *Request) {
+			w.Header().Set("Content-Type", "text/plain")
+			io.WriteString(w, "didn't want it")
+		})
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /noread HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\nExpect: 100-continue\r\n\r\n")
+	br := bufio.NewReader(conn)
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 200 || string(resp.body) != "didn't want it" {
+		t.Fatalf("status=%d body=%q", resp.status, resp.body)
+	}
+	if got := resp.headers["connection"]; got != "close" {
+		t.Fatalf("connection = %q, want close (the server will not read the stranded body)", got)
+	}
+	if extra, _ := io.ReadAll(br); len(extra) != 0 {
+		t.Fatalf("bytes after the close-advertised response: %q", extra)
+	}
+}
+
+// TestTortureBodyExpectWithEmptyBodyKeepsAlive: an Expect request with
+// Content-Length: 0 strands nothing — the connection must stay usable.
+func TestTortureBodyExpectWithEmptyBodyKeepsAlive(t *testing.T) {
+	_, base := newTestServer(t, nil, echoRoute)
+	conn := dialRaw(t, base)
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nExpect: 100-continue\r\n\r\n")
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 200 || string(resp.body) != "n:0:" {
+		t.Fatalf("status=%d body=%q", resp.status, resp.body)
+	}
+	if got := resp.headers["connection"]; got != "keep-alive" {
+		t.Fatalf("connection = %q, want keep-alive (nothing was stranded)", got)
+	}
+	fmt.Fprintf(conn, "GET /hello.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	resp2, err := readResponse(br, "GET")
+	if err != nil || resp2.status != 200 {
+		t.Fatalf("pipelined follower: %v status=%d", err, resp2.status)
+	}
+}
+
+// TestTortureBodyUnknownExpectation417 asserts a non-100-continue
+// expectation is refused with 417.
+func TestTortureBodyUnknownExpectation417(t *testing.T) {
+	_, base := newTestServer(t, nil, echoRoute)
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nExpect: 200-ok\r\nConnection: close\r\n\r\n")
+	resp, err := readResponse(bufio.NewReader(conn), "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 417 {
+		t.Fatalf("status = %d, want 417", resp.status)
+	}
+}
+
+// TestTortureBodyUnreadIsDrained asserts a handler that ignores its
+// body does not poison the next pipelined request.
+func TestTortureBodyUnreadIsDrained(t *testing.T) {
+	s, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleFunc("POST", "/ignore", func(w ResponseWriter, r *Request) {
+			w.Header().Set("Content-Type", "text/plain")
+			io.WriteString(w, "ignored the body")
+		})
+	})
+	conn := dialRaw(t, base)
+	body := strings.Repeat("junk ", 2000)
+	fmt.Fprintf(conn, "POST /ignore HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+	fmt.Fprintf(conn, "GET /hello.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	br := bufio.NewReader(conn)
+	resp, err := readResponse(br, "POST")
+	if err != nil || resp.status != 200 || string(resp.body) != "ignored the body" {
+		t.Fatalf("first: %v status=%d body=%q", err, resp.status, resp.body)
+	}
+	resp2, err := readResponse(br, "GET")
+	if err != nil {
+		t.Fatalf("drain failed; follower unreadable: %v", err)
+	}
+	if resp2.status != 200 || string(resp2.body) != "hello, world\n" {
+		t.Fatalf("follower: status=%d body=%q", resp2.status, resp2.body)
+	}
+	if st := s.Stats(); st.Accepted != 1 {
+		t.Fatalf("Accepted = %d, want 1", st.Accepted)
+	}
+}
+
+// TestTortureBody405CarriesAllow asserts a method miss on a routed
+// prefix answers 405 with the prefix's Allow set, and on a bodyless
+// request keeps the connection alive.
+func TestTortureBody405CarriesAllow(t *testing.T) {
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleFunc("POST", "/api/", func(w ResponseWriter, r *Request) {})
+		s.HandleFunc("GET", "/api/", func(w ResponseWriter, r *Request) {})
+	})
+	conn := dialRaw(t, base)
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "DELETE /api/x HTTP/1.1\r\nHost: t\r\n\r\n")
+	resp, err := readResponse(br, "DELETE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 405 {
+		t.Fatalf("status = %d, want 405", resp.status)
+	}
+	if got := resp.headers["allow"]; got != "GET, HEAD, POST" {
+		t.Fatalf("allow = %q, want %q", got, "GET, HEAD, POST")
+	}
+	// Bodyless 405 keeps the connection: a follower must work.
+	fmt.Fprintf(conn, "GET /hello.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	resp2, err := readResponse(br, "GET")
+	if err != nil || resp2.status != 200 {
+		t.Fatalf("follower after 405: %v status=%d", err, resp2.status)
+	}
+
+	// A static path answers with its own Allow set.
+	conn2 := dialRaw(t, base)
+	fmt.Fprintf(conn2, "DELETE /hello.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	resp3, err := readResponse(bufio.NewReader(conn2), "DELETE")
+	if err != nil || resp3.status != 405 || resp3.headers["allow"] != "GET, HEAD" {
+		t.Fatalf("static 405: %v status=%d allow=%q", err, resp3.status, resp3.headers["allow"])
+	}
+}
+
+// TestTortureBodyPostWithoutLength411 asserts payload methods with
+// neither Content-Length nor chunked framing draw 411.
+func TestTortureBodyPostWithoutLength411(t *testing.T) {
+	_, base := newTestServer(t, nil, echoRoute)
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	resp, err := readResponse(bufio.NewReader(conn), "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 411 {
+		t.Fatalf("status = %d, want 411", resp.status)
+	}
+}
+
+// TestTortureBodySmugglingRejected asserts a request carrying both
+// Transfer-Encoding and Content-Length — the classic smuggling vector
+// — is refused outright with a close.
+func TestTortureBodySmugglingRejected(t *testing.T) {
+	_, base := newTestServer(t, nil, echoRoute)
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\n"+
+		"0\r\n\r\n")
+	br := bufio.NewReader(conn)
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 400 {
+		t.Fatalf("status = %d, want 400", resp.status)
+	}
+	if got := resp.headers["connection"]; got != "close" {
+		t.Fatalf("connection = %q, want close", got)
+	}
+}
+
+// TestTortureBodyMissingHostBeats405 asserts the RFC 7230 §5.4
+// mandatory 400 for Host-less 1.1 requests wins over every other
+// verdict, including a would-be 405/411 on a routed prefix.
+func TestTortureBodyMissingHostBeats405(t *testing.T) {
+	_, base := newTestServer(t, nil, echoRoute)
+	for _, raw := range []string{
+		"DELETE /echo HTTP/1.1\r\nConnection: close\r\n\r\n", // method miss, no Host
+		"POST /echo HTTP/1.1\r\nConnection: close\r\n\r\n",   // would be 411, no Host
+	} {
+		conn := dialRaw(t, base)
+		fmt.Fprint(conn, raw)
+		resp, err := readResponse(bufio.NewReader(conn), "DELETE")
+		if err != nil {
+			t.Fatalf("%q: %v", raw, err)
+		}
+		if resp.status != 400 {
+			t.Fatalf("%q: status = %d, want the mandatory 400", raw, resp.status)
+		}
+	}
+
+	// A Host-less routed POST whose body waits behind an ungranted
+	// Expect: the 400 must advertise close, because the reader will
+	// refuse to drain (the client may never send the body).
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nContent-Length: 5\r\nExpect: 100-continue\r\n\r\n")
+	br := bufio.NewReader(conn)
+	resp, err := readResponse(br, "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 400 {
+		t.Fatalf("status = %d, want 400", resp.status)
+	}
+	if got := resp.headers["connection"]; got != "close" {
+		t.Fatalf("connection = %q, want close (stranded Expect body)", got)
+	}
+	if extra, _ := io.ReadAll(br); len(extra) != 0 {
+		t.Fatalf("bytes after the close-advertised 400: %q", extra)
+	}
+}
+
+// TestTortureBodyZeroLengthRead asserts a handler issuing Read(nil) on
+// a chunked body neither spins nor blocks (io.Reader allows 0,nil).
+func TestTortureBodyZeroLengthRead(t *testing.T) {
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleFunc("POST", "/zr", func(w ResponseWriter, r *Request) {
+			if n, err := r.Body.Read(nil); n != 0 || err != nil {
+				fmt.Fprintf(w, "zero read: n=%d err=%v", n, err)
+				return
+			}
+			body, _ := io.ReadAll(r.Body)
+			fmt.Fprintf(w, "n:%d:%s", len(body), body)
+		})
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /zr HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"+
+		"5\r\nhello\r\n0\r\n\r\n")
+	resp, err := readResponse(bufio.NewReader(conn), "POST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != 200 || string(resp.body) != "n:5:hello" {
+		t.Fatalf("status=%d body=%q", resp.status, resp.body)
+	}
+}
+
+// TestTortureBodyTrickleBounded asserts the aggregate BodyReadTimeout
+// cuts off a peer that trickles its body too slowly, even though each
+// individual read stays within ReadTimeout.
+func TestTortureBodyTrickleBounded(t *testing.T) {
+	readErr := make(chan error, 1)
+	_, base := newTestServer(t, func(c *Config) { c.BodyReadTimeout = 300 * time.Millisecond }, func(s *Server) {
+		s.HandleFunc("POST", "/sink", func(w ResponseWriter, r *Request) {
+			_, err := io.Copy(io.Discard, r.Body)
+			select {
+			case readErr <- err:
+			default:
+			}
+		})
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: 10000\r\n\r\n")
+	// Trickle a few bytes, then stall well past the aggregate bound.
+	go func() {
+		for i := 0; i < 3; i++ {
+			fmt.Fprint(conn, "x")
+			time.Sleep(100 * time.Millisecond)
+		}
+	}()
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("trickled body completed without an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("BodyReadTimeout never fired on a trickling body")
+	}
+}
+
+// TestTortureBodyClientDiesMidUpload kills the client halfway through
+// its declared body; the handler sees the read error and the server
+// stays healthy.
+func TestTortureBodyClientDiesMidUpload(t *testing.T) {
+	readErr := make(chan error, 1)
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleFunc("POST", "/sink", func(w ResponseWriter, r *Request) {
+			_, err := io.Copy(io.Discard, r.Body)
+			select {
+			case readErr <- err:
+			default:
+			}
+			w.WriteHeader(200)
+		})
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /sink HTTP/1.1\r\nHost: t\r\nContent-Length: 100000\r\n\r\n%s",
+		strings.Repeat("x", 1000))
+	conn.Close() // 99 KB short
+
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("handler read a truncated body without an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never observed the aborted upload")
+	}
+	// The server must still answer fresh connections.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn2 := dialRaw(t, base)
+		fmt.Fprintf(conn2, "GET /hello.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+		resp, err := readResponse(bufio.NewReader(conn2), "GET")
+		if err == nil && resp.status == 200 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server unhealthy after aborted upload: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTortureBodyChunkedTruncationSurfaces asserts a chunked upload
+// cut off mid-chunk reaches the handler as ErrUnexpectedEOF, never a
+// clean EOF (a partial upload must not look complete).
+func TestTortureBodyChunkedTruncationSurfaces(t *testing.T) {
+	readErr := make(chan error, 1)
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleFunc("POST", "/sink", func(w ResponseWriter, r *Request) {
+			_, err := io.Copy(io.Discard, r.Body)
+			select {
+			case readErr <- err:
+			default:
+			}
+			w.WriteHeader(200)
+		})
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /sink HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel")
+	conn.Close() // mid-chunk
+	select {
+	case err := <-readErr:
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("handler saw %v, want io.ErrUnexpectedEOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never observed the truncated chunked body")
+	}
+}
+
+// TestTortureBodyConcurrentPosts hammers the body path from many
+// connections at once (run under -race in CI).
+func TestTortureBodyConcurrentPosts(t *testing.T) {
+	s, base := newTestServer(t, nil, echoRoute)
+	const clients, rounds = 8, 10
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(id int) {
+			body := strings.Repeat(fmt.Sprintf("c%d-", id), 400)
+			conn, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			br := bufio.NewReader(conn)
+			for j := 0; j < rounds; j++ {
+				fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s",
+					len(body), body)
+				resp, err := readResponse(br, "POST")
+				if err != nil {
+					errs <- fmt.Errorf("client %d round %d: %v", id, j, err)
+					return
+				}
+				if resp.status != 200 || string(resp.body) != fmt.Sprintf("n:%d:%s", len(body), body) {
+					errs <- fmt.Errorf("client %d round %d: status=%d", id, j, resp.status)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().DynamicCalls; got != clients*rounds {
+		t.Fatalf("DynamicCalls = %d, want %d", got, clients*rounds)
+	}
+}
+
+// TestTortureBodyHeadToGetRouteSuppressed asserts a HEAD request
+// served by a GET route gets headers but no body bytes.
+func TestTortureBodyHeadToGetRouteSuppressed(t *testing.T) {
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleFunc("GET", "/page", func(w ResponseWriter, r *Request) {
+			w.Header().Set("Content-Type", "text/plain")
+			io.WriteString(w, "the page body")
+		})
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "HEAD /page HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	reply, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := string(reply)
+	if !strings.HasPrefix(head, "HTTP/1.1 200 ") {
+		t.Fatalf("status line: %.60q", head)
+	}
+	end := httpmsg.HeaderEnd(reply)
+	if end < 0 {
+		t.Fatal("no header terminator")
+	}
+	if rest := reply[end:]; len(rest) != 0 {
+		t.Fatalf("HEAD response carried %d body bytes: %q", len(rest), rest)
+	}
+}

@@ -516,11 +516,12 @@ func TestTorture404KeepsConnection(t *testing.T) {
 // chunk-encoded and keep the connection alive, while 1.0 responses stay
 // close-delimited.
 func TestTortureChunkedDynamic(t *testing.T) {
-	s, base := newTestServer(t, nil)
-	s.HandleDynamic("/dyn", DynamicFunc(
-		func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
-			return 200, "text/plain", io.NopCloser(strings.NewReader("dynamic body")), nil
-		}))
+	_, base := newTestServer(t, nil, func(s *Server) {
+		s.HandleDynamic("/dyn", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 200, "text/plain", io.NopCloser(strings.NewReader("dynamic body")), nil
+			}))
+	})
 
 	conn := dialRaw(t, base)
 	br := bufio.NewReader(conn)

@@ -1,0 +1,221 @@
+package flash
+
+// The v1 equivalence suite: DynamicHandler is now an adapter over the
+// v2 Handler surface, and this file holds it to the old wire format
+// byte for byte — headers, chunk framing, error responses, and the
+// HTTP/0.9 and 1.0 degradations — by rebuilding the exact bytes the
+// v1 startDynamic path emitted (same BuildHeader calls, same pipe-
+// buffer chunking) under a pinned clock and comparing raw sockets.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpmsg"
+)
+
+// equivClock pins Date headers so expected bytes are constructible.
+var equivClock = func() time.Time { return time.Unix(928195200, 0) }
+
+// newV1Server mounts v1 handlers under a pinned clock.
+func newV1Server(t *testing.T, register func(*Server)) (*Server, string) {
+	t.Helper()
+	root := t.TempDir()
+	mustWrite(t, root, "hello.txt", "hello, world\n")
+	s, err := New(Config{DocRoot: root, Clock: equivClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(s)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return s, l.Addr().String()
+}
+
+// v1Expected rebuilds the exact bytes the v1 dynamic path produced for
+// a one-read body: header (ContentLength -1, chunked on 1.1), the body
+// as a single chunk, and the terminal chunk.
+func v1Expected(proto string, status int, ctype, body string, reqKeepAlive bool) []byte {
+	chunked := proto == "HTTP/1.1"
+	keep := chunked && reqKeepAlive
+	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
+		Status:        status,
+		Proto:         proto,
+		ContentType:   ctype,
+		ContentLength: -1,
+		Chunked:       chunked,
+		Date:          equivClock(),
+		KeepAlive:     keep,
+		ServerName:    httpmsg.DefaultServerName,
+	}, true)
+	out := append([]byte{}, hdr...)
+	if chunked {
+		out = httpmsg.AppendChunk(out, []byte(body))
+		out = append(out, httpmsg.FinalChunk...)
+	} else {
+		out = append(out, body...)
+	}
+	return out
+}
+
+// TestV1AdapterByteEquivalence drives the adapted v1 handler over raw
+// sockets and asserts the wire bytes are identical to the v1 design's
+// construction, across protocol versions and the empty-body and error
+// shapes.
+func TestV1AdapterByteEquivalence(t *testing.T) {
+	_, addr := newV1Server(t, func(s *Server) {
+		s.HandleDynamic("/dyn", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 200, "text/plain", io.NopCloser(strings.NewReader("v1 payload")), nil
+			}))
+		s.HandleDynamic("/empty", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 200, "", nil, nil
+			}))
+		s.HandleDynamic("/nocontent", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 204, "", nil, nil
+			}))
+		s.HandleDynamic("/fail", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 0, "", nil, fmt.Errorf("boom")
+			}))
+	})
+
+	exchange := func(raw string) []byte {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.WriteString(conn, raw); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := io.ReadAll(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+
+	// HTTP/1.1 with Connection: close — chunked, close-framed header.
+	got := exchange("GET /dyn HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	want := v1Expected("HTTP/1.1", 200, "text/plain", "v1 payload", false)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("1.1 close:\ngot  %q\nwant %q", got, want)
+	}
+
+	// HTTP/1.0 — close-delimited, no chunking.
+	got = exchange("GET /dyn HTTP/1.0\r\n\r\n")
+	want = v1Expected("HTTP/1.0", 200, "text/plain", "v1 payload", false)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("1.0:\ngot  %q\nwant %q", got, want)
+	}
+
+	// Empty body (nil reader), default content type, 1.1: header plus
+	// the bare terminal chunk, exactly as v1 sent it.
+	got = exchange("GET /empty HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
+		Status: 200, Proto: "HTTP/1.1", ContentType: "text/html",
+		ContentLength: -1, Chunked: true, Date: equivClock(),
+		KeepAlive: false, ServerName: httpmsg.DefaultServerName,
+	}, true)
+	want = append(append([]byte{}, hdr...), httpmsg.FinalChunk...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("empty:\ngot  %q\nwant %q", got, want)
+	}
+
+	// Deliberate v1 divergence: a 204 is bodyless by definition, so v2
+	// suppresses the Transfer-Encoding and terminal chunk that the v1
+	// path (wrongly) emitted.
+	got = exchange("GET /nocontent HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	if bytes.Contains(got, []byte("Transfer-Encoding")) || bytes.Contains(got, []byte("0\r\n\r\n")) {
+		t.Fatalf("204 must carry neither chunked framing nor a body: %q", got)
+	}
+
+	// Handler error — v1's fixed 500, connection closed.
+	got = exchange("GET /fail HTTP/1.1\r\nHost: t\r\n\r\n")
+	body := httpmsg.ErrorBody(500)
+	hdr = httpmsg.BuildHeader(httpmsg.ResponseMeta{
+		Status: 500, Proto: "HTTP/1.1", ContentType: "text/html",
+		ContentLength: int64(len(body)), Date: equivClock(),
+		KeepAlive: false, ServerName: httpmsg.DefaultServerName,
+	}, true)
+	want = append(append([]byte{}, hdr...), body...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("error:\ngot  %q\nwant %q", got, want)
+	}
+
+	// HTTP/0.9 — bare body, no header, no chunking.
+	got = exchange("GET /dyn\r\n")
+	if string(got) != "v1 payload" {
+		t.Fatalf("0.9: got %q, want bare body", got)
+	}
+
+	// Deliberate v1 divergence: a bodied GET to a dynamic prefix used
+	// to be refused at the reader (413, close) before dispatch; v2
+	// serves it — handlers are full peers now — and drains the unread
+	// body so the connection stays usable.
+	got = exchange("GET /dyn HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbody")
+	want = v1Expected("HTTP/1.1", 200, "text/plain", "v1 payload", false)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bodied GET:\ngot  %q\nwant %q", got, want)
+	}
+
+	// Deliberate v1 divergence: v1 had no method check and streamed the
+	// chunk-encoded body even on HEAD; v2 routes HEAD to the GET
+	// handler but suppresses framing and body, as HEAD requires.
+	got = exchange("HEAD /dyn HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	if !bytes.HasPrefix(got, []byte("HTTP/1.1 200 ")) {
+		t.Fatalf("HEAD status: %.60q", got)
+	}
+	if bytes.Contains(got, []byte("Transfer-Encoding")) || bytes.Contains(got, []byte("payload")) {
+		t.Fatalf("HEAD must carry neither chunked framing nor a body: %q", got)
+	}
+	if end := httpmsg.HeaderEnd(got); end != len(got) {
+		t.Fatalf("HEAD response has %d bytes after the header", len(got)-end)
+	}
+}
+
+// TestV1AdapterKeepAliveEquivalence checks the persistent-connection
+// shape: a 1.1 request without Connection: close gets the keep-alive
+// header and the connection survives for a second exchange, exactly as
+// v1 behaved.
+func TestV1AdapterKeepAliveEquivalence(t *testing.T) {
+	_, addr := newV1Server(t, func(s *Server) {
+		s.HandleDynamic("/dyn", DynamicFunc(
+			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
+				return 200, "text/plain", io.NopCloser(strings.NewReader("v1 payload")), nil
+			}))
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	want := v1Expected("HTTP/1.1", 200, "text/plain", "v1 payload", true)
+	br := bufio.NewReader(conn)
+	for i := 0; i < 2; i++ {
+		fmt.Fprintf(conn, "GET /dyn HTTP/1.1\r\nHost: t\r\n\r\n")
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(br, got); err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("exchange %d:\ngot  %q\nwant %q", i, got, want)
+		}
+	}
+}

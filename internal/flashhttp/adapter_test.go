@@ -1,0 +1,486 @@
+package flashhttp
+
+// The bridge is tested the same way the server itself is: raw sockets
+// and exact framing where pipelining is at stake, plus the stdlib
+// client for ergonomics. The handlers under test are unmodified
+// net/http code — a JSON echo and http.FileServer — per the acceptance
+// bar: the whole Go ecosystem must be mountable without edits.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flash"
+)
+
+// newBridgeServer serves a docroot through flash with the given routes
+// mounted, returning the base URL.
+func newBridgeServer(t *testing.T, register func(*flash.Server)) (*flash.Server, string) {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "hello.txt"), []byte("hello, world\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := flash.New(flash.Config{DocRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if register != nil {
+		register(s)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return s, "http://" + l.Addr().String()
+}
+
+// echoHandler is a plain net/http handler: it reads the request body
+// and answers with a JSON envelope describing what it saw.
+func echoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Echo-Method", r.Method)
+		json.NewEncoder(w).Encode(map[string]any{
+			"method": r.Method,
+			"path":   r.URL.Path,
+			"query":  r.URL.RawQuery,
+			"bytes":  len(body),
+			"body":   string(body),
+		})
+	})
+}
+
+// rawResponse is one exchange parsed off the wire.
+type rawResponse struct {
+	proto   string
+	status  int
+	headers map[string]string
+	body    []byte
+}
+
+// readResponse consumes exactly one response from br (Content-Length
+// or chunked framing), leaving pipelined successors intact.
+func readResponse(t *testing.T, br *bufio.Reader, method string) *rawResponse {
+	t.Helper()
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("status line: %v", err)
+	}
+	parts := strings.SplitN(strings.TrimRight(line, "\r\n"), " ", 3)
+	if len(parts) < 2 {
+		t.Fatalf("bad status line %q", line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		t.Fatalf("bad status in %q", line)
+	}
+	r := &rawResponse{proto: parts[0], status: status, headers: map[string]string{}}
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("header line: %v", err)
+		}
+		h = strings.TrimRight(h, "\r\n")
+		if h == "" {
+			break
+		}
+		colon := strings.IndexByte(h, ':')
+		if colon < 0 {
+			t.Fatalf("bad header line %q", h)
+		}
+		r.headers[strings.ToLower(strings.TrimSpace(h[:colon]))] = strings.TrimSpace(h[colon+1:])
+	}
+	if method == "HEAD" || r.status == 304 || r.status == 204 {
+		return r
+	}
+	if strings.EqualFold(r.headers["transfer-encoding"], "chunked") {
+		for {
+			sz, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("chunk size: %v", err)
+			}
+			n, err := strconv.ParseInt(strings.TrimRight(sz, "\r\n"), 16, 64)
+			if err != nil {
+				t.Fatalf("bad chunk size %q", sz)
+			}
+			if n == 0 {
+				if _, err := br.ReadString('\n'); err != nil {
+					t.Fatalf("chunk terminator: %v", err)
+				}
+				return r
+			}
+			part := make([]byte, n)
+			if _, err := io.ReadFull(br, part); err != nil {
+				t.Fatalf("chunk data: %v", err)
+			}
+			r.body = append(r.body, part...)
+			if _, err := br.ReadString('\n'); err != nil {
+				t.Fatalf("chunk crlf: %v", err)
+			}
+		}
+	}
+	if cl, ok := r.headers["content-length"]; ok {
+		n, err := strconv.ParseInt(cl, 10, 64)
+		if err != nil {
+			t.Fatalf("bad content-length %q", cl)
+		}
+		r.body = make([]byte, n)
+		if _, err := io.ReadFull(br, r.body); err != nil {
+			t.Fatalf("body: %v", err)
+		}
+		return r
+	}
+	b, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("close-delimited body: %v", err)
+	}
+	r.body = b
+	return r
+}
+
+func dialRaw(t *testing.T, base string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", strings.TrimPrefix(base, "http://"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// TestAdapterPipelinedKeepAlivePosts is the acceptance scenario: an
+// unmodified net/http handler behind the adapter, hit with pipelined
+// keep-alive POSTs carrying bodies on one connection, interleaved with
+// static requests, all answered in order.
+func TestAdapterPipelinedKeepAlivePosts(t *testing.T) {
+	s, base := newBridgeServer(t, func(s *flash.Server) {
+		s.Handle("", "/api/", Adapter(echoHandler()))
+	})
+
+	post := func(path, body string) string {
+		return fmt.Sprintf("POST %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s",
+			path, len(body), body)
+	}
+	script := post("/api/a", "first body") +
+		post("/api/b?q=1", "second") +
+		"GET /hello.txt HTTP/1.1\r\nHost: t\r\n\r\n" +
+		post("/api/c", strings.Repeat("z", 9000)) +
+		"GET /api/d HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+
+	conn := dialRaw(t, base)
+	if _, err := conn.Write([]byte(script)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+
+	type wantEcho struct {
+		method, path string
+		bytes        int
+	}
+	wants := []any{
+		wantEcho{"POST", "/api/a", 10},
+		wantEcho{"POST", "/api/b", 6},
+		"static",
+		wantEcho{"POST", "/api/c", 9000},
+		wantEcho{"GET", "/api/d", 0},
+	}
+	for i, w := range wants {
+		resp := readResponse(t, br, "GET")
+		if resp.status != 200 {
+			t.Fatalf("exchange %d: status = %d", i, resp.status)
+		}
+		if w == "static" {
+			if string(resp.body) != "hello, world\n" {
+				t.Fatalf("exchange %d: static body = %q", i, resp.body)
+			}
+			continue
+		}
+		we := w.(wantEcho)
+		var got map[string]any
+		if err := json.Unmarshal(resp.body, &got); err != nil {
+			t.Fatalf("exchange %d: bad JSON %q: %v", i, resp.body, err)
+		}
+		if got["method"] != we.method || got["path"] != we.path || int(got["bytes"].(float64)) != we.bytes {
+			t.Fatalf("exchange %d: echo = %v, want %+v", i, got, we)
+		}
+		if resp.headers["x-echo-method"] != we.method {
+			t.Fatalf("exchange %d: X-Echo-Method = %q", i, resp.headers["x-echo-method"])
+		}
+	}
+	if st := s.Stats(); st.Accepted != 1 {
+		t.Fatalf("Accepted = %d, want 1 (whole burst on one connection)", st.Accepted)
+	}
+}
+
+// TestAdapterFileServer mounts an unmodified http.FileServer and
+// checks plain, nested, range, and missing-file requests through it.
+func TestAdapterFileServer(t *testing.T) {
+	docs := t.TempDir()
+	content := bytes.Repeat([]byte("0123456789"), 1000)
+	if err := os.WriteFile(filepath.Join(docs, "data.bin"), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(docs, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(docs, "sub", "page.html"), []byte("<html>sub</html>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, base := newBridgeServer(t, func(s *flash.Server) {
+		s.Handle("", "/files/", Adapter(http.StripPrefix("/files/", http.FileServer(http.Dir(docs)))))
+	})
+
+	resp, err := http.Get(base + "/files/data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Equal(body, content) {
+		t.Fatalf("status=%d len=%d, want 200/%d", resp.StatusCode, len(body), len(content))
+	}
+	if lm := resp.Header.Get("Last-Modified"); lm == "" {
+		t.Fatal("FileServer's Last-Modified header did not survive the bridge")
+	}
+
+	req, _ := http.NewRequest("GET", base+"/files/data.bin", nil)
+	req.Header.Set("Range", "bytes=100-199")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 206 || !bytes.Equal(body, content[100:200]) {
+		t.Fatalf("range: status=%d len=%d", resp.StatusCode, len(body))
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != "bytes 100-199/10000" {
+		t.Fatalf("content-range = %q", cr)
+	}
+
+	resp, err = http.Get(base + "/files/sub/page.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "<html>sub</html>" {
+		t.Fatalf("nested: status=%d body=%q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/files/definitely-missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("missing: status=%d, want FileServer's 404", resp.StatusCode)
+	}
+}
+
+// TestAdapterChunkedRequestBody streams a chunked POST through the
+// bridge; the stdlib handler must see the decoded bytes.
+func TestAdapterChunkedRequestBody(t *testing.T) {
+	_, base := newBridgeServer(t, func(s *flash.Server) {
+		s.Handle("POST", "/api/", Adapter(echoHandler()))
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "POST /api/chunks HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n"+
+		"6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n")
+	resp := readResponse(t, bufio.NewReader(conn), "POST")
+	if resp.status != 200 {
+		t.Fatalf("status = %d", resp.status)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(resp.body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["body"] != "hello world" {
+		t.Fatalf("handler saw %q, want %q", got["body"], "hello world")
+	}
+}
+
+// TestAdapterCustomStatusAndHeaders checks an uncommon status code and
+// multi-valued custom headers survive the bridge.
+func TestAdapterCustomStatusAndHeaders(t *testing.T) {
+	_, base := newBridgeServer(t, func(s *flash.Server) {
+		s.HandleFunc("GET", "/teapot", func(w flash.ResponseWriter, r *flash.Request) {
+			// Mount through the adapter inside the test handler so both
+			// writers are exercised.
+			Adapter(http.HandlerFunc(func(hw http.ResponseWriter, hr *http.Request) {
+				hw.Header().Add("X-Multi", "one")
+				hw.Header().Add("X-Multi", "two")
+				hw.Header().Set("Retry-After", "3600")
+				hw.WriteHeader(418)
+				io.WriteString(hw, "short and stout\n")
+			})).ServeFlash(w, r)
+		})
+	})
+	resp, err := http.Get(base + "/teapot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 418 || string(body) != "short and stout\n" {
+		t.Fatalf("status=%d body=%q", resp.StatusCode, body)
+	}
+	if got := resp.Header["X-Multi"]; len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("X-Multi = %v", got)
+	}
+	if resp.Header.Get("Retry-After") != "3600" {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestAdapterHeaderOnlyHandler: a handler that sets headers and
+// returns without writing must still produce net/http's implicit 200
+// carrying those headers.
+func TestAdapterHeaderOnlyHandler(t *testing.T) {
+	_, base := newBridgeServer(t, func(s *flash.Server) {
+		s.Handle("GET", "/tagged", Adapter(http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("X-Request-Id", "abc-123")
+			})))
+	})
+	resp, err := http.Get(base + "/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want implicit 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "abc-123" {
+		t.Fatalf("X-Request-Id = %q; headers set before a bodyless return were dropped", got)
+	}
+}
+
+// TestAdapterExpectContinue drives a 100-continue exchange through an
+// unmodified stdlib handler: the interim response must arrive before
+// the body is read, then the final response after it.
+func TestAdapterExpectContinue(t *testing.T) {
+	_, base := newBridgeServer(t, func(s *flash.Server) {
+		s.Handle("POST", "/api/", Adapter(echoHandler()))
+	})
+	conn := dialRaw(t, base)
+	body := "deferred payload"
+	fmt.Fprintf(conn, "POST /api/wait HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nExpect: 100-continue\r\n\r\n", len(body))
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(line, "100 Continue") {
+		t.Fatalf("interim = %q err=%v, want 100 Continue", line, err)
+	}
+	if blank, _ := br.ReadString('\n'); strings.TrimRight(blank, "\r\n") != "" {
+		t.Fatalf("100 Continue not followed by a blank line: %q", blank)
+	}
+	fmt.Fprint(conn, body)
+	resp := readResponse(t, br, "POST")
+	if resp.status != 200 {
+		t.Fatalf("status = %d", resp.status)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(resp.body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["body"] != body {
+		t.Fatalf("handler saw %q, want %q", got["body"], body)
+	}
+}
+
+// TestAdapterEarlyHints: a stdlib handler sending 103 Early Hints
+// before its final 200 must deliver both — interim first, with the
+// hint headers, then the real response.
+func TestAdapterEarlyHints(t *testing.T) {
+	_, base := newBridgeServer(t, func(s *flash.Server) {
+		s.Handle("GET", "/hints", Adapter(http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Link", "</style.css>; rel=preload; as=style")
+				w.WriteHeader(http.StatusEarlyHints)
+				w.Header().Set("Content-Type", "text/plain")
+				w.WriteHeader(200)
+				io.WriteString(w, "final body")
+			})))
+	})
+	conn := dialRaw(t, base)
+	fmt.Fprintf(conn, "GET /hints HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "HTTP/1.1 103 ") {
+		t.Fatalf("interim = %q err=%v, want 103", line, err)
+	}
+	sawLink := false
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		h = strings.TrimRight(h, "\r\n")
+		if h == "" {
+			break
+		}
+		if strings.HasPrefix(strings.ToLower(h), "link:") {
+			sawLink = true
+		}
+	}
+	if !sawLink {
+		t.Fatal("103 interim lost its Link header")
+	}
+	resp := readResponse(t, br, "GET")
+	if resp.status != 200 || string(resp.body) != "final body" {
+		t.Fatalf("final: status=%d body=%q", resp.status, resp.body)
+	}
+	if resp.headers["link"] != "</style.css>; rel=preload; as=style" {
+		t.Fatalf("final response lost the handler's headers: %v", resp.headers)
+	}
+}
+
+// TestAdapterPanicDoesNotKillServer: a panicking stdlib handler (the
+// http.ErrAbortHandler idiom) answers 500 and the server survives.
+func TestAdapterPanicDoesNotKillServer(t *testing.T) {
+	_, base := newBridgeServer(t, func(s *flash.Server) {
+		s.Handle("", "/boom", Adapter(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+			panic(http.ErrAbortHandler)
+		})))
+	})
+	resp, err := http.Get(base + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "hello, world\n" {
+		t.Fatalf("server unhealthy after handler panic: %d %q", resp.StatusCode, body)
+	}
+}

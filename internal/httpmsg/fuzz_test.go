@@ -117,3 +117,66 @@ func FuzzParseRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzChunkedDecoder feeds arbitrary bytes to the incremental
+// chunked-body decoder. Invariants: no panics; decoding is insensitive
+// to how the input is split across calls (same body, same consumed
+// count, same success/failure); the decoder never consumes past the
+// body's terminator; and valid encodings produced by AppendChunk round-
+// trip exactly.
+func FuzzChunkedDecoder(f *testing.F) {
+	seeds := []string{
+		"0\r\n\r\n",
+		"5\r\nhello\r\n0\r\n\r\n",
+		"1\r\nX\r\n2\r\nYZ\r\n0\r\n\r\n",
+		"5;ext=1\r\nhello\r\n0\r\n\r\n",
+		"5\r\nhello\r\n0\r\nX-Trailer: ok\r\n\r\n",
+		"a\r\n0123456789\r\n0\r\n\r\nGET / HTTP/1.1\r\n",
+		"5\nhello\n0\n\n", // bare-LF framing
+		"FFFFFFFFFFFFFFFF\r\n",
+		"zz\r\n", "-1\r\n", "\r\n",
+		"5\r\nhelloXX", // missing chunk CRLF
+		"0\r\nTrailer-Without-End: 1\r\n",
+		string(AppendChunk(nil, []byte(strings.Repeat("q", 300)))) + "0\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), uint8(3))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, stepSeed uint8) {
+		step := int(stepSeed)%17 + 1
+
+		run := func(step int) (body []byte, consumed int, done bool, err error) {
+			var d ChunkedDecoder
+			dst := make([]byte, 48)
+			for consumed < len(data) && !d.Done() && err == nil {
+				end := consumed + step
+				if end > len(data) {
+					end = len(data)
+				}
+				var nsrc, ndst int
+				nsrc, ndst, _, err = d.Next(data[consumed:end], dst)
+				body = append(body, dst[:ndst]...)
+				consumed += nsrc
+				if nsrc == 0 && ndst == 0 && err == nil && end == len(data) && !d.Done() {
+					break // starved on incomplete input
+				}
+			}
+			return body, consumed, d.Done(), err
+		}
+
+		b1, c1, d1, e1 := run(step)
+		b2, c2, d2, e2 := run(len(data) + 1) // one-shot
+		if (e1 == nil) != (e2 == nil) || d1 != d2 {
+			t.Fatalf("split-dependent outcome: step=%d err=%v/%v done=%v/%v", step, e1, e2, d1, d2)
+		}
+		if e1 == nil && d1 {
+			if !bytes.Equal(b1, b2) || c1 != c2 {
+				t.Fatalf("split-dependent result: %d/%d bytes, consumed %d/%d", len(b1), len(b2), c1, c2)
+			}
+			if c1 > len(data) {
+				t.Fatalf("consumed %d > input %d", c1, len(data))
+			}
+		}
+	})
+}

@@ -11,8 +11,16 @@ import (
 // Flash emits.
 func StatusText(code int) string {
 	switch code {
+	case 100:
+		return "Continue"
+	case 101:
+		return "Switching Protocols"
+	case 103:
+		return "Early Hints"
 	case 200:
 		return "OK"
+	case 201:
+		return "Created"
 	case 204:
 		return "No Content"
 	case 206:
@@ -33,6 +41,8 @@ func StatusText(code int) string {
 		return "Method Not Allowed"
 	case 408:
 		return "Request Timeout"
+	case 411:
+		return "Length Required"
 	case 412:
 		return "Precondition Failed"
 	case 413:
@@ -41,10 +51,14 @@ func StatusText(code int) string {
 		return "Request-URI Too Long"
 	case 416:
 		return "Range Not Satisfiable"
+	case 417:
+		return "Expectation Failed"
 	case 500:
 		return "Internal Server Error"
 	case 501:
 		return "Not Implemented"
+	case 502:
+		return "Bad Gateway"
 	case 503:
 		return "Service Unavailable"
 	default:
