@@ -10,6 +10,7 @@
 //	        [-range-frac 0.2] [-revalidate-frac 0.2]
 //	        [-large-frac 0.1 -large-path /large.bin]
 //	        [-post-frac 0.1 -post-bytes 1024 -post-path /echo]
+//	        [-json out.json]
 //
 // -range-frac issues that fraction of requests with "Range: bytes=0-1023"
 // (exercising the 206 partial-content path); -revalidate-frac issues
@@ -23,16 +24,20 @@
 // summary reports 206, 304, POST 2xx, and 413 counts alongside
 // throughput in both requests/s and MB/s — large-file workloads are
 // byte-bound, so the request rate alone hides transport effects —
-// plus latency percentiles.
+// plus latency percentiles. -json additionally writes the whole
+// summary as machine-readable JSON ("-" for stdout), which is how the
+// committed BENCH_*.json trajectory files are produced.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -69,6 +74,7 @@ func main() {
 		postFrac  = flag.Float64("post-frac", 0, "fraction of requests sent as POSTs with a body (0..1)")
 		postBytes = flag.Int("post-bytes", 1024, "body size of generated POSTs")
 		postPath  = flag.String("post-path", "/echo", "path POSTed to by the -post-frac share of the mix")
+		jsonOut   = flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -164,6 +170,82 @@ func main() {
 		hist.Quantile(0.9).Round(time.Microsecond),
 		hist.Quantile(0.99).Round(time.Microsecond),
 		hist.Max().Round(time.Microsecond))
+
+	if *jsonOut != "" {
+		js := jsonSummary{
+			Clients:        *clients,
+			KeepAlive:      *keepAlive,
+			DurationSec:    elapsed.Seconds(),
+			Responses:      sum.Responses,
+			RequestsPerSec: sum.RequestsPerSec(),
+			Bytes:          sum.Bytes,
+			MBPerSec:       float64(sum.Bytes) / 1e6 / elapsed.Seconds(),
+			MbitPerSec:     sum.MbitPerSec(),
+			Errors:         sum.Errors,
+			Status: statusCounts{
+				Partial206:     c.partial.Load(),
+				NotModified304: c.notModified.Load(),
+				PostOK2xx:      c.postOK.Load(),
+				TooLarge413:    c.tooLarge.Load(),
+			},
+			LatencyUsec: latencySummary{
+				Mean: hist.Mean().Microseconds(),
+				P50:  hist.Quantile(0.5).Microseconds(),
+				P90:  hist.Quantile(0.9).Microseconds(),
+				P99:  hist.Quantile(0.99).Microseconds(),
+				Max:  hist.Max().Microseconds(),
+			},
+			GOOS:   runtime.GOOS,
+			GOARCH: runtime.GOARCH,
+			CPUs:   runtime.NumCPU(),
+		}
+		enc, err := json.MarshalIndent(js, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		enc = append(enc, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(enc)
+		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonSummary is the machine-readable form of the run summary emitted
+// by -json; BENCH_*.json files embed it verbatim.
+type jsonSummary struct {
+	Clients        int            `json:"clients"`
+	KeepAlive      bool           `json:"keepalive"`
+	DurationSec    float64        `json:"duration_sec"`
+	Responses      uint64         `json:"responses"`
+	RequestsPerSec float64        `json:"requests_per_sec"`
+	Bytes          int64          `json:"bytes"`
+	MBPerSec       float64        `json:"mb_per_sec"`
+	MbitPerSec     float64        `json:"mbit_per_sec"`
+	Errors         uint64         `json:"errors"`
+	Status         statusCounts   `json:"status_counts"`
+	LatencyUsec    latencySummary `json:"latency_usec"`
+	GOOS           string         `json:"goos"`
+	GOARCH         string         `json:"goarch"`
+	CPUs           int            `json:"cpus"`
+}
+
+type statusCounts struct {
+	Partial206     uint64 `json:"partial_206"`
+	NotModified304 uint64 `json:"not_modified_304"`
+	PostOK2xx      uint64 `json:"post_ok_2xx"`
+	TooLarge413    uint64 `json:"too_large_413"`
+}
+
+type latencySummary struct {
+	Mean int64 `json:"mean"`
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P99  int64 `json:"p99"`
+	Max  int64 `json:"max"`
 }
 
 // clientMix describes the simulated client's request mix: which

@@ -52,6 +52,17 @@
 //     byte-for-byte equivalence suite holds the two to identical wire
 //     output.
 //
+//     The steady-state hot path is allocation-free: a warm keep-alive
+//     static cache hit (and a 304 revalidation) performs zero heap
+//     allocations per request across reader, event loop, and writer —
+//     zero-copy request parsing into a recycled per-connection
+//     Request, pooled response sources, typed loop messages instead
+//     of closures, cached entity tags and 304 headers, and
+//     coarse-clock deadline arming. AllocsPerRun guard tests and the
+//     CI bench-guard job (BenchmarkSteadyState vs the committed
+//     BENCH_5.json baseline) enforce the invariant; see README
+//     "Performance" for the per-path budgets.
+//
 //   - A deterministic simulation of the paper's 1999 testbed
 //     (internal/sim*, internal/arch, internal/experiments) that rebuilds
 //     the four server architectures — AMPED, SPED, MP, MT — from one

@@ -20,6 +20,14 @@ type HeaderEntry struct {
 	Variant string
 }
 
+// headerKey identifies one cached header: the translated path plus the
+// variant slot. A composite struct key — rather than a concatenated
+// string — keeps variant lookups (304s, ranges) allocation-free.
+type headerKey struct {
+	path    string
+	variant string
+}
+
 // HeaderCache caches response headers by translated path plus a
 // variant tag. The empty variant is the full 200 response; range
 // requests use a per-range variant (e.g. "bytes 0-99/1234") so partial
@@ -27,22 +35,13 @@ type HeaderEntry struct {
 // self-invalidating: every hit is checked against the file's current
 // mtime and dropped on mismatch.
 type HeaderCache struct {
-	l *lru[string, HeaderEntry]
+	l *lru[headerKey, HeaderEntry]
 }
 
 // NewHeaderCache creates a cache of at most capacity headers. Zero
 // capacity disables the cache.
 func NewHeaderCache(capacity int) *HeaderCache {
-	return &HeaderCache{l: newLRU[string, HeaderEntry](capacity, nil)}
-}
-
-// variantKey joins path and variant; 0x1f (unit separator) cannot
-// appear in a translated path (the parser rejects control bytes).
-func variantKey(path, variant string) string {
-	if variant == "" {
-		return path
-	}
-	return path + "\x1f" + variant
+	return &HeaderCache{l: newLRU[headerKey, HeaderEntry](capacity, nil)}
 }
 
 // Get returns the cached full-response header if it is still valid for
@@ -52,9 +51,10 @@ func (c *HeaderCache) Get(path string, modTime int64) (HeaderEntry, bool) {
 	return c.GetVariant(path, "", modTime)
 }
 
-// GetVariant is Get for a specific response variant (range-ness).
+// GetVariant is Get for a specific response variant (range-ness, 304
+// shapes).
 func (c *HeaderCache) GetVariant(path, variant string, modTime int64) (HeaderEntry, bool) {
-	key := variantKey(path, variant)
+	key := headerKey{path: path, variant: variant}
 	e, ok := c.l.get(key)
 	if !ok {
 		return HeaderEntry{}, false
@@ -69,9 +69,11 @@ func (c *HeaderCache) GetVariant(path, variant string, modTime int64) (HeaderEnt
 // Put records a full-response header.
 func (c *HeaderCache) Put(path string, e HeaderEntry) { c.PutVariant(path, "", e) }
 
-// PutVariant records a header for a specific response variant.
+// PutVariant records a header for a specific response variant. The
+// cache owns its keys; callers passing view strings must clone them
+// first (the flash server's paths here are cache-owned already).
 func (c *HeaderCache) PutVariant(path, variant string, e HeaderEntry) {
-	c.l.put(variantKey(path, variant), e)
+	c.l.put(headerKey{path: path, variant: variant}, e)
 }
 
 // Len returns the number of cached headers.

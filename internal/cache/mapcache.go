@@ -1,9 +1,6 @@
 package cache
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
 
 // ChunkKey identifies one chunk of one file. Small files occupy a single
 // chunk (index 0); large files are split into ChunkSize pieces (§5.4).
@@ -21,8 +18,13 @@ type Chunk struct {
 	Size int64
 
 	refs int
-	elem *list.Element // position on the free list when refs == 0
-	dead bool          // detached by InvalidateFile while pinned
+	// prev/next link the chunk into the cache's intrusive free list
+	// while refs == 0 (onFree reports membership). An intrusive list —
+	// rather than container/list — keeps the steady-state pin/release
+	// cycle of every cache hit free of node allocations.
+	prev, next *Chunk
+	onFree     bool
+	dead       bool // detached by InvalidateFile while pinned
 }
 
 // Refs returns the current pin count (for tests and introspection).
@@ -55,11 +57,44 @@ type MapCache struct {
 	chunkSize int64
 	used      int64
 	chunks    map[ChunkKey]*Chunk
-	free      *list.List // front = most recently released
-	stats     MapCacheStats
+	// Intrusive free list of unpinned chunks: freeHead = most recently
+	// released, freeTail = eviction candidate.
+	freeHead, freeTail *Chunk
+	stats              MapCacheStats
 	// OnEvict, if set, observes evictions (the simulator charges munmap
 	// costs; the real server lets the GC reclaim).
 	OnEvict func(*Chunk)
+}
+
+// freePush links c at the head of the free list.
+func (m *MapCache) freePush(c *Chunk) {
+	c.onFree = true
+	c.prev, c.next = nil, m.freeHead
+	if m.freeHead != nil {
+		m.freeHead.prev = c
+	}
+	m.freeHead = c
+	if m.freeTail == nil {
+		m.freeTail = c
+	}
+}
+
+// freeRemove unlinks c from the free list.
+func (m *MapCache) freeRemove(c *Chunk) {
+	if !c.onFree {
+		return
+	}
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		m.freeHead = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	} else {
+		m.freeTail = c.prev
+	}
+	c.prev, c.next, c.onFree = nil, nil, false
 }
 
 // DefaultChunkSize splits large files into 64 KB chunks, matching the
@@ -78,7 +113,6 @@ func NewMapCache(limit int64, chunkSize int64) *MapCache {
 		limit:     limit,
 		chunkSize: chunkSize,
 		chunks:    make(map[ChunkKey]*Chunk),
-		free:      list.New(),
 	}
 }
 
@@ -162,15 +196,14 @@ func (m *MapCache) Release(c *Chunk) {
 		}
 		return
 	}
-	c.elem = m.free.PushFront(c)
+	m.freePush(c)
 	m.evictOver()
 }
 
 // pin marks a chunk active.
 func (m *MapCache) pin(c *Chunk) {
-	if c.refs == 0 && c.elem != nil {
-		m.free.Remove(c.elem)
-		c.elem = nil
+	if c.refs == 0 {
+		m.freeRemove(c)
 	}
 	c.refs++
 }
@@ -178,13 +211,11 @@ func (m *MapCache) pin(c *Chunk) {
 // evictOver unmaps LRU inactive chunks until within the limit.
 func (m *MapCache) evictOver() {
 	for m.used > m.limit {
-		el := m.free.Back()
-		if el == nil {
+		c := m.freeTail
+		if c == nil {
 			return // everything is pinned; stay over limit
 		}
-		c := el.Value.(*Chunk)
-		m.free.Remove(el)
-		c.elem = nil
+		m.freeRemove(c)
 		delete(m.chunks, c.Key)
 		m.used -= c.Size
 		m.stats.Evictions++
@@ -206,10 +237,7 @@ func (m *MapCache) InvalidateFile(path string, maxChunks int) {
 			continue
 		}
 		if c.refs == 0 {
-			if c.elem != nil {
-				m.free.Remove(c.elem)
-				c.elem = nil
-			}
+			m.freeRemove(c)
 			delete(m.chunks, key)
 			m.used -= c.Size
 			m.stats.Evictions++
@@ -239,7 +267,13 @@ func (m *MapCache) Limit() int64 { return m.limit }
 func (m *MapCache) Len() int { return len(m.chunks) }
 
 // FreeLen returns the number of inactive chunks on the free list.
-func (m *MapCache) FreeLen() int { return m.free.Len() }
+func (m *MapCache) FreeLen() int {
+	n := 0
+	for c := m.freeHead; c != nil; c = c.next {
+		n++
+	}
+	return n
+}
 
 // Stats returns cumulative counters.
 func (m *MapCache) Stats() MapCacheStats { return m.stats }

@@ -18,6 +18,10 @@ type PathEntry struct {
 	// was last validated against the filesystem, for owners that
 	// revalidate stale entries.
 	CheckedAt int64
+	// ETag is the entity tag derived from (Size, ModTime), precomputed
+	// at insertion so the per-request conditional checks never build
+	// strings. Empty when the owner disables entity tags.
+	ETag string
 }
 
 // PathCache is the pathname translation cache (§5.2). It avoids running

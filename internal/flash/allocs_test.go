@@ -1,0 +1,173 @@
+package flash
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests are the tentpole's machine-checked invariant: a
+// steady-state keep-alive exchange on the static cache-hit and
+// 304-revalidation paths performs ZERO heap allocations per request —
+// across the whole pipeline (reader goroutine, event loop, writer
+// goroutine). testing.AllocsPerRun counts mallocs process-wide, so the
+// client below is written to be allocation-free too; the integer
+// division inside AllocsPerRun absorbs stray background allocations as
+// long as they stay below one per run.
+//
+// The dynamic (handler) path is not allocation-free by design — each
+// exchange spawns a handler goroutine, materializes the header map,
+// and builds a response header — but its budget is bounded and guarded
+// here so it cannot silently regress (see README "Performance").
+
+// allocGuardServer starts a single-shard server tuned for steady-state
+// measurement: revalidation off (the hit path, not the stat helper, is
+// under test) and no access log.
+func allocGuardServer(t testing.TB, register func(*Server)) (addr string, stop func()) {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "f.html"),
+		bytes.Repeat([]byte("x"), 1024), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		DocRoot:            root,
+		EventLoops:         1,
+		RevalidateInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if register != nil {
+		register(s)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	return l.Addr().String(), func() { s.Close() }
+}
+
+// measureAllocs reports the per-exchange allocation count for req over
+// a warm keep-alive connection (one exchange = one write of req plus
+// reading the full, length-stable response).
+func measureAllocs(t *testing.T, addr string, req []byte, depth int) float64 {
+	t.Helper()
+	c := newSteadyClient(t, addr, req, depth)
+	defer c.close()
+	return testing.AllocsPerRun(200, func() {
+		c.roundTrip(t)
+	})
+}
+
+// TestAllocsStaticHit is the acceptance gate: 0 allocs/request on a
+// warm keep-alive static cache hit, serial and pipelined.
+func TestAllocsStaticHit(t *testing.T) {
+	addr, stop := allocGuardServer(t, nil)
+	defer stop()
+
+	get := []byte("GET /f.html HTTP/1.1\r\nHost: alloc\r\n\r\n")
+	if n := measureAllocs(t, addr, get, 1); n > 0 {
+		t.Errorf("static cache hit: %.2f allocs/request, want 0", n)
+	}
+	const depth = 8
+	if n := measureAllocs(t, addr, bytes.Repeat(get, depth), depth); n > 0 {
+		t.Errorf("pipelined static cache hit: %.2f allocs/burst of %d, want 0", n, depth)
+	}
+}
+
+// TestAllocsRevalidate304 guards the conditional-GET fast path: an
+// If-None-Match revalidation against the cached entity tag is also
+// allocation-free (cached 304 header variants, no string building in
+// ETag comparison).
+func TestAllocsRevalidate304(t *testing.T) {
+	addr, stop := allocGuardServer(t, nil)
+	defer stop()
+
+	warm := newSteadyClient(t, addr, []byte("GET /f.html HTTP/1.1\r\nHost: alloc\r\n\r\n"), 1)
+	etag := warm.lastETag
+	warm.close()
+	if etag == "" {
+		t.Fatal("no ETag captured from warmup 200")
+	}
+	reval := []byte("GET /f.html HTTP/1.1\r\nHost: alloc\r\nIf-None-Match: " + etag + "\r\n\r\n")
+	if n := measureAllocs(t, addr, reval, 1); n > 0 {
+		t.Errorf("If-None-Match revalidation: %.2f allocs/request, want 0", n)
+	}
+}
+
+// TestAllocsHeadHit covers the HEAD variant of the static hit (a
+// fixed-buffer response from the cached header).
+func TestAllocsHeadHit(t *testing.T) {
+	addr, stop := allocGuardServer(t, nil)
+	defer stop()
+
+	head := []byte("HEAD /f.html HTTP/1.1\r\nHost: alloc\r\n\r\n")
+	if n := measureAllocs(t, addr, head, 1); n > 0 {
+		t.Errorf("HEAD cache hit: %.2f allocs/request, want 0", n)
+	}
+}
+
+// handlerAllocBudget is the documented per-request allocation budget of
+// the dynamic (v2 handler) path: handler goroutine + response writer +
+// header map materialization + body reader + rendered header. Measured
+// ~20 on go1.24; the bound leaves headroom for toolchain drift while
+// still catching structural regressions (a leak of the static path's
+// old per-request garbage into the shared pipeline would blow straight
+// through it).
+const handlerAllocBudget = 40
+
+// TestAllocsHandlerBudget pins the dynamic path's allocation budget.
+func TestAllocsHandlerBudget(t *testing.T) {
+	addr, stop := allocGuardServer(t, func(s *Server) {
+		s.HandleFunc("POST", "/echo", func(w ResponseWriter, r *Request) {
+			w.Header().Set("Content-Length", "2")
+			w.Write([]byte("ok"))
+		})
+	})
+	defer stop()
+
+	post := []byte("POST /echo HTTP/1.1\r\nHost: alloc\r\nContent-Length: 3\r\n\r\nabc")
+	n := measureAllocs(t, addr, post, 1)
+	t.Logf("handler path: %.1f allocs/request (budget %d)", n, handlerAllocBudget)
+	if n > handlerAllocBudget {
+		t.Errorf("handler path: %.1f allocs/request exceeds budget %d", n, handlerAllocBudget)
+	}
+}
+
+// TestSteadyResponsesStable sanity-checks the assumption both the
+// benchmarks and the alloc guards rest on: steady-state responses for
+// one request are byte-length-stable (cached headers freeze the Date).
+func TestSteadyResponsesStable(t *testing.T) {
+	addr, stop := allocGuardServer(t, nil)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	req := []byte("GET /f.html HTTP/1.1\r\nHost: alloc\r\n\r\n")
+	var first []byte
+	buf := make([]byte, 64<<10)
+	for i := 0; i < 5; i++ {
+		if _, err := conn.Write(req); err != nil {
+			t.Fatal(err)
+		}
+		n, _, err := readOneResponse(conn, buf, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = []byte(strings.Repeat("x", n)) // length witness
+		} else if n != len(first) {
+			t.Fatalf("response %d length %d != first %d", i, n, len(first))
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package flash
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkSteadyState measures the per-request cost of the steady-state
+// keep-alive paths the tentpole optimizes: a warm static cache hit
+// (pathname, header, and chunk caches all hot), the same hit pipelined
+// eight deep, and a 304 If-None-Match revalidation. Run with -benchmem:
+// allocs/op on these paths is the number the zero-allocation work
+// drives to 0, and the bench-guard CI job compares it against the
+// committed BENCH_5.json baseline.
+//
+// Unlike BenchmarkShardScaling this is deliberately serial — one
+// connection against one shard — so allocs/op is the per-request
+// allocation count of the full server pipeline (reader, loop, writer),
+// not an average blurred across racing clients.
+func BenchmarkSteadyState(b *testing.B) {
+	const fileSize = 1024
+	root := b.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "f.html"),
+		bytes.Repeat([]byte("x"), fileSize), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{
+		DocRoot:    root,
+		EventLoops: 1,
+		// Steady state means no background revalidation stats: the
+		// measurement is the cache-hit path, not the stat helper.
+		RevalidateInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+	addr := l.Addr().String()
+
+	get := []byte("GET /f.html HTTP/1.1\r\nHost: bench\r\n\r\n")
+
+	b.Run("path=static-hit", func(b *testing.B) {
+		c := newSteadyClient(b, addr, get, 1)
+		defer c.close()
+		b.SetBytes(fileSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.roundTrip(b)
+		}
+	})
+
+	b.Run("path=static-hit-pipelined", func(b *testing.B) {
+		const depth = 8
+		c := newSteadyClient(b, addr, bytes.Repeat(get, depth), depth)
+		defer c.close()
+		b.SetBytes(fileSize * depth)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.roundTrip(b) // one burst of `depth` pipelined requests
+		}
+	})
+
+	b.Run("path=revalidate-304", func(b *testing.B) {
+		// Capture the ETag a 200 carries, then revalidate against it.
+		c := newSteadyClient(b, addr, get, 1)
+		etag := c.lastETag
+		c.close()
+		if etag == "" {
+			b.Fatal("no ETag captured from warmup 200")
+		}
+		reval := []byte("GET /f.html HTTP/1.1\r\nHost: bench\r\nIf-None-Match: " + etag + "\r\n\r\n")
+		rc := newSteadyClient(b, addr, reval, 1)
+		defer rc.close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rc.roundTrip(b)
+		}
+	})
+}
+
+// steadyClient is an allocation-free benchmark client: it learns the
+// exact response length during warmup (steady-state responses are
+// byte-identical — cached headers freeze the Date) and then reads
+// exactly that many bytes per exchange into a fixed buffer, so client-
+// side garbage never pollutes the server's allocs/op.
+type steadyClient struct {
+	conn     net.Conn
+	req      []byte
+	respLen  int // total bytes of one full exchange (all pipelined responses)
+	buf      []byte
+	lastETag string
+}
+
+func newSteadyClient(b testing.TB, addr string, req []byte, depth int) *steadyClient {
+	b.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(5 * time.Minute))
+	c := &steadyClient{conn: conn, req: req, buf: make([]byte, 64<<10)}
+
+	// First exchange: measure one response, scraping Content-Length and
+	// ETag from the header block.
+	if _, err := conn.Write(req); err != nil {
+		b.Fatal(err)
+	}
+	one, etag, err := readOneResponse(conn, c.buf, !bytes.HasPrefix(req, []byte("HEAD ")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.lastETag = etag
+	c.respLen = one * depth
+	// Drain the rest of the first burst.
+	if err := c.readFull(c.respLen - one); err != nil {
+		b.Fatal(err)
+	}
+	// Warm every layer (caches, goroutine stacks, iovec buffers) before
+	// the measured loop.
+	for i := 0; i < 64; i++ {
+		c.roundTrip(b)
+	}
+	return c
+}
+
+func (c *steadyClient) roundTrip(b testing.TB) {
+	if _, err := c.conn.Write(c.req); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.readFull(c.respLen); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func (c *steadyClient) readFull(n int) error {
+	for n > 0 {
+		lim := n
+		if lim > len(c.buf) {
+			lim = len(c.buf)
+		}
+		m, err := c.conn.Read(c.buf[:lim])
+		if err != nil {
+			return err
+		}
+		n -= m
+	}
+	return nil
+}
+
+func (c *steadyClient) close() { c.conn.Close() }
+
+// readOneResponse reads exactly one complete response from conn,
+// returning its total byte length and any ETag header value. hasBody
+// is false for responses whose Content-Length is never followed by
+// body bytes (HEAD).
+func readOneResponse(conn net.Conn, scratch []byte, hasBody bool) (int, string, error) {
+	total := 0
+	var hdr []byte
+	for {
+		n, err := conn.Read(scratch[:1])
+		if err != nil {
+			return 0, "", err
+		}
+		total += n
+		hdr = append(hdr, scratch[:n]...)
+		if bytes.HasSuffix(hdr, []byte("\r\n\r\n")) {
+			break
+		}
+		if len(hdr) > 32<<10 {
+			return 0, "", fmt.Errorf("runaway header")
+		}
+	}
+	etag := ""
+	cl := int64(0)
+	for _, line := range bytes.Split(hdr, []byte("\r\n")) {
+		if v, ok := bytes.CutPrefix(line, []byte("ETag: ")); ok {
+			etag = string(bytes.TrimSpace(v))
+		}
+		if v, ok := bytes.CutPrefix(line, []byte("Content-Length: ")); ok {
+			fmt.Sscanf(string(v), "%d", &cl)
+		}
+	}
+	if cl > 0 && hasBody {
+		if _, err := io.ReadFull(conn, scratch[:cl]); err != nil {
+			return 0, "", err
+		}
+		total += int(cl)
+	}
+	return total, etag, nil
+}

@@ -199,7 +199,7 @@ func (br *bodyReader) readChunked(p []byte) (int, error) {
 // response header must not promise keep-alive.
 func (br *bodyReader) strandedExpect() bool {
 	return br.sendContinue && !br.done &&
-		br.total == 0 && len(br.raw) == 0 && len(br.c.rbuf) == 0
+		br.total == 0 && len(br.raw) == 0 && br.c.re == br.c.rs
 }
 
 // mayCloseOnDrain reports that draining this body might fail, so the

@@ -23,6 +23,17 @@
 //   - File chunks are immutable []byte buffers; cache eviction drops
 //     the reference while in-flight writers keep theirs, so the garbage
 //     collector plays the role of munmap.
+//   - The steady-state request path is allocation-free: requests parse
+//     zero-copy into a per-connection recycled httpmsg.Request (views
+//     over a reusable head buffer), the carry-over read buffer shifts
+//     ring-style instead of reallocating, exchange starts and item
+//     completions travel to the loop as typed mailbox messages rather
+//     than closures, response sources and header scratch are pooled on
+//     the connection, entity tags and 304 headers are cached alongside
+//     200 headers, and read/write deadlines are re-armed through a
+//     per-shard coarse clock only when they drift. AllocsPerRun guard
+//     tests pin the budget: 0 allocs/request on warm static-hit and
+//     revalidation paths.
 //   - Every response is produced by one bodySource — the unified
 //     pipeline the loop drives and the writer consumes. Static bodies
 //     pick a transport per response (Config.SendfileThreshold): below

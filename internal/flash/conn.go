@@ -16,7 +16,9 @@ import (
 // single writev, the §5.5 pattern — and then, for the zero-copy
 // transport, the descriptor window [sfOff, sfOff+sfLen) shipped with
 // sendfile(2) (or the portable copy loop). Sources produce items one
-// at a time; `last` marks the response's final item.
+// at a time; `last` marks the response's final item. Items travel by
+// value — through the writer channel and back through the loop's
+// typed itemDone message — so the per-item traffic allocates nothing.
 type writeItem struct {
 	data  []byte
 	chunk *cache.Chunk
@@ -42,22 +44,55 @@ type loopState struct {
 }
 
 // conn is one client connection: a reader goroutine (the serve method),
-// a writer goroutine, and loop-owned state.
+// a writer goroutine, and loop-owned state. Everything a steady-state
+// exchange needs — read buffer, head buffer, parsed request, response
+// sources, header scratch, writev scratch — is owned by the connection
+// and recycled across exchanges, so a warm keep-alive request touches
+// no allocator at all.
 type conn struct {
-	sh *shard
-	nc net.Conn
+	sh     *shard
+	nc     net.Conn
+	remote string // RemoteAddr().String(), computed once for logging
 
 	writeCh chan writeItem
 	nextCh  chan bool // loop → reader: response done; proceed if true
 	done    chan struct{}
 
-	// rbuf is the pipelining carry-over: bytes read past the current
-	// request head. It is owned by the reader goroutine between
-	// exchanges and by the request's bodyReader during one (the reader
-	// is parked in waitResponse then), never both at once.
-	rbuf []byte
+	// rb[rs:re] is the pipelining carry-over window: bytes read past
+	// the current request head. It is owned by the reader goroutine
+	// between exchanges and by the request's bodyReader during one (the
+	// reader is parked in waitResponse then), never both at once. The
+	// backing array is reused ring-style: the window shifts to the
+	// front in place when the tail runs out, and consumed-region bytes
+	// ahead of rs absorb body pushbacks without reallocating.
+	rb     []byte
+	rs, re int
+
+	// headBuf holds a copy of the current request head; the recycled
+	// request's zero-copy views point into it. Copying the head out of
+	// rb (typically well under 1 KB) is what makes the views immune to
+	// carry-over shifts and body pushbacks during the exchange.
+	headBuf []byte
+	req     httpmsg.Request // recycled across this connection's exchanges
 
 	ls loopState // loop-owned, reset per exchange
+
+	// Pooled response state (loop-owned): one exchange at a time runs
+	// on a connection, so each source form needs exactly one instance.
+	fixedSrc fixedSource
+	chunkSrc chunkSource
+	sfSrc    sendfileSource
+	hdrBuf   []byte // scratch for per-request header patches
+
+	// Writer-goroutine scratch: the gather array and Buffers header
+	// live on the conn so writev gathers allocate nothing per item.
+	wb   [2][]byte
+	bufs net.Buffers
+
+	// Armed deadlines in unix nanos, for the coarse-clock skip logic
+	// (readArm: reader/body goroutine; writeArm: writer goroutine).
+	readArm  int64
+	writeArm int64
 
 	// Writer-channel state, also loop-owned but connection-scoped: a
 	// response restarted mid-exchange must still see that the writer
@@ -72,9 +107,11 @@ func newConn(sh *shard, nc net.Conn) *conn {
 	return &conn{
 		sh:      sh,
 		nc:      nc,
+		remote:  nc.RemoteAddr().String(),
 		writeCh: make(chan writeItem, 1),
 		nextCh:  make(chan bool, 1),
 		done:    make(chan struct{}),
+		rb:      make([]byte, 4096),
 	}
 }
 
@@ -85,15 +122,82 @@ func (c *conn) abort() {
 	c.nc.Close()
 }
 
+// window returns the unread carry-over bytes.
+func (c *conn) window() []byte { return c.rb[c.rs:c.re] }
+
+// consume advances past n carry-over bytes, rewinding the window to
+// the front of the backing array once it empties.
+func (c *conn) consume(n int) {
+	c.rs += n
+	if c.rs == c.re {
+		c.rs, c.re = 0, 0
+	}
+}
+
+// fillSpace returns writable space at the window's tail, shifting the
+// window to the front of the backing array in place — or growing it,
+// cold — when the tail is exhausted.
+func (c *conn) fillSpace() []byte {
+	if c.re == len(c.rb) {
+		if c.rs > 0 {
+			copy(c.rb, c.rb[c.rs:c.re])
+			c.re -= c.rs
+			c.rs = 0
+		} else {
+			nb := make([]byte, len(c.rb)*2)
+			copy(nb, c.rb[:c.re])
+			c.rb = nb
+		}
+	}
+	return c.rb[c.re:]
+}
+
+// armRead arms the read deadline d from now. Long timeouts go through
+// the shard's coarse clock and skip the SetReadDeadline syscall while
+// the armed deadline is within deadlineSlack of the ideal one (so a
+// keep-alive burst arms the deadline once, not once per read); short
+// timeouts keep exact time.Now semantics.
+func (c *conn) armRead(d time.Duration) {
+	if d < coarseMinTimeout {
+		dl := time.Now().Add(d)
+		c.readArm = dl.UnixNano()
+		c.nc.SetReadDeadline(dl)
+		return
+	}
+	want := c.sh.clock.Load() + int64(d)
+	// Skip the syscall only while the armed deadline is later than the
+	// ideal one by at most deadlineSlack: deadlines may fire early by
+	// that much, never late (a shorter timeout always re-arms).
+	if diff := want - c.readArm; diff > int64(deadlineSlack) || diff < 0 {
+		c.readArm = want
+		c.nc.SetReadDeadline(time.Unix(0, want))
+	}
+}
+
+// armWrite is armRead for the writer goroutine's deadline.
+func (c *conn) armWrite(d time.Duration) {
+	if d < coarseMinTimeout {
+		dl := time.Now().Add(d)
+		c.writeArm = dl.UnixNano()
+		c.nc.SetWriteDeadline(dl)
+		return
+	}
+	want := c.sh.clock.Load() + int64(d)
+	if diff := want - c.writeArm; diff > int64(deadlineSlack) || diff < 0 {
+		c.writeArm = want
+		c.nc.SetWriteDeadline(time.Unix(0, want))
+	}
+}
+
 // readRaw fills p from the carry-over buffer, then the socket (used by
-// body readers; the head parser manages rbuf directly). A non-zero cap
-// bounds the aggregate wait: the per-read deadline never extends past
-// it, so a trickling peer cannot hold the exchange open by renewing
-// the ReadTimeout one byte at a time.
+// body readers; the head parser manages the carry-over directly). A
+// non-zero cap bounds the aggregate wait: the per-read deadline never
+// extends past it, so a trickling peer cannot hold the exchange open
+// by renewing the ReadTimeout one byte at a time.
 func (c *conn) readRaw(p []byte, cap time.Time) (int, error) {
-	if len(c.rbuf) > 0 {
-		n := copy(p, c.rbuf)
-		c.rbuf = c.rbuf[n:]
+	if c.re > c.rs {
+		n := copy(p, c.rb[c.rs:c.re])
+		c.consume(n)
 		return n, nil
 	}
 	d := time.Now().Add(c.sh.cfg.ReadTimeout)
@@ -105,20 +209,34 @@ func (c *conn) readRaw(p []byte, cap time.Time) (int, error) {
 			d = cap
 		}
 	}
+	c.readArm = d.UnixNano()
 	c.nc.SetReadDeadline(d)
 	return c.nc.Read(p)
 }
 
 // unread pushes bytes a body reader consumed past its framing back to
-// the front of the carry-over (they belong to the next request).
+// the front of the carry-over (they belong to the next request). The
+// consumed region ahead of the window absorbs them in place; only a
+// pushback larger than everything consumed so far reallocates.
 func (c *conn) unread(b []byte) {
 	if len(b) == 0 {
 		return
 	}
-	merged := make([]byte, 0, len(b)+len(c.rbuf))
-	merged = append(merged, b...)
-	merged = append(merged, c.rbuf...)
-	c.rbuf = merged
+	if c.rs >= len(b) {
+		c.rs -= len(b)
+		copy(c.rb[c.rs:], b)
+		return
+	}
+	size := len(b) + c.re - c.rs
+	nb := c.rb
+	if size > len(nb) {
+		nb = make([]byte, size)
+	}
+	// Copy the tail first: with a shared backing array the window moves
+	// toward the back, so the regions cannot overlap destructively.
+	copy(nb[len(b):size], c.rb[c.rs:c.re])
+	copy(nb, b)
+	c.rb, c.rs, c.re = nb, 0, size
 }
 
 // exchangePlan is the reader's pre-computed decision for one request:
@@ -141,6 +259,12 @@ type exchangePlan struct {
 // bodies are consumed by the handler (through the plan's bodyReader)
 // while the reader is parked; whatever is left unread is drained here
 // before the next head is parsed, keeping pipelined framing intact.
+//
+// Each head is copied from the carry-over into the connection's
+// reusable head buffer and parsed zero-copy into the recycled request:
+// the views stay valid for the whole exchange because nothing touches
+// headBuf until the next head is copied in — which happens only after
+// the response completes.
 func (c *conn) serve() {
 	// The writer joins the server's WaitGroup (the serve goroutine
 	// already holds it, so the count cannot be zero here): Close waits
@@ -157,43 +281,41 @@ func (c *conn) serve() {
 		c.sh.post(func() { c.sh.connEnd(c) })
 	}()
 
-	tmp := make([]byte, 4096)
 	for {
 		// Tolerate stray blank lines before a request (clients
 		// historically sent an extra CRLF after a request), but count
 		// the stripped bytes toward the header cap — otherwise a client
 		// trickling CRLFs forever would never trip it.
 		preamble := 0
-		skipBlank := func() {
-			for len(c.rbuf) > 0 && (c.rbuf[0] == '\r' || c.rbuf[0] == '\n') {
-				c.rbuf = c.rbuf[1:]
-				preamble++
-			}
-		}
-		skipBlank()
+		c.skipBlank(&preamble)
 		// Accumulate one complete request head (a terminated header
-		// block, or an HTTP/0.9 simple request) at the head of rbuf.
-		c.nc.SetReadDeadline(time.Now().Add(c.sh.cfg.IdleTimeout))
-		for httpmsg.RequestEnd(c.rbuf) < 0 {
-			if len(c.rbuf)+preamble > c.sh.cfg.MaxHeaderBytes {
+		// block, or an HTTP/0.9 simple request) at the head of the
+		// carry-over window.
+		c.armRead(c.sh.cfg.IdleTimeout)
+		for httpmsg.RequestEnd(c.window()) < 0 {
+			if c.re-c.rs+preamble > c.sh.cfg.MaxHeaderBytes {
 				c.sh.post(func() { c.sh.rejectRequest(c, nil, 400) })
 				c.waitResponse()
 				return
 			}
-			n, err := c.nc.Read(tmp)
+			n, err := c.nc.Read(c.fillSpace())
 			if n > 0 {
-				c.rbuf = append(c.rbuf, tmp[:n]...)
-				c.nc.SetReadDeadline(time.Now().Add(c.sh.cfg.ReadTimeout))
-				skipBlank()
+				c.re += n
+				c.armRead(c.sh.cfg.ReadTimeout)
+				c.skipBlank(&preamble)
 			}
 			if err != nil {
 				return // EOF or timeout between requests
 			}
 		}
-		end := httpmsg.RequestEnd(c.rbuf)
-		req, err := httpmsg.ParseRequest(c.rbuf[:end])
-		c.rbuf = c.rbuf[end:] // keep pipelined followers (or body bytes)
-		if err != nil {
+		end := httpmsg.RequestEnd(c.window())
+		// Copy the head out of the carry-over so the zero-copy views
+		// survive any buffer traffic the exchange causes, then parse
+		// into the recycled request.
+		c.headBuf = append(c.headBuf[:0], c.rb[c.rs:c.rs+end]...)
+		c.consume(end) // keep pipelined followers (or body bytes)
+		c.req.Reset()
+		if err := c.req.ParseBytes(c.headBuf); err != nil {
 			status := 400
 			if err == httpmsg.ErrTargetTooBig {
 				status = 414
@@ -205,8 +327,8 @@ func (c *conn) serve() {
 			return
 		}
 
-		plan := c.planExchange(req)
-		c.sh.post(func() { c.sh.handleExchange(c, plan) })
+		plan := c.planExchange(&c.req)
+		c.sh.postExchange(c, plan)
 		keep := c.waitResponse()
 		if plan.body != nil && keep {
 			// The handler may have left body bytes on the wire; the next
@@ -216,6 +338,18 @@ func (c *conn) serve() {
 		if !keep {
 			return
 		}
+	}
+}
+
+// skipBlank strips CR/LF bytes at the head of the carry-over window,
+// counting them into *preamble.
+func (c *conn) skipBlank(preamble *int) {
+	for c.rs < c.re && (c.rb[c.rs] == '\r' || c.rb[c.rs] == '\n') {
+		c.rs++
+		*preamble++
+	}
+	if c.rs == c.re {
+		c.rs, c.re = 0, 0
 	}
 }
 
@@ -293,7 +427,7 @@ func (c *conn) planExchange(req *httpmsg.Request) exchangePlan {
 		req.KeepAlive = false
 		return plan
 	}
-	if _, declared := req.Headers["content-length"]; kind == httpmsg.BodyNone &&
+	if _, declared := req.Header("content-length"); kind == httpmsg.BodyNone &&
 		!declared && methodRequiresLength(req.Method) {
 		// A payload method with neither Content-Length nor chunked
 		// framing: require a length rather than guessing (RFC 7230
@@ -336,7 +470,9 @@ func (c *conn) waitResponse() bool {
 // windows, sendfile or the copy loop for descriptor windows — so the
 // event loop never does. After a write error it keeps draining items,
 // reporting them back so their sources release the pins, until the
-// loop closes the channel.
+// loop closes the channel. The gather scratch and the completion
+// message are connection-owned and value-typed: a steady-state item
+// costs the writer no allocations.
 func (c *conn) writeLoop() {
 	failed := false
 	for {
@@ -373,28 +509,37 @@ func (c *conn) writeLoop() {
 					failed = true
 				}
 			} else {
-				c.nc.SetWriteDeadline(time.Now().Add(c.sh.cfg.WriteTimeout))
+				c.armWrite(c.sh.cfg.WriteTimeout)
 				// Gather header and chunk into one writev (the §5.5
 				// pattern: aligned header followed by file data in a
-				// single call).
-				var bufs net.Buffers
+				// single call), through the conn-owned scratch.
+				nb := 0
 				if len(item.data) > 0 {
-					bufs = append(bufs, item.data)
+					c.wb[nb] = item.data
+					nb++
 				}
 				if len(item.body) > 0 {
-					bufs = append(bufs, item.body)
+					c.wb[nb] = item.body
+					nb++
 				}
-				if len(bufs) > 0 {
-					n, err := bufs.WriteTo(c.nc)
+				switch nb {
+				case 1:
+					n, err := c.nc.Write(c.wb[0])
+					wrote += int64(n)
+					if err != nil {
+						failed = true
+					}
+				case 2:
+					c.bufs = net.Buffers(c.wb[:2])
+					n, err := c.bufs.WriteTo(c.nc)
 					wrote += n
 					if err != nil {
 						failed = true
 					}
 				}
+				c.wb[0], c.wb[1] = nil, nil
 			}
 		}
-		done := item
-		nowFailed := failed
-		c.sh.post(func() { c.sh.itemDone(c, done, wrote, sfWrote, !nowFailed) })
+		c.sh.postItemDone(c, item, wrote, sfWrote, !failed)
 	}
 }

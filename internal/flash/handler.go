@@ -461,6 +461,10 @@ func (w *responseWriter) hijackError(status int) {
 // process") whose output streams through a streamSource.
 func (s *shard) startHandler(c *conn, req *httpmsg.Request, h Handler, body *bodyReader) {
 	s.stats.DynamicCalls++
+	// Handlers (and the net/http bridge) see the familiar Headers map;
+	// the zero-copy inline fields are deep-copied into it here, part of
+	// the dynamic path's documented allocation budget.
+	req.MaterializeHeaders()
 	src := &streamSource{ack: make(chan bool, 1)}
 	c.ls.src = src
 

@@ -73,5 +73,5 @@ func (s *shard) serveListing(c *conn, body []byte) {
 		ServerName:    s.cfg.ServerName,
 	}, !s.cfg.DisableHeaderAlign)
 	hdr = headerFor(req, hdr)
-	s.respond(c, &fixedSource{data: append(append([]byte{}, hdr...), body...)})
+	s.respondFixed(c, append(append([]byte{}, hdr...), body...))
 }

@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strings"
@@ -73,51 +74,11 @@ func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 			s.afterTranslate(c, pe)
 			return
 		}
-		s.helpers.submit(helperJob{
-			kind:     jobStat,
-			fsPath:   pe.Translated,
-			index:    s.cfg.IndexFile,
-			listings: s.cfg.EnableListings,
-			done: func(res helperResult) {
-				if res.err != nil {
-					s.invalidateFile(req.Path, pe)
-					s.errorResponse(c, res.status, req.KeepAlive)
-					return
-				}
-				if res.isListing {
-					s.invalidateFile(req.Path, pe)
-					s.serveListing(c, res.data)
-					return
-				}
-				cur, live := s.paths.Peek(req.Path)
-				if res.modTime == pe.ModTime && res.size == pe.Size &&
-					res.fsPath == pe.Translated && live && cur.File == pe.File {
-					// Unchanged, and the entry (with its descriptor) is
-					// still the cached one: keep it, drop the freshly
-					// opened duplicate, just bump the check time.
-					closeFile(res.file)
-					pe.CheckedAt = s.cfg.Clock().UnixNano()
-					s.putEntry(req.Path, pe)
-					s.afterTranslate(c, pe)
-					return
-				}
-				// Changed — or the entry was evicted/replaced while the
-				// stat was in flight, in which case the old descriptor
-				// may already be released and must not be re-adopted.
-				// Retire every derived cache entry and adopt the new
-				// identity (and its descriptor).
-				s.invalidateFile(req.Path, pe)
-				fresh := cache.PathEntry{
-					Translated: res.fsPath,
-					File:       adoptFile(res.file),
-					Size:       res.size,
-					ModTime:    res.modTime,
-					CheckedAt:  s.cfg.Clock().UnixNano(),
-				}
-				s.putEntry(req.Path, fresh)
-				s.afterTranslate(c, fresh)
-			},
-		})
+		// The stat submission lives in its own method so its completion
+		// closure — which captures pe — cannot force the fresh-hit
+		// path's pe to escape: the cache hit above must stay free of
+		// per-request heap traffic.
+		s.revalidateEntry(c, req, pe)
 		return
 	}
 	fsPath, ok := s.translate(req.Path)
@@ -145,9 +106,62 @@ func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 				Size:       res.size,
 				ModTime:    res.modTime,
 				CheckedAt:  s.cfg.Clock().UnixNano(),
+				ETag:       s.makeETag(res.size, res.modTime),
 			}
 			s.putEntry(req.Path, pe)
 			s.afterTranslate(c, pe)
+		},
+	})
+}
+
+// revalidateEntry re-stats a stale pathname-cache entry on a helper,
+// then either refreshes the entry's check time (unchanged file) or
+// retires every derived cache entry and adopts the new identity.
+func (s *shard) revalidateEntry(c *conn, req *httpmsg.Request, pe cache.PathEntry) {
+	s.helpers.submit(helperJob{
+		kind:     jobStat,
+		fsPath:   pe.Translated,
+		index:    s.cfg.IndexFile,
+		listings: s.cfg.EnableListings,
+		done: func(res helperResult) {
+			if res.err != nil {
+				s.invalidateFile(req.Path, pe)
+				s.errorResponse(c, res.status, req.KeepAlive)
+				return
+			}
+			if res.isListing {
+				s.invalidateFile(req.Path, pe)
+				s.serveListing(c, res.data)
+				return
+			}
+			cur, live := s.paths.Peek(req.Path)
+			if res.modTime == pe.ModTime && res.size == pe.Size &&
+				res.fsPath == pe.Translated && live && cur.File == pe.File {
+				// Unchanged, and the entry (with its descriptor) is
+				// still the cached one: keep it, drop the freshly
+				// opened duplicate, just bump the check time.
+				closeFile(res.file)
+				pe.CheckedAt = s.cfg.Clock().UnixNano()
+				s.putEntry(req.Path, pe)
+				s.afterTranslate(c, pe)
+				return
+			}
+			// Changed — or the entry was evicted/replaced while the
+			// stat was in flight, in which case the old descriptor
+			// may already be released and must not be re-adopted.
+			// Retire every derived cache entry and adopt the new
+			// identity (and its descriptor).
+			s.invalidateFile(req.Path, pe)
+			fresh := cache.PathEntry{
+				Translated: res.fsPath,
+				File:       adoptFile(res.file),
+				Size:       res.size,
+				ModTime:    res.modTime,
+				CheckedAt:  s.cfg.Clock().UnixNano(),
+				ETag:       s.makeETag(res.size, res.modTime),
+			}
+			s.putEntry(req.Path, fresh)
+			s.afterTranslate(c, fresh)
 		},
 	})
 }
@@ -181,20 +195,19 @@ func (s *shard) translate(reqPath string) (string, bool) {
 func (s *shard) afterTranslate(c *conn, pe cache.PathEntry) {
 	req := c.ls.req
 
-	etag := ""
-	if !s.cfg.DisableETags {
-		etag = httpmsg.MakeETag(pe.Size, pe.ModTime)
-	}
+	// The entity tag is precomputed at path-entry insertion (makeETag),
+	// so the per-request conditional checks never build strings.
+	etag := pe.ETag
 
 	// Conditional GET: If-None-Match takes precedence over
 	// If-Modified-Since (RFC 7232 §6).
 	if etag != "" && req.IfNoneMatch != "" {
 		if httpmsg.ETagMatch(req.IfNoneMatch, etag) {
-			s.notModified(c, etag)
+			s.notModified(c, pe, etag)
 			return
 		}
 	} else if !req.IfModifiedSince.IsZero() && pe.ModTime <= req.IfModifiedSince.Unix() {
-		s.notModified(c, etag)
+		s.notModified(c, pe, etag)
 		return
 	}
 
@@ -246,46 +259,89 @@ func (s *shard) afterTranslate(c *conn, pe cache.PathEntry) {
 		})
 	}
 	// The cached header was built for some request's persistence mode;
-	// patch if it disagrees (cheap compare against rebuild).
-	hdr = headerFor(req, s.fixPersistence(hdr, req))
+	// patch if it disagrees (into the connection's scratch buffer, so
+	// even the mismatch path allocates nothing once warm).
+	hdr = headerFor(req, s.fixPersistence(c, hdr, req))
 
 	if req.Method == "HEAD" || length == 0 {
-		s.respond(c, &fixedSource{data: hdr})
+		s.respondFixed(c, hdr)
 		return
 	}
 	if s.useSendfile(length, pe) {
 		ref := entryRef(pe).Acquire() // the response's pin on the descriptor
-		s.respond(c, &sendfileSource{ref: ref, hdr: hdr, off: off, n: length})
+		src := &c.sfSrc
+		*src = sendfileSource{ref: ref, hdr: hdr, off: off, n: length}
+		s.respond(c, src)
 		return
 	}
-	s.respond(c, newChunkSource(s, pe, hdr, off, length))
+	src := &c.chunkSrc
+	src.init(s, pe, hdr, off, length)
+	s.respond(c, src)
 }
+
+// makeETag builds the entity tag stored in a path entry ("" when
+// entity tags are disabled).
+func (s *shard) makeETag(size, modTime int64) string {
+	if s.cfg.DisableETags {
+		return ""
+	}
+	return httpmsg.MakeETag(size, modTime)
+}
+
+// respondFixed starts a fixed-buffer response through the connection's
+// pooled source.
+func (s *shard) respondFixed(c *conn, data []byte) {
+	c.fixedSrc.data = data
+	s.respond(c, &c.fixedSrc)
+}
+
+// Wire fragments fixPersistence patches.
+var (
+	protoBytes11 = []byte("HTTP/1.1")
+	protoBytes10 = []byte("HTTP/1.0")
+	kaBytes      = []byte("Connection: keep-alive\r\n")
+	clBytes      = []byte("Connection: close\r\n")
+)
 
 // fixPersistence rewrites the request-specific parts of a cached
 // response header when the current request disagrees with the one the
 // header was built for: the Connection header, and the status line's
 // protocol version ("HTTP/1.0" and "HTTP/1.1" are the same length, so
-// the swap never disturbs the §5.5 alignment).
-func (s *shard) fixPersistence(hdr []byte, req *httpmsg.Request) []byte {
-	const ka = "Connection: keep-alive\r\n"
-	const cl = "Connection: close\r\n"
-	h := string(hdr)
-	changed := false
-	if proto := responseProto(req); !strings.HasPrefix(h, proto) {
-		h = proto + h[len(proto):]
-		changed = true
+// the swap never disturbs the §5.5 alignment). An untouched header is
+// returned as-is; a patched one is assembled in the connection's
+// header scratch (valid until the exchange completes), so neither
+// outcome allocates once the connection is warm.
+func (s *shard) fixPersistence(c *conn, hdr []byte, req *httpmsg.Request) []byte {
+	proto := protoBytes11
+	if responseProto(req) != "HTTP/1.1" {
+		proto = protoBytes10
 	}
-	if req.KeepAlive && strings.Contains(h, cl) {
-		h = strings.Replace(h, cl, ka, 1)
-		changed = true
-	} else if !req.KeepAlive && strings.Contains(h, ka) {
-		h = strings.Replace(h, ka, cl, 1)
-		changed = true
+	needProto := !bytes.HasPrefix(hdr, proto)
+	var from, to []byte
+	if req.KeepAlive {
+		if bytes.Contains(hdr, clBytes) {
+			from, to = clBytes, kaBytes
+		}
+	} else if bytes.Contains(hdr, kaBytes) {
+		from, to = kaBytes, clBytes
 	}
-	if !changed {
+	if !needProto && from == nil {
 		return hdr
 	}
-	return []byte(h)
+	buf := c.hdrBuf[:0]
+	if from != nil {
+		i := bytes.Index(hdr, from)
+		buf = append(buf, hdr[:i]...)
+		buf = append(buf, to...)
+		buf = append(buf, hdr[i+len(from):]...)
+	} else {
+		buf = append(buf, hdr...)
+	}
+	if needProto {
+		copy(buf, proto)
+	}
+	c.hdrBuf = buf
+	return buf
 }
 
 // queueItem hands an item to the writer. The writer holds at most one
@@ -352,8 +408,8 @@ func (s *shard) finishResponse(c *conn) {
 	ls := &c.ls
 	s.stats.Responses++
 	keep := ls.req != nil && ls.req.KeepAlive && !s.shutdown
-	if ls.req != nil {
-		s.logAccess(c.nc.RemoteAddr().String(), ls.req, ls.status, ls.bytesSent)
+	if ls.req != nil && s.cfg.AccessLog != nil {
+		s.logAccess(c.remote, ls.req, ls.status, ls.bytesSent)
 	}
 	if !keep {
 		s.closeWrite(c)
@@ -431,18 +487,30 @@ func (s *shard) invalidateFile(reqPath string, pe cache.PathEntry) {
 		s.paths.Invalidate(reqPath)
 		releaseEntryFile(pe.File)
 	}
-	// A mismatched mtime drops the entry — both header variants.
+	// A mismatched mtime drops the entry — every header variant.
 	s.hdrs.Get(pe.Translated, -1)
 	s.hdrs.GetVariant(pe.Translated, rangeVariantSlot, -1)
+	for _, slot := range nmSlots {
+		s.hdrs.GetVariant(pe.Translated, slot, -1)
+	}
 	s.chunks.InvalidateFile(pe.Translated, s.chunks.NumChunks(pe.Size))
 }
 
 // putEntry records a translation, dropping the cache's reference to
 // any different entry it replaces (two concurrent misses on one path
-// each open a descriptor; the loser's must not leak).
+// each open a descriptor; the loser's must not leak). The key is
+// cloned: reqPath is usually a zero-copy view into the connection's
+// head buffer, which dies with the exchange, while the cache entry
+// outlives it.
 func (s *shard) putEntry(reqPath string, pe cache.PathEntry) {
-	if old, ok := s.paths.Peek(reqPath); ok && old.File != pe.File {
+	old, ok := s.paths.Peek(reqPath)
+	if ok && old.File != pe.File {
 		releaseEntryFile(old.File)
+	}
+	if !ok {
+		// Fresh insert: the map must own the key. A replace reuses the
+		// existing owned key, so revalidation bumps don't clone.
+		reqPath = strings.Clone(reqPath)
 	}
 	s.paths.Put(reqPath, pe)
 }
@@ -479,11 +547,51 @@ func closeFile(f *os.File) {
 	}
 }
 
+// 304 header-cache variant slots, one per (proto, persistence) shape
+// so every cached form is byte-exact for its request (the entry's
+// Variant field carries the entity tag it was built with).
+const (
+	nmSlot11KA = "304:1.1:ka"
+	nmSlot11CL = "304:1.1:cl"
+	nmSlot10KA = "304:1.0:ka"
+	nmSlot10CL = "304:1.0:cl"
+)
+
+// nmSlots lists every 304 variant slot (for invalidation).
+var nmSlots = [...]string{nmSlot11KA, nmSlot11CL, nmSlot10KA, nmSlot10CL}
+
+// nmSlot picks the 304 variant slot for a request ("" when the shape
+// is not cacheable — HTTP/0.9, which cannot carry conditionals anyway).
+func nmSlot(req *httpmsg.Request) string {
+	switch {
+	case req.Proto == "HTTP/1.1" && req.KeepAlive:
+		return nmSlot11KA
+	case req.Proto == "HTTP/1.1":
+		return nmSlot11CL
+	case req.Proto == "HTTP/1.0" && req.KeepAlive:
+		return nmSlot10KA
+	case req.Proto == "HTTP/1.0":
+		return nmSlot10CL
+	}
+	return ""
+}
+
 // notModified sends a 304, echoing the entity tag a 200 would carry
-// (RFC 7232 §4.1).
-func (s *shard) notModified(c *conn, etag string) {
+// (RFC 7232 §4.1). Like the 200 header, the rendered 304 is cached
+// against the file's identity — keyed by the request shape so each
+// variant is byte-exact — making the revalidation path allocation-free
+// on a warm cache.
+func (s *shard) notModified(c *conn, pe cache.PathEntry, etag string) {
 	req := c.ls.req
 	c.ls.status = 304
+	slot := nmSlot(req)
+	if slot != "" {
+		if he, ok := s.hdrs.GetVariant(pe.Translated, slot, pe.ModTime); ok &&
+			he.Size == pe.Size && he.Variant == etag {
+			s.respondFixed(c, he.Header)
+			return
+		}
+	}
 	hdr := httpmsg.BuildHeader(httpmsg.ResponseMeta{
 		Status:        304,
 		Proto:         req.Proto,
@@ -493,7 +601,12 @@ func (s *shard) notModified(c *conn, etag string) {
 		ServerName:    s.cfg.ServerName,
 		ETag:          etag,
 	}, !s.cfg.DisableHeaderAlign)
-	s.respond(c, &fixedSource{data: hdr})
+	if slot != "" {
+		s.hdrs.PutVariant(pe.Translated, slot, cache.HeaderEntry{
+			Header: hdr, Size: pe.Size, ModTime: pe.ModTime, Variant: etag,
+		})
+	}
+	s.respondFixed(c, hdr)
 }
 
 // rangeNotSatisfiable sends a 416 carrying the resource's actual size
@@ -512,7 +625,7 @@ func (s *shard) rangeNotSatisfiable(c *conn, size int64) {
 		KeepAlive:     req.KeepAlive,
 		ServerName:    s.cfg.ServerName,
 	}, !s.cfg.DisableHeaderAlign)
-	s.respond(c, &fixedSource{data: append(append([]byte{}, hdr...), body...)})
+	s.respondFixed(c, append(append([]byte{}, hdr...), body...))
 }
 
 // responseProto echoes the request's protocol version in responses
@@ -575,5 +688,5 @@ func (s *shard) errorResponseExtra(c *conn, status int, keepAlive bool, extra []
 		ls.req.KeepAlive = keepAlive && status < 500
 	}
 	hdr = headerFor(ls.req, hdr)
-	s.respond(c, &fixedSource{data: append(append([]byte{}, hdr...), body...)})
+	s.respondFixed(c, append(append([]byte{}, hdr...), body...))
 }

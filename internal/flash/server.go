@@ -98,10 +98,48 @@ type shard struct {
 	stats    Stats
 	shutdown bool
 
-	msgs     chan func() // the loop's mailbox
+	msgs     chan loopMsg // the loop's mailbox
 	helpers  *helperPool
 	loopDone chan struct{}
+
+	// clock is the shard's coarse wall clock: unix nanos, refreshed by a
+	// ticker goroutine every coarseTick. Deadline arming on the request
+	// hot path reads it instead of calling time.Now per I/O operation
+	// (see conn.armRead), trading up to deadlineSlack of timeout
+	// precision for two fewer vDSO calls per request.
+	clock     atomic.Int64
+	clockStop chan struct{}
 }
+
+// loopMsg is one message to a shard's event loop. The per-request and
+// per-chunk kinds (exchange start, write-item completion) carry their
+// arguments in value fields rather than closures, so the steady-state
+// loop traffic allocates nothing; everything else rides in fn.
+type loopMsg struct {
+	fn             func()       // msgFn
+	c              *conn        // msgExchange, msgItemDone
+	plan           exchangePlan // msgExchange
+	item           writeItem    // msgItemDone
+	wrote, sfWrote int64        // msgItemDone
+	ok             bool         // msgItemDone
+	kind           uint8
+}
+
+const (
+	msgFn = iota
+	msgExchange
+	msgItemDone
+)
+
+// Coarse-clock parameters. Timeouts shorter than coarseMinTimeout are
+// armed precisely with time.Now (tests and aggressive configs keep
+// exact semantics); longer ones tolerate firing up to deadlineSlack
+// early in exchange for skipping the per-read SetReadDeadline churn.
+const (
+	coarseTick       = 100 * time.Millisecond
+	deadlineSlack    = 500 * time.Millisecond
+	coarseMinTimeout = 2 * time.Second
+)
 
 // New creates a server from cfg.
 func New(cfg Config) (*Server, error) {
@@ -137,14 +175,31 @@ func newShard(srv *Server, id int) *shard {
 			// closes only when the last one finishes.
 			releaseEntryFile(e.File)
 		}),
-		hdrs:     cache.NewHeaderCache(max(cfg.HeaderCacheEntries/n, 1)),
-		chunks:   cache.NewMapCache(max(cfg.MapCacheBytes/int64(n), 1), cfg.ChunkBytes),
-		msgs:     make(chan func(), 512),
-		loopDone: make(chan struct{}),
+		hdrs:      cache.NewHeaderCache(max(cfg.HeaderCacheEntries/n, 1)),
+		chunks:    cache.NewMapCache(max(cfg.MapCacheBytes/int64(n), 1), cfg.ChunkBytes),
+		msgs:      make(chan loopMsg, 512),
+		loopDone:  make(chan struct{}),
+		clockStop: make(chan struct{}),
 	}
+	sh.clock.Store(time.Now().UnixNano())
+	go sh.runClock()
 	sh.helpers = newHelperPool(sh, cfg.NumHelpers)
 	go sh.loop()
 	return sh
+}
+
+// runClock refreshes the shard's coarse clock until the server closes.
+func (s *shard) runClock() {
+	t := time.NewTicker(coarseTick)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			s.clock.Store(now.UnixNano())
+		case <-s.clockStop:
+			return
+		}
+	}
 }
 
 // NumShards returns the number of event-loop shards.
@@ -157,24 +212,49 @@ func (s *Server) String() string {
 
 // loop is a shard's event loop: the single goroutine that owns the
 // shard's caches and per-request decision state. Every other goroutine
-// communicates with it by posting closures to the mailbox.
+// communicates with it by posting messages to the mailbox.
 func (s *shard) loop() {
 	defer close(s.loopDone)
-	for fn := range s.msgs {
-		fn()
+	for m := range s.msgs {
+		switch m.kind {
+		case msgExchange:
+			s.handleExchange(m.c, m.plan)
+		case msgItemDone:
+			s.itemDone(m.c, m.item, m.wrote, m.sfWrote, m.ok)
+		default:
+			m.fn()
+		}
 	}
 }
 
-// post delivers fn to the shard's event loop. It reports false after
-// shutdown (the mailbox is closed and the message dropped).
-func (s *shard) post(fn func()) (ok bool) {
+// send delivers a message to the shard's event loop. It reports false
+// after shutdown (the mailbox is closed and the message dropped).
+func (s *shard) send(m loopMsg) (ok bool) {
 	defer func() {
 		if recover() != nil {
 			ok = false // send on closed channel during shutdown
 		}
 	}()
-	s.msgs <- fn
+	s.msgs <- m
 	return true
+}
+
+// post delivers fn to the shard's event loop (the allocating, general
+// form — cold paths only).
+func (s *shard) post(fn func()) bool {
+	return s.send(loopMsg{kind: msgFn, fn: fn})
+}
+
+// postExchange starts an exchange on the loop without allocating.
+func (s *shard) postExchange(c *conn, plan exchangePlan) bool {
+	return s.send(loopMsg{kind: msgExchange, c: c, plan: plan})
+}
+
+// postItemDone reports a transmitted (or discarded) write item to the
+// loop without allocating.
+func (s *shard) postItemDone(c *conn, item writeItem, wrote, sfWrote int64, ok bool) bool {
+	return s.send(loopMsg{kind: msgItemDone, c: c, item: item,
+		wrote: wrote, sfWrote: sfWrote, ok: ok})
 }
 
 // call runs fn on the shard's loop and waits for it (for Stats and
@@ -384,6 +464,7 @@ func (s *Server) Close() error {
 		})
 		close(sh.msgs)
 		<-sh.loopDone
+		close(sh.clockStop)
 	}
 	return nil
 }

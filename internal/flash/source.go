@@ -82,14 +82,18 @@ type chunkSource struct {
 	rangeEnd   int64
 }
 
-// newChunkSource builds the walker for the byte window [off, off+n).
-func newChunkSource(s *shard, pe cache.PathEntry, hdr []byte, off, n int64) *chunkSource {
+// init re-arms the walker for the byte window [off, off+n). Chunk
+// sources are pooled per connection (one response at a time runs on a
+// connection, and a source can only receive late helper callbacks
+// while its own response is still in flight), so re-initializing in
+// place is safe and keeps the static copy path allocation-free.
+func (cs *chunkSource) init(s *shard, pe cache.PathEntry, hdr []byte, off, n int64) {
 	ref := entryRef(pe)
 	if ref != nil {
 		ref.Acquire()
 	}
 	first := int(off / s.chunks.ChunkSize())
-	return &chunkSource{
+	*cs = chunkSource{
 		pe:         pe,
 		ref:        ref,
 		hdr:        hdr,

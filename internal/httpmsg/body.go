@@ -43,8 +43,8 @@ var (
 // ErrAmbiguousFraming, and an unparseable Content-Length yields
 // ErrMalformed (both 400).
 func (r *Request) BodyFraming() (BodyKind, int64, error) {
-	te, hasTE := r.Headers["transfer-encoding"]
-	cl, hasCL := r.Headers["content-length"]
+	te, hasTE := r.Header("transfer-encoding")
+	cl, hasCL := r.Header("content-length")
 	if hasTE {
 		if hasCL {
 			return BodyNone, 0, ErrAmbiguousFraming
@@ -71,7 +71,7 @@ func (r *Request) BodyFraming() (BodyKind, int64, error) {
 // interim response before sending its body (HTTP/1.1 only; 1.0 clients
 // that send Expect are ignored per RFC 7231 §5.1.1).
 func (r *Request) ExpectsContinue() bool {
-	v, ok := r.Headers["expect"]
+	v, ok := r.Header("expect")
 	return ok && r.Major == 1 && r.Minor >= 1 &&
 		strings.EqualFold(strings.TrimSpace(v), "100-continue")
 }
@@ -80,7 +80,7 @@ func (r *Request) ExpectsContinue() bool {
 // at all; an expectation other than 100-continue must be refused with
 // 417 (RFC 7231 §5.1.1).
 func (r *Request) HasExpectation() bool {
-	_, ok := r.Headers["expect"]
+	_, ok := r.Header("expect")
 	return ok
 }
 

@@ -21,12 +21,23 @@ func ETagMatch(headerVal, etag string) bool {
 	if headerVal == "*" {
 		return etag != ""
 	}
-	for _, candidate := range strings.Split(headerVal, ",") {
-		if weakTrim(candidate) == weakTrim(etag) {
+	target := weakTrim(etag)
+	for {
+		// Walk the comma-separated candidates without splitting into a
+		// fresh slice: this runs on the 304-revalidation hot path, which
+		// must stay allocation-free.
+		i := strings.IndexByte(headerVal, ',')
+		cand := headerVal
+		if i >= 0 {
+			cand, headerVal = headerVal[:i], headerVal[i+1:]
+		}
+		if weakTrim(cand) == target {
 			return true
 		}
+		if i < 0 {
+			return false
+		}
 	}
-	return false
 }
 
 // weakTrim strips whitespace and any weakness prefix from an etag.

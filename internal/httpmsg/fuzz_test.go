@@ -44,6 +44,40 @@ func FuzzParseRequest(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := ParseRequest(data)
+
+		// The zero-copy reusable mode must agree with the allocating
+		// mode byte-for-byte — same error class, same fields, same
+		// header set — on every input. ParseBytes mutates its buffer
+		// (in-place key lowering), so it gets a private copy.
+		var reused Request
+		buf := append([]byte(nil), data...)
+		zerr := reused.ParseBytes(buf)
+		if (err == nil) != (zerr == nil) || (err != nil && err != zerr) {
+			t.Fatalf("parse modes disagree on error: map=%v zero-copy=%v", err, zerr)
+		}
+		if err == nil {
+			compareParses(t, req, &reused, "zero-copy vs map")
+
+			// Stale-view hazard: Reset and re-parse a mutated head into
+			// the SAME Request; the result must equal a fresh parse of
+			// the mutated head, with no residue from the first parse.
+			data2 := append([]byte(nil), data...)
+			for i, c := range data2 {
+				if c == 'a' {
+					data2[i] = 'z'
+				}
+			}
+			fresh, ferr := ParseRequest(data2)
+			reused.Reset()
+			rerr := reused.ParseBytes(data2)
+			if (ferr == nil) != (rerr == nil) || (ferr != nil && ferr != rerr) {
+				t.Fatalf("reused parse error diverges: fresh=%v reused=%v", ferr, rerr)
+			}
+			if ferr == nil {
+				compareParses(t, fresh, &reused, "reused after Reset vs fresh")
+			}
+		}
+
 		if err != nil {
 			if req != nil {
 				t.Fatal("non-nil request alongside error")
@@ -114,6 +148,33 @@ func FuzzParseRequest(f *testing.F) {
 			if !strings.Contains(ln, ": ") {
 				t.Fatalf("header line %q lacks a separator", ln)
 			}
+		}
+	})
+}
+
+// compareParses asserts two successful parses describe the same
+// request: every scalar field plus the full header set (order-free).
+func compareParses(t *testing.T, want, got *Request, label string) {
+	t.Helper()
+	if want.Method != got.Method || want.Target != got.Target ||
+		want.Path != got.Path || want.Query != got.Query ||
+		want.Proto != got.Proto || want.Major != got.Major ||
+		want.Minor != got.Minor || want.KeepAlive != got.KeepAlive ||
+		!want.IfModifiedSince.Equal(got.IfModifiedSince) ||
+		want.IfNoneMatch != got.IfNoneMatch || want.IfRange != got.IfRange {
+		t.Fatalf("%s: field mismatch:\nwant %+v\ngot  %+v", label, want, got)
+	}
+	if (want.Range == nil) != (got.Range == nil) ||
+		(want.Range != nil && *want.Range != *got.Range) {
+		t.Fatalf("%s: Range mismatch: %+v vs %+v", label, want.Range, got.Range)
+	}
+	if want.NumHeaders() != got.NumHeaders() {
+		t.Fatalf("%s: header count %d vs %d", label, want.NumHeaders(), got.NumHeaders())
+	}
+	want.EachHeader(func(k, v string) {
+		gv, ok := got.Header(k)
+		if !ok || gv != v {
+			t.Fatalf("%s: header %q = %q, want %q (present=%v)", label, k, gv, v, ok)
 		}
 	})
 }

@@ -6,6 +6,15 @@
 // The package is deliberately self-contained (no net/http dependency) —
 // the paper's server predates and does not use a framework, and the
 // simulator shares the header-size and alignment math.
+//
+// Requests can be parsed in two modes. ParseRequest allocates a fresh
+// Request with an owned header map — the convenient form for tools and
+// tests. The server's hot path instead recycles one Request per
+// connection through Reset+ParseBytes: the zero-copy mode stores
+// method, target, and header fields as views over the caller's buffer
+// (headers in a small inline array scanned linearly, spilling to a map
+// only for unusual requests), so a steady-state parse performs no heap
+// allocations at all.
 package httpmsg
 
 import (
@@ -15,9 +24,23 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unsafe"
 )
 
+// maxInlineHeaders is the inline header capacity of the zero-copy parse
+// mode; requests with more fields (or duplicate field names) spill to
+// the allocating map form.
+const maxInlineHeaders = 16
+
 // Request is a parsed HTTP request.
+//
+// In the zero-copy parse mode (Reset+ParseBytes) the string fields —
+// Method, Target, Path, Query, IfNoneMatch, IfRange, and the inline
+// header storage behind Header — are views over the buffer given to
+// ParseBytes: they are valid only until that buffer is modified or the
+// Request is parsed again. Headers is nil in that mode unless
+// MaterializeHeaders is called; use Header for lookups that work in
+// both modes.
 type Request struct {
 	Method  string
 	Target  string // raw request target (path + optional query)
@@ -26,7 +49,7 @@ type Request struct {
 	Proto   string // "HTTP/1.0" or "HTTP/1.1"
 	Major   int
 	Minor   int
-	Headers map[string]string // keys lower-cased
+	Headers map[string]string // keys lower-cased; nil in zero-copy mode
 
 	// KeepAlive is the effective persistence after applying HTTP
 	// defaulting rules (1.1 defaults on, 1.0 requires the header).
@@ -42,6 +65,13 @@ type Request struct {
 	// Range is the parsed single byte range, nil when the header is
 	// absent or should be ignored (malformed, multi-range).
 	Range *ByteRange
+
+	// Inline header storage for the zero-copy parse mode: nh fields in
+	// hk/hv, keys lower-cased in place inside the parse buffer. The
+	// allocating mode leaves nh zero and uses Headers instead.
+	nh int
+	hk [maxInlineHeaders]string
+	hv [maxInlineHeaders]string
 }
 
 // Errors returned by the parser.
@@ -98,19 +128,199 @@ func RequestEnd(buf []byte) int {
 
 // ParseRequest parses a complete request head: a header block including
 // the terminating blank line, or an HTTP/0.9 simple request (a lone
-// "GET /path" line, which has no headers to terminate).
+// "GET /path" line, which has no headers to terminate). The returned
+// Request owns all of its storage (the allocating mode).
 func ParseRequest(buf []byte) (*Request, error) {
+	r := &Request{}
+	if err := parseMapMode(r, buf); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reset re-arms a Request for the next ParseBytes, dropping every field
+// and view from the previous parse.
+func (r *Request) Reset() {
+	for i := 0; i < r.nh; i++ {
+		r.hk[i], r.hv[i] = "", ""
+	}
+	r.nh = 0
+	r.Method, r.Target, r.Path, r.Query, r.Proto = "", "", "", "", ""
+	r.Major, r.Minor = 0, 0
+	r.Headers = nil
+	r.KeepAlive = false
+	r.IfModifiedSince = time.Time{}
+	r.IfNoneMatch, r.IfRange = "", ""
+	r.Range = nil
+}
+
+// ParseBytes parses a complete request head into r without allocating:
+// string fields become views over buf, and header fields are stored in
+// the inline array with their keys lower-cased IN PLACE inside buf (the
+// caller owns the buffer and must treat it as mutated). Requests the
+// fast path cannot represent exactly — more than maxInlineHeaders
+// fields, duplicate field names, non-ASCII bytes in the request line or
+// a field name, %-escaped or non-canonical paths — spill to the
+// allocating map mode with semantics identical to ParseRequest.
+//
+// Call Reset before re-parsing into the same Request. On error the
+// Request's contents are unspecified.
+func (r *Request) ParseBytes(buf []byte) error {
 	end := RequestEnd(buf)
 	if end < 0 {
 		if len(buf) > MaxHeaderLen {
-			return nil, ErrHeaderTooBig
+			return ErrHeaderTooBig
 		}
-		return nil, ErrIncomplete
+		return ErrIncomplete
+	}
+	head := buf[:end]
+
+	// Tolerate a blank-line preamble before the request line (RFC 7230
+	// §3.5: robust servers ignore at least one stray CRLF).
+	i := 0
+	var line []byte
+	for {
+		if i >= len(head) {
+			return ErrMalformed
+		}
+		line, i = nextLine(head, i)
+		if len(line) > 0 {
+			break
+		}
+	}
+	if !asciiOnly(line) {
+		// Unicode whitespace in the request line splits differently in
+		// the map mode's strings.Fields; delegate rather than diverge.
+		return parseMapMode(r, buf)
+	}
+	if err := r.parseRequestLineBytes(line); err != nil {
+		return err
+	}
+	for i < len(head) {
+		line, i = nextLine(head, i)
+		if len(line) == 0 {
+			break
+		}
+		if bytesHasCtl(line) {
+			// Bare CR, NUL, and friends inside a header line are
+			// request-smuggling vectors.
+			return ErrMalformed
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon <= 0 {
+			return ErrMalformed
+		}
+		key := bytes.TrimSpace(line[:colon])
+		if !asciiOnly(key) {
+			// Non-ASCII field names lower-case differently under full
+			// Unicode folding; delegate rather than diverge.
+			return parseMapMode(r, buf)
+		}
+		lowerInPlace(key)
+		val := bytes.TrimSpace(line[colon+1:])
+		if r.nh == maxInlineHeaders || r.hasInline(key) {
+			// Inline array full, or a duplicate name that the map mode
+			// would join with ", ": spill. (Keys already lower-cased in
+			// place re-lower harmlessly.)
+			return parseMapMode(r, buf)
+		}
+		r.hk[r.nh] = bview(key)
+		r.hv[r.nh] = bview(val)
+		r.nh++
+	}
+	r.applyDefaults()
+	return nil
+}
+
+// hasInline reports whether a lower-cased key is already stored inline.
+func (r *Request) hasInline(key []byte) bool {
+	for i := 0; i < r.nh; i++ {
+		if r.hk[i] == bview(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Header returns the value of a header field by its lower-case name,
+// working in both parse modes (inline views or the map).
+func (r *Request) Header(key string) (string, bool) {
+	for i := 0; i < r.nh; i++ {
+		if r.hk[i] == key {
+			return r.hv[i], true
+		}
+	}
+	if r.Headers != nil {
+		v, ok := r.Headers[key]
+		return v, ok
+	}
+	return "", false
+}
+
+// NumHeaders returns the number of distinct header fields.
+func (r *Request) NumHeaders() int {
+	if r.nh > 0 {
+		return r.nh
+	}
+	return len(r.Headers)
+}
+
+// EachHeader visits every header field as (lower-cased name, value).
+func (r *Request) EachHeader(fn func(key, value string)) {
+	for i := 0; i < r.nh; i++ {
+		fn(r.hk[i], r.hv[i])
+	}
+	if r.nh == 0 {
+		for k, v := range r.Headers {
+			fn(k, v)
+		}
+	}
+}
+
+// MaterializeHeaders converts a zero-copy Request into one that owns
+// ALL of its storage: inline header views become an owned Headers map
+// and every scalar view field is deep-copied. Consumers of the map
+// form — the v2 handler surface and the net/http bridge — idiomatically
+// treat request strings as immutable (net/http's are), so none of them
+// may alias the recycled head buffer, which is rewritten by the next
+// request on the connection. A no-op in map mode.
+func (r *Request) MaterializeHeaders() {
+	zeroCopy := r.Headers == nil
+	if zeroCopy {
+		r.Headers = make(map[string]string, r.nh)
+	}
+	for i := 0; i < r.nh; i++ {
+		r.Headers[strings.Clone(r.hk[i])] = strings.Clone(r.hv[i])
+		r.hk[i], r.hv[i] = "", ""
+	}
+	if zeroCopy {
+		// Scalar fields are views in zero-copy mode (Proto is always a
+		// constant); in map mode they already own their bytes.
+		r.Method = strings.Clone(r.Method)
+		r.Target = strings.Clone(r.Target)
+		r.Path = strings.Clone(r.Path)
+		r.Query = strings.Clone(r.Query)
+		r.IfNoneMatch = strings.Clone(r.IfNoneMatch)
+		r.IfRange = strings.Clone(r.IfRange)
+	}
+	r.nh = 0
+}
+
+// parseMapMode is the allocating parser shared by ParseRequest and the
+// ParseBytes spill path: every field is an owned string and headers
+// live in the Headers map (duplicate names joined with ", ").
+func parseMapMode(r *Request, buf []byte) error {
+	end := RequestEnd(buf)
+	if end < 0 {
+		if len(buf) > MaxHeaderLen {
+			return ErrHeaderTooBig
+		}
+		return ErrIncomplete
 	}
 	block := string(buf[:end])
 	lines := splitLines(block)
 	if len(lines) == 0 {
-		return nil, ErrMalformed
+		return ErrMalformed
 	}
 
 	// Tolerate a blank-line preamble before the request line (RFC 7230
@@ -119,12 +329,16 @@ func ParseRequest(buf []byte) (*Request, error) {
 		lines = lines[1:]
 	}
 	if len(lines) == 0 {
-		return nil, ErrMalformed
+		return ErrMalformed
 	}
 
-	r := &Request{Headers: make(map[string]string)}
+	for i := 0; i < r.nh; i++ { // drop any inline fields from a bailed fast parse
+		r.hk[i], r.hv[i] = "", ""
+	}
+	r.nh = 0
+	r.Headers = make(map[string]string)
 	if err := r.parseRequestLine(lines[0]); err != nil {
-		return nil, err
+		return err
 	}
 	for _, ln := range lines[1:] {
 		if ln == "" {
@@ -133,11 +347,11 @@ func ParseRequest(buf []byte) (*Request, error) {
 		if hasCtl(ln) {
 			// Bare CR, NUL, and friends inside a header line are
 			// request-smuggling vectors.
-			return nil, ErrMalformed
+			return ErrMalformed
 		}
 		colon := strings.IndexByte(ln, ':')
 		if colon <= 0 {
-			return nil, ErrMalformed
+			return ErrMalformed
 		}
 		key := strings.ToLower(strings.TrimSpace(ln[:colon]))
 		val := strings.TrimSpace(ln[colon+1:])
@@ -148,7 +362,50 @@ func ParseRequest(buf []byte) (*Request, error) {
 		}
 	}
 	r.applyDefaults()
-	return r, nil
+	return nil
+}
+
+// nextLine returns the line starting at i (one trailing CR stripped, as
+// the CRLF→LF normalization of the map mode does) and the index of the
+// following line.
+func nextLine(head []byte, i int) (line []byte, next int) {
+	j := bytes.IndexByte(head[i:], '\n')
+	if j < 0 {
+		return head[i:], len(head)
+	}
+	line = head[i : i+j]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, i + j + 1
+}
+
+// bview returns a string view sharing b's bytes (no copy). The result
+// is valid only while b's backing array is unmodified.
+func bview(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// asciiOnly reports whether b contains no byte ≥ 0x80.
+func asciiOnly(b []byte) bool {
+	for _, c := range b {
+		if c >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// lowerInPlace ASCII-lower-cases b in place.
+func lowerInPlace(b []byte) {
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
 }
 
 // hasCtl reports whether s contains a control byte (except HTAB, legal
@@ -156,6 +413,16 @@ func ParseRequest(buf []byte) (*Request, error) {
 func hasCtl(s string) bool {
 	for i := 0; i < len(s); i++ {
 		if (s[i] < 0x20 && s[i] != '\t') || s[i] == 0x7f {
+			return true
+		}
+	}
+	return false
+}
+
+// bytesHasCtl is hasCtl over a byte slice (no conversion).
+func bytesHasCtl(b []byte) bool {
+	for i := 0; i < len(b); i++ {
+		if (b[i] < 0x20 && b[i] != '\t') || b[i] == 0x7f {
 			return true
 		}
 	}
@@ -176,6 +443,53 @@ func (r *Request) parseRequestLine(line string) error {
 	default:
 		return ErrMalformed
 	}
+	return r.finishRequestLine()
+}
+
+// parseRequestLineBytes is the zero-copy request-line parser: fields
+// split on ASCII whitespace runs (the line is known ASCII-only, so this
+// agrees exactly with strings.Fields), stored as views.
+func (r *Request) parseRequestLineBytes(line []byte) error {
+	if bytesHasCtl(line) {
+		return ErrMalformed
+	}
+	var fields [4][]byte
+	n := 0
+	for i := 0; i < len(line); {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		if n == len(fields) {
+			return ErrMalformed // more fields than any request line allows
+		}
+		fields[n] = line[i:j]
+		n++
+		i = j
+	}
+	switch n {
+	case 3:
+		r.Method, r.Target, r.Proto = bview(fields[0]), bview(fields[1]), bview(fields[2])
+	case 2:
+		// HTTP/0.9 simple request: "GET /path".
+		r.Method, r.Target, r.Proto = bview(fields[0]), bview(fields[1]), "HTTP/0.9"
+	default:
+		return ErrMalformed
+	}
+	return r.finishRequestLine()
+}
+
+// finishRequestLine applies the mode-independent request-line rules:
+// target length, protocol version, query split, and path decoding. The
+// common case — an escape-free, already-canonical path — stays a view;
+// anything needing decode or cleanup takes the allocating path.
+func (r *Request) finishRequestLine() error {
 	if len(r.Target) > MaxTargetLen {
 		return ErrTargetTooBig
 	}
@@ -194,6 +508,12 @@ func (r *Request) parseRequestLine(line string) error {
 		r.Query = target[q+1:]
 		target = target[:q]
 	}
+	if pathIsCanonical(target) {
+		// No escapes, no "//", no "." or ".." segments: CleanPath would
+		// return the path unchanged, so the view is the decoded path.
+		r.Path = target
+		return nil
+	}
 	decoded, err := unescapePath(target)
 	if err != nil {
 		return ErrMalformed
@@ -209,30 +529,75 @@ func (r *Request) parseRequestLine(line string) error {
 	return nil
 }
 
+// pathIsCanonical reports whether CleanPath(unescapePath(p)) == p
+// by inspection: a rooted path with no %-escapes, no empty segments,
+// and no segment starting with "." (the "/." check covers "/./",
+// "/../", and the trailing forms).
+func pathIsCanonical(p string) bool {
+	if len(p) == 0 || p[0] != '/' {
+		return false
+	}
+	if strings.IndexByte(p, '%') >= 0 {
+		return false
+	}
+	if strings.Contains(p, "//") || strings.Contains(p, "/.") {
+		return false
+	}
+	return true
+}
+
 func (r *Request) applyDefaults() {
-	conn := strings.ToLower(r.Headers["connection"])
+	conn, _ := r.Header("connection")
 	switch {
 	case r.Major == 1 && r.Minor >= 1:
-		r.KeepAlive = !strings.Contains(conn, "close")
+		r.KeepAlive = !asciiContainsFold(conn, "close")
 	case r.Major == 1:
-		r.KeepAlive = strings.Contains(conn, "keep-alive")
+		r.KeepAlive = asciiContainsFold(conn, "keep-alive")
 	default:
 		r.KeepAlive = false
 	}
-	if ims, ok := r.Headers["if-modified-since"]; ok {
+	if ims, ok := r.Header("if-modified-since"); ok {
 		if t, err := ParseHTTPTime(ims); err == nil {
 			r.IfModifiedSince = t
 		}
 	}
-	r.IfNoneMatch = r.Headers["if-none-match"]
-	r.IfRange = r.Headers["if-range"]
-	if rg, ok := r.Headers["range"]; ok {
+	r.IfNoneMatch, _ = r.Header("if-none-match")
+	r.IfRange, _ = r.Header("if-range")
+	if rg, ok := r.Header("range"); ok {
 		r.Range = ParseRange(rg)
 	}
 }
 
+// asciiContainsFold reports whether s contains sub under ASCII case
+// folding. sub must already be lower-case ASCII.
+func asciiContainsFold(s, sub string) bool {
+	n := len(sub)
+	if n == 0 {
+		return true
+	}
+	for i := 0; i+n <= len(s); i++ {
+		j := 0
+		for ; j < n; j++ {
+			c := s[i+j]
+			if 'A' <= c && c <= 'Z' {
+				c += 32
+			}
+			if c != sub[j] {
+				break
+			}
+		}
+		if j == n {
+			return true
+		}
+	}
+	return false
+}
+
 // Host returns the Host header (empty for HTTP/1.0 requests without one).
-func (r *Request) Host() string { return r.Headers["host"] }
+func (r *Request) Host() string {
+	v, _ := r.Header("host")
+	return v
+}
 
 // WireSize estimates the on-the-wire size of a minimal request for this
 // target — used by the simulator's workload generator.
@@ -330,6 +695,11 @@ func ParseHTTPTime(s string) (time.Time, error) {
 // FormatHTTPTime formats t in the preferred RFC 1123 GMT form.
 func FormatHTTPTime(t time.Time) string {
 	return t.UTC().Format(time.RFC1123)
+}
+
+// AppendHTTPTime appends t in the preferred RFC 1123 GMT form.
+func AppendHTTPTime(dst []byte, t time.Time) []byte {
+	return t.UTC().AppendFormat(dst, time.RFC1123)
 }
 
 // ParseContentLength parses a Content-Length header value.

@@ -94,6 +94,17 @@ const HeaderAlign = 32
 // align is true the header is padded (by widening the Server field) so
 // its length is a multiple of HeaderAlign.
 func BuildHeader(m ResponseMeta, align bool) []byte {
+	return AppendHeader(nil, m, align)
+}
+
+// headerPad supplies alignment padding (pad is always < HeaderAlign).
+const headerPad = "                                "
+
+// AppendHeader appends the response header BuildHeader would build to
+// dst and returns the extended slice. It allocates nothing beyond what
+// growing dst requires, so a caller recycling its buffer builds headers
+// allocation-free.
+func AppendHeader(dst []byte, m ResponseMeta, align bool) []byte {
 	if m.Proto == "" {
 		m.Proto = "HTTP/1.1"
 	}
@@ -104,57 +115,69 @@ func BuildHeader(m ResponseMeta, align bool) []byte {
 		m.Date = time.Unix(928195200, 0) // June 1 1999, the paper's era
 	}
 
-	var b strings.Builder
-	b.Grow(256)
-	fmt.Fprintf(&b, "%s %d %s\r\n", m.Proto, m.Status, StatusText(m.Status))
-	fmt.Fprintf(&b, "Date: %s\r\n", FormatHTTPTime(m.Date))
+	start := len(dst)
+	dst = append(dst, m.Proto...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(m.Status), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, StatusText(m.Status)...)
+	dst = append(dst, "\r\nDate: "...)
+	dst = AppendHTTPTime(dst, m.Date)
+	dst = append(dst, "\r\n"...)
 	// The Server line is written last (see below) so padding can be
-	// computed; reserve its fixed parts now.
+	// computed.
 	if m.ContentType != "" {
-		fmt.Fprintf(&b, "Content-Type: %s\r\n", m.ContentType)
+		dst = append(dst, "Content-Type: "...)
+		dst = append(dst, m.ContentType...)
+		dst = append(dst, "\r\n"...)
 	}
 	if m.Chunked {
-		b.WriteString("Transfer-Encoding: chunked\r\n")
+		dst = append(dst, "Transfer-Encoding: chunked\r\n"...)
 	} else if m.ContentLength >= 0 {
-		b.WriteString("Content-Length: ")
-		b.WriteString(strconv.FormatInt(m.ContentLength, 10))
-		b.WriteString("\r\n")
+		dst = append(dst, "Content-Length: "...)
+		dst = strconv.AppendInt(dst, m.ContentLength, 10)
+		dst = append(dst, "\r\n"...)
 	}
 	if m.ContentRange != "" {
-		fmt.Fprintf(&b, "Content-Range: %s\r\n", m.ContentRange)
+		dst = append(dst, "Content-Range: "...)
+		dst = append(dst, m.ContentRange...)
+		dst = append(dst, "\r\n"...)
 	}
 	if !m.ModTime.IsZero() {
-		fmt.Fprintf(&b, "Last-Modified: %s\r\n", FormatHTTPTime(m.ModTime))
+		dst = append(dst, "Last-Modified: "...)
+		dst = AppendHTTPTime(dst, m.ModTime)
+		dst = append(dst, "\r\n"...)
 	}
 	if m.ETag != "" {
-		fmt.Fprintf(&b, "ETag: %s\r\n", m.ETag)
+		dst = append(dst, "ETag: "...)
+		dst = append(dst, m.ETag...)
+		dst = append(dst, "\r\n"...)
 	}
 	if m.KeepAlive {
-		b.WriteString("Connection: keep-alive\r\n")
+		dst = append(dst, "Connection: keep-alive\r\n"...)
 	} else {
-		b.WriteString("Connection: close\r\n")
+		dst = append(dst, "Connection: close\r\n"...)
 	}
 	for _, h := range m.ExtraHeaders {
-		b.WriteString(h)
-		b.WriteString("\r\n")
+		dst = append(dst, h...)
+		dst = append(dst, "\r\n"...)
 	}
 
 	// Server header + terminator; pad the server token to align.
 	const serverPrefix = "Server: "
-	base := b.Len() + len(serverPrefix) + len(m.ServerName) + len("\r\n") + len("\r\n")
+	base := (len(dst) - start) + len(serverPrefix) + len(m.ServerName) +
+		len("\r\n") + len("\r\n")
 	pad := 0
 	if align {
 		if rem := base % HeaderAlign; rem != 0 {
 			pad = HeaderAlign - rem
 		}
 	}
-	b.WriteString(serverPrefix)
-	b.WriteString(m.ServerName)
-	if pad > 0 {
-		b.WriteString(strings.Repeat(" ", pad))
-	}
-	b.WriteString("\r\n\r\n")
-	return []byte(b.String())
+	dst = append(dst, serverPrefix...)
+	dst = append(dst, m.ServerName...)
+	dst = append(dst, headerPad[:pad]...)
+	dst = append(dst, "\r\n\r\n"...)
+	return dst
 }
 
 // HeaderSize returns the size of the header BuildHeader would produce —
