@@ -7,8 +7,16 @@
 //
 //	flashd -root ./public [-addr :8080] [-loops N] [-helpers 8] [-status]
 //	       [-userdir-base /home -userdir-suffix public_html]
-//	       [-access-log access.log] [-map-cache-mb 64] [-path-cache 6000]
+//	       [-access-log access.log]
+//	       [-cache-path-entries 6000] [-cache-header-entries 6000]
+//	       [-cache-map-mb 64] [-cache-chunk-kb 64] [-cache-l1-kb 0]
+//	       [-cache-no-coalesce] [-cache-no-replicate]
 //	       [-sendfile-threshold 262144] [-max-body 8388608] [-demo]
+//
+// The cache knobs mirror flash.Config.Cache: budgets are server-wide
+// (the store owns them; shard count no longer divides the effective
+// cache size). -path-cache and -map-cache-mb remain as deprecated
+// aliases for -cache-path-entries and -cache-map-mb.
 //
 // -demo mounts two dynamic routes that exercise the Handler v2 API:
 //
@@ -45,8 +53,15 @@ func main() {
 		root       = flag.String("root", "", "document root (required)")
 		loops      = flag.Int("loops", 0, "event-loop shards (0 = one per CPU)")
 		helpers    = flag.Int("helpers", 8, "disk helper goroutines per shard")
-		pathCache  = flag.Int("path-cache", 6000, "pathname cache entries (total, split across shards)")
-		mapCacheMB = flag.Int64("map-cache-mb", 64, "mapped-chunk cache size (MB, total, split across shards)")
+		cachePaths = flag.Int("cache-path-entries", 6000, "pathname cache entries (server-wide)")
+		cacheHdrs  = flag.Int("cache-header-entries", 0, "header cache entries (0 = same as -cache-path-entries)")
+		cacheMapMB = flag.Int64("cache-map-mb", 64, "chunk cache byte budget (MB, server-wide — the store owns it, shards share it)")
+		cacheChunk = flag.Int64("cache-chunk-kb", 0, "chunk size in KiB (0 = built-in default)")
+		cacheL1    = flag.Int64("cache-l1-kb", 0, "per-shard L1 replica budget in KiB (0 = auto-size, negative disables the L1)")
+		noCoalesce = flag.Bool("cache-no-coalesce", false, "disable single-flight miss coalescing (v1 per-chunk reads)")
+		noReplica  = flag.Bool("cache-no-replicate", false, "disable per-shard L1 hot-set replication")
+		pathCache  = flag.Int("path-cache", 6000, "deprecated alias for -cache-path-entries")
+		mapCacheMB = flag.Int64("map-cache-mb", 64, "deprecated alias for -cache-map-mb")
 		userBase   = flag.String("userdir-base", "", "base directory for /~user/ translation")
 		userSuffix = flag.String("userdir-suffix", "public_html", "suffix for /~user/ translation")
 		accessLog  = flag.String("access-log", "", "Common Log Format access log file")
@@ -65,13 +80,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The deprecated flat aliases win only when set explicitly and the
+	// grouped flag is not.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	pathEntries := *cachePaths
+	if set["path-cache"] && !set["cache-path-entries"] {
+		pathEntries = *pathCache
+	}
+	mapMB := *cacheMapMB
+	if set["map-cache-mb"] && !set["cache-map-mb"] {
+		mapMB = *mapCacheMB
+	}
+	hdrEntries := *cacheHdrs
+	if hdrEntries == 0 {
+		hdrEntries = pathEntries
+	}
+	l1Bytes := *cacheL1 << 10
+	if *cacheL1 < 0 {
+		l1Bytes = -1 // flag's "negative = off" → config's negative sentinel
+	}
+
 	cfg := flash.Config{
-		DocRoot:            *root,
-		EventLoops:         *loops,
-		NumHelpers:         *helpers,
-		PathCacheEntries:   *pathCache,
-		HeaderCacheEntries: *pathCache,
-		MapCacheBytes:      *mapCacheMB << 20,
+		DocRoot:    *root,
+		EventLoops: *loops,
+		NumHelpers: *helpers,
+		Cache: flash.CacheConfig{
+			PathEntries:        pathEntries,
+			HeaderEntries:      hdrEntries,
+			MapBytes:           mapMB << 20,
+			ChunkBytes:         *cacheChunk << 10,
+			L1Bytes:            l1Bytes,
+			DisableCoalescing:  *noCoalesce,
+			DisableReplication: *noReplica,
+		},
 		UserDirBase:        *userBase,
 		UserDirSuffix:      *userSuffix,
 		DisableHeaderAlign: *noAlign,
@@ -138,15 +180,12 @@ func main() {
 	if *status {
 		srv.HandleDynamic("/server-status", flash.DynamicFunc(
 			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
-				// One snapshot round: the merged view is folded from the
-				// same per-shard snapshots printed below, so the totals
-				// always agree with the breakdown.
+				// Stats() folds the per-shard snapshots with the
+				// store-wide state (shared chunk tier, fill counters)
+				// that no single shard owns; the per-shard breakdown
+				// below is a separate snapshot round.
+				st := srv.Stats()
 				shards := srv.ShardStats()
-				var st flash.Stats
-				for _, ss := range shards {
-					st = st.Add(ss)
-				}
-				st.Active = srv.Active()
 				var b strings.Builder
 				fmt.Fprintf(&b, "flashd status\n=============\n")
 				fmt.Fprintf(&b, "accepted:      %d\n", st.Accepted)
@@ -161,8 +200,12 @@ func main() {
 				fmt.Fprintf(&b, "path cache:    %.1f%% hit (%d/%d)\n",
 					100*st.PathCache.HitRate(), st.PathCache.Hits, st.PathCache.Hits+st.PathCache.Misses)
 				fmt.Fprintf(&b, "header cache:  %.1f%% hit\n", 100*st.HeaderCache.HitRate())
-				fmt.Fprintf(&b, "map cache:     %.1f%% hit, %d bytes mapped\n",
+				fmt.Fprintf(&b, "map cache:     %.1f%% hit, %d bytes mapped (L1 + shared tier)\n",
 					100*st.MapCache.HitRate(), st.MapCache.BytesMapped-st.MapCache.BytesUnmapped)
+				fmt.Fprintf(&b, "shared tier:   %.1f%% hit, %d bytes resident\n",
+					100*st.SharedChunks.HitRate(), st.SharedChunks.BytesMapped-st.SharedChunks.BytesUnmapped)
+				fmt.Fprintf(&b, "fills:         started=%d joined=%d completed=%d failed=%d\n",
+					st.Fills.Started, st.Fills.Joined, st.Fills.Completed, st.Fills.Failed)
 				fmt.Fprintf(&b, "\nper-shard (%d event loops)\n", srv.NumShards())
 				for i, ss := range shards {
 					fmt.Fprintf(&b, "shard %2d: accepted=%d responses=%d bytes=%d path-hit=%.1f%%\n",

@@ -6,7 +6,9 @@
 // Usage:
 //
 //	loadgen -addr localhost:8080 [-clients 64] [-duration 10s]
-//	        [-path /index.html | -trace access.log] [-keepalive]
+//	        [-path /index.html | -trace access.log |
+//	         -zipf-files 5000 -zipf-skew 1.1 -zipf-path-fmt /zipf/f%05d.bin]
+//	        [-keepalive]
 //	        [-range-frac 0.2] [-revalidate-frac 0.2]
 //	        [-large-frac 0.1 -large-path /large.bin]
 //	        [-post-frac 0.1 -post-bytes 1024 -post-path /echo]
@@ -27,6 +29,14 @@
 // plus latency percentiles. -json additionally writes the whole
 // summary as machine-readable JSON ("-" for stdout), which is how the
 // committed BENCH_*.json trajectory files are produced.
+//
+// -zipf-files draws request paths from a Zipf distribution over N
+// synthetic file names (rank 0 the hottest) — the bigger-than-RAM
+// working-set shape of the paper's Figure 6, and the workload that
+// exercises the cache store's miss coalescing: a skewed miss storm
+// over a docroot too large for the chunk budget. The docroot must
+// already contain the files the pattern names (e.g. seeded by a
+// one-off script); loadgen only generates the request stream.
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
@@ -74,6 +85,10 @@ func main() {
 		postFrac  = flag.Float64("post-frac", 0, "fraction of requests sent as POSTs with a body (0..1)")
 		postBytes = flag.Int("post-bytes", 1024, "body size of generated POSTs")
 		postPath  = flag.String("post-path", "/echo", "path POSTed to by the -post-frac share of the mix")
+		zipfFiles = flag.Int("zipf-files", 0, "draw paths Zipf-distributed over this many synthetic files (overrides -path/-trace)")
+		zipfSkew  = flag.Float64("zipf-skew", 1.1, "Zipf exponent (> 1) for -zipf-files; larger = more skew")
+		zipfFmt   = flag.String("zipf-path-fmt", "/zipf/f%05d.bin", "printf pattern mapping a Zipf rank to a request path")
+		zipfSeed  = flag.Int64("zipf-seed", 1, "PRNG seed for the -zipf-files request stream")
 		jsonOut   = flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
@@ -115,6 +130,20 @@ func main() {
 	next := func() string {
 		i := cursor.Add(1) - 1
 		return paths[int(i)%len(paths)]
+	}
+	if *zipfFiles > 0 {
+		if *zipfSkew <= 1 {
+			fmt.Fprintln(os.Stderr, "loadgen: -zipf-skew must be > 1")
+			os.Exit(1)
+		}
+		z := rand.NewZipf(rand.New(rand.NewSource(*zipfSeed)), *zipfSkew, 1, uint64(*zipfFiles-1))
+		var zmu sync.Mutex
+		next = func() string {
+			zmu.Lock()
+			rank := z.Uint64()
+			zmu.Unlock()
+			return fmt.Sprintf(*zipfFmt, rank)
+		}
 	}
 
 	mix := clientMix{

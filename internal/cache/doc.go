@@ -1,0 +1,59 @@
+// Package cache implements the cache layer of the Flash web server
+// (§5 of the paper) behind a unified store API.
+//
+// # API
+//
+// [Store] is the engine: it owns the byte budget, the shared chunk
+// tier, and the fill registry. [View] is one event-loop shard's handle
+// onto the store; every per-request operation (path lookup, header
+// lookup, chunk pin/release, fill subscription) goes through the
+// shard's own View, so the hot path stays shard-local. The server
+// consumes only these interfaces — [NewShardedStore] is the default
+// engine, and alternative engines plug in behind the same API.
+//
+// The underlying structures are the paper's three caches:
+//
+//   - [PathCache]: pathname translation cache (requested name → file),
+//     holding a refcounted descriptor ([FileRef]) so eviction can never
+//     close a file under an in-flight read
+//   - [HeaderCache]: precomputed HTTP response headers, invalidated
+//     when the underlying file changes
+//   - [MapCache]: file chunks with reference counting and a lazy-unmap
+//     LRU free list
+//
+// # Two-tier chunk store
+//
+// [NewShardedStore] keeps pathname and header caches private per shard
+// (their per-shard revalidation is the staleness mechanism) and splits
+// chunk storage into two tiers: a small lock-free L1 of replicated hot
+// entries per shard, over a set of hash-partitioned, mutex-guarded
+// owner segments shared by all shards. Chunk bytes live once, in the
+// owner segment keyed by hash(path); an L1 replica shares the same
+// immutable byte slice. The byte budget belongs to the store, not the
+// shards — changing the shard count does not change the effective
+// cache size.
+//
+// # Single-flight fills and serve-while-fill
+//
+// A cold file is read by one [Fill]: the first miss starts it
+// (JoinFill), every later miss for the same path and generation
+// subscribes to it, and the producer — a helper on the owner shard —
+// publishes chunk after chunk as the sequential disk pass lands them.
+// Subscribers park a callback per wanted chunk (ChunkAt) and are woken
+// as their chunk publishes, so readers stream a partially-filled file
+// instead of waiting for the last byte. Published chunks are pinned
+// until the fill finishes, which lets an active fill exceed the byte
+// budget rather than evict its own output. Invalidation dooms an
+// in-flight fill ([ErrFillStale]); a per-chunk generation tag keeps
+// bytes from two generations of a file out of one response.
+//
+// The same data structures serve both the real Flash server (where
+// chunks hold file bytes) and the simulated architectures (where
+// chunks hold only sizes), so the Figure 11 optimization-breakdown
+// experiment toggles exactly the code a production build would run.
+//
+// The underlying caches are not safe for concurrent use — in the AMPED
+// design each View belongs to a single event-loop goroutine (§4.2).
+// Only the shared tier, reached on L1 misses and through fills,
+// synchronizes (one short mutex hold per segment touch).
+package cache

@@ -1,20 +1,3 @@
-// Package cache implements the three application-level caches of the
-// Flash web server (§5 of the paper):
-//
-//   - PathCache: pathname translation cache (requested name → file)
-//   - HeaderCache: precomputed HTTP response headers, invalidated when
-//     the underlying file changes
-//   - MapCache: memory-mapped file chunks with reference counting and a
-//     lazy-unmap LRU free list
-//
-// The same data structures serve both the real Flash server (where
-// chunks hold file bytes) and the simulated architectures (where chunks
-// hold only sizes), so the Figure 11 optimization-breakdown experiment
-// toggles exactly the code a production build would run.
-//
-// None of the caches are safe for concurrent use: in the AMPED design
-// they are owned by the single event-driven server process, which is the
-// architecture's point — shared state without synchronization (§4.2).
 package cache
 
 import "container/list"

@@ -16,8 +16,18 @@ type Chunk struct {
 	Key  ChunkKey
 	Data []byte
 	Size int64
+	// ModTime is the file modification time (unix seconds) the chunk's
+	// bytes were read under. Store implementations record it so lookups
+	// can reject chunks from a different generation of the file; bare
+	// MapCache users may leave it zero.
+	ModTime int64
 
 	refs int
+	// home tags which tier of a sharded Store owns the chunk: zero for
+	// a bare MapCache, seg+1 for owner segment seg, -(shard+1) for a
+	// shard's L1 replica tier. Release dispatch in the store keys off
+	// it; a bare MapCache ignores it.
+	home int32
 	// prev/next link the chunk into the cache's intrusive free list
 	// while refs == 0 (onFree reports membership). An intrusive list —
 	// rather than container/list — keeps the steady-state pin/release

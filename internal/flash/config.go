@@ -4,11 +4,23 @@
 // sharding:
 //
 //   - Config.EventLoops independent shards (default one per CPU), each
-//     an event-loop goroutine that owns a private set of pathname,
-//     response-header, and mapped-chunk caches. A shard's loop is the
-//     only goroutine that touches its caches, so — exactly as the paper
-//     argues for SPED/AMPED (§4.2) — no locks guard any per-request
-//     state. The paper's single-process design is EventLoops=1.
+//     an event-loop goroutine that owns a private View of the unified
+//     cache.Store: the pathname and response-header caches plus an L1
+//     of replicated hot chunks are loop-private, so — exactly as the
+//     paper argues for SPED/AMPED (§4.2) — no locks guard any
+//     per-request state on the warm path. The paper's single-process
+//     design is EventLoops=1.
+//   - Below the L1s sits one shared chunk tier (cache architecture
+//     v2): chunk bytes live once, in a hash-partitioned owner segment
+//     keyed by hash(path), so the configured byte budget is not split
+//     (or duplicated) per shard and the working set a server holds is
+//     the same at any EventLoops. Cold misses are coalesced
+//     single-flight — concurrent requests for a cold path subscribe to
+//     one in-flight fill owned by whichever shard hashes the path —
+//     and fills publish chunks as they land (serve-while-fill):
+//     subscribers get a loop message per published chunk and stream
+//     the file in lockstep with the disk, first byte out before the
+//     last byte is read.
 //   - An acceptor distributes incoming connections round-robin across
 //     the shards; a connection lives on one shard for its whole life,
 //     so keep-alive requests always see that shard's warm caches.
@@ -83,19 +95,36 @@ type Config struct {
 	UserDirBase   string
 	UserDirSuffix string
 
+	// Cache groups every cache-layer knob (see CacheConfig). The flat
+	// fields below it are the v1 names, kept as back-compat shims: a
+	// non-zero flat field fills the matching Cache field when that one
+	// is unset, and withDefaults mirrors the resolved values back so
+	// old readers of either spelling agree.
+	Cache CacheConfig
+
 	// PathCacheEntries bounds the pathname translation cache across the
 	// whole server (default 6000, the reconstructed paper
 	// configuration). Each shard owns an equal share, at least one
 	// entry; entries hold open file descriptors, so the bound is also
 	// the server's descriptor-cache budget.
+	//
+	// Deprecated: set Cache.PathEntries.
 	PathCacheEntries int
 	// HeaderCacheEntries bounds the response header cache across the
 	// whole server (default 6000), split evenly across shards.
+	//
+	// Deprecated: set Cache.HeaderEntries.
 	HeaderCacheEntries int
-	// MapCacheBytes bounds the mapped-chunk cache across the whole
-	// server (default 64 MB), split evenly across shards.
+	// MapCacheBytes bounds the shared chunk tier (default 64 MB). The
+	// budget is configured once for the store — it is NOT divided by
+	// EventLoops, so changing the shard count no longer changes the
+	// effective cache size.
+	//
+	// Deprecated: set Cache.MapBytes.
 	MapCacheBytes int64
 	// ChunkBytes is the mapping granularity (default 64 KB).
+	//
+	// Deprecated: set Cache.ChunkBytes.
 	ChunkBytes int64
 
 	// SendfileThreshold selects the static-body transport per response:
@@ -185,6 +214,42 @@ type Config struct {
 	Clock func() time.Time
 }
 
+// CacheConfig groups the cache-layer knobs under Config.Cache: the
+// capacities of the translation/header/chunk tiers plus the v2
+// coalescing and replication toggles. Zero values take defaults (or
+// the matching deprecated flat Config field, when set).
+type CacheConfig struct {
+	// PathEntries bounds the pathname translation cache across the
+	// whole server (default 6000); each shard owns an equal share.
+	// Entries hold open file descriptors, so this is also the
+	// descriptor-cache budget.
+	PathEntries int
+	// HeaderEntries bounds the response header cache across the whole
+	// server (default 6000), split evenly across shards.
+	HeaderEntries int
+	// MapBytes bounds the shared chunk tier (default 64 MB). One
+	// budget for the whole store, independent of EventLoops.
+	MapBytes int64
+	// ChunkBytes is the chunk granularity (default 64 KB).
+	ChunkBytes int64
+	// L1Bytes bounds each shard's loop-private replica cache of hot
+	// chunks — the lock-free warm hit path over the shared tier. Zero
+	// defaults to MapBytes/(8*EventLoops); negative disables replica
+	// retention.
+	L1Bytes int64
+	// DisableCoalescing turns off single-flight fills: every cold
+	// chunk miss dispatches its own helper read, as in v1.
+	DisableCoalescing bool
+	// DisableReplication turns off the per-shard L1: every chunk
+	// lookup goes to the shared tier and takes a segment lock.
+	DisableReplication bool
+	// Engine, if non-nil, replaces the built-in sharded store
+	// entirely. It must have been built with at least EventLoops
+	// shards. The remaining Cache fields (except DisableCoalescing)
+	// are ignored.
+	Engine cache.Store
+}
+
 // DefaultSendfileThreshold is the body size at which static responses
 // switch from the chunk-cache copy path to the sendfile transport when
 // Config.SendfileThreshold is left zero.
@@ -217,18 +282,37 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.IndexFile == "" {
 		cfg.IndexFile = "index.html"
 	}
-	if cfg.PathCacheEntries == 0 {
-		cfg.PathCacheEntries = 6000
+	// Merge the deprecated flat cache fields into the grouped struct,
+	// fill defaults, then mirror the resolved values back so readers
+	// of either spelling agree.
+	if cfg.Cache.PathEntries == 0 {
+		cfg.Cache.PathEntries = cfg.PathCacheEntries
 	}
-	if cfg.HeaderCacheEntries == 0 {
-		cfg.HeaderCacheEntries = 6000
+	if cfg.Cache.HeaderEntries == 0 {
+		cfg.Cache.HeaderEntries = cfg.HeaderCacheEntries
 	}
-	if cfg.MapCacheBytes == 0 {
-		cfg.MapCacheBytes = 64 << 20
+	if cfg.Cache.MapBytes == 0 {
+		cfg.Cache.MapBytes = cfg.MapCacheBytes
 	}
-	if cfg.ChunkBytes == 0 {
-		cfg.ChunkBytes = cache.DefaultChunkSize
+	if cfg.Cache.ChunkBytes == 0 {
+		cfg.Cache.ChunkBytes = cfg.ChunkBytes
 	}
+	if cfg.Cache.PathEntries == 0 {
+		cfg.Cache.PathEntries = 6000
+	}
+	if cfg.Cache.HeaderEntries == 0 {
+		cfg.Cache.HeaderEntries = 6000
+	}
+	if cfg.Cache.MapBytes == 0 {
+		cfg.Cache.MapBytes = 64 << 20
+	}
+	if cfg.Cache.ChunkBytes == 0 {
+		cfg.Cache.ChunkBytes = cache.DefaultChunkSize
+	}
+	cfg.PathCacheEntries = cfg.Cache.PathEntries
+	cfg.HeaderCacheEntries = cfg.Cache.HeaderEntries
+	cfg.MapCacheBytes = cfg.Cache.MapBytes
+	cfg.ChunkBytes = cfg.Cache.ChunkBytes
 	if cfg.SendfileThreshold == 0 {
 		cfg.SendfileThreshold = DefaultSendfileThreshold
 	}

@@ -285,7 +285,7 @@ func TestFDLifetimeUnderEviction(t *testing.T) {
 			for {
 				leaked := 0
 				s.shards[0].call(func() {
-					s.shards[0].paths.Each(func(_ string, e cache.PathEntry) {
+					s.shards[0].view.EachPath(func(_ string, e cache.PathEntry) {
 						if r := entryRef(e); r != nil && r.Refs() != 1 {
 							leaked++
 						}

@@ -20,7 +20,19 @@ const (
 	// disk-read helper of §3.4 (mmap + touch in the paper; an explicit
 	// read here, since Go buffers stand in for mappings).
 	jobChunk
+	// jobFill streams an entire file through a single-flight
+	// cache.Fill: one sequential disk pass publishing chunk after
+	// chunk, no matter how many requests coalesced onto it. The job
+	// reports through the fill, not a done callback.
+	jobFill
 )
+
+// testDiskRead, when non-nil, observes every chunk-sized disk read
+// (per-chunk preads and fill passes alike) before it happens. Tests
+// install it to count reads — proving miss storms coalesce — or to
+// gate a fill's progress; it must be set before the server starts and
+// cleared only after it stops.
+var testDiskRead func(fsPath string, off int64)
 
 // helperJob is one unit of potentially blocking filesystem work.
 type helperJob struct {
@@ -30,11 +42,15 @@ type helperJob struct {
 	listings bool   // generate a listing when the index is missing
 	off, n   int64  // chunk range (jobChunk)
 	// file is an acquired reference to the cached descriptor for
-	// jobChunk (nil = open fsPath instead). The submitter pins it; the
-	// helper releases the pin once the read is done, so path-cache
-	// eviction can never close the descriptor under the pread.
+	// jobChunk and jobFill (nil = open fsPath instead). The submitter
+	// pins it; the helper releases the pin once the read is done, so
+	// path-cache eviction can never close the descriptor under the
+	// pread.
 	file *cache.FileRef
-	// done is posted to the event loop with the result.
+	// fill is the jobFill target; results flow through it directly.
+	fill *cache.Fill
+	// done is posted to the event loop with the result (nil for
+	// jobFill, whose subscribers are woken through the fill).
 	done func(helperResult)
 }
 
@@ -111,9 +127,12 @@ func (p *helperPool) run() {
 		p.mu.Unlock()
 
 		res := p.execute(job)
-		// Completion notification to the server process, as over the
-		// paper's IPC pipe.
-		p.sh.post(func() { job.done(res) })
+		if job.done != nil {
+			// Completion notification to the server process, as over
+			// the paper's IPC pipe. (Fill jobs notify through the fill
+			// instead.)
+			p.sh.post(func() { job.done(res) })
+		}
 	}
 }
 
@@ -124,6 +143,9 @@ func (p *helperPool) execute(job helperJob) helperResult {
 		return statJob(job.fsPath, job.index, job.listings)
 	case jobChunk:
 		return chunkJob(job.fsPath, job.file, job.off, job.n)
+	case jobFill:
+		fillJob(job.fsPath, job.file, job.fill)
+		return helperResult{}
 	default:
 		return helperResult{err: os.ErrInvalid, status: 500}
 	}
@@ -196,6 +218,9 @@ func chunkJob(fsPath string, ref *cache.FileRef, off, n int64) helperResult {
 	if err != nil {
 		return helperResult{err: err, status: 404}
 	}
+	if testDiskRead != nil {
+		testDiskRead(fsPath, off)
+	}
 	buf := make([]byte, n)
 	got, err := io.ReadFull(io.NewSectionReader(f, off, n), buf)
 	if err != nil {
@@ -206,5 +231,53 @@ func chunkJob(fsPath string, ref *cache.FileRef, off, n int64) helperResult {
 		size:    st.Size(),
 		modTime: st.ModTime().Unix(),
 		data:    buf[:got],
+	}
+}
+
+// fillJob is the producer of one single-flight fill: a sequential
+// pass over the file, publishing each chunk into the fill (which
+// inserts it pinned into the shared tier and wakes the parked
+// subscribers) — serve-while-fill, the paper's helper process married
+// to the PackageReader append-and-wake idiom. Identity is re-checked
+// before every read, exactly as often as the per-chunk path stats, so
+// a file swapped mid-fill fails the fill (ErrFillStale) instead of
+// publishing bytes from two generations.
+func fillJob(fsPath string, ref *cache.FileRef, fill *cache.Fill) {
+	var f *os.File
+	if ref != nil {
+		defer ref.Release()
+		f = ref.File()
+	}
+	if f == nil {
+		opened, err := os.Open(fsPath)
+		if err != nil {
+			fill.Fail(err)
+			return
+		}
+		defer opened.Close()
+		f = opened
+	}
+	for i := 0; i < fill.NumChunks(); i++ {
+		st, err := f.Stat()
+		if err != nil {
+			fill.Fail(err)
+			return
+		}
+		if st.ModTime().Unix() != fill.ModTime() || st.Size() != fill.Size() {
+			fill.Fail(cache.ErrFillStale)
+			return
+		}
+		off, n := fill.ChunkRange(i)
+		if testDiskRead != nil {
+			testDiskRead(fsPath, off)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
+			fill.Fail(err)
+			return
+		}
+		if !fill.Publish(buf) {
+			return
+		}
 	}
 }

@@ -68,7 +68,7 @@ func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 	// miss ships the stat to a helper. Entries older than the
 	// revalidation interval are re-stat'ed (also on a helper) so file
 	// modifications are noticed within a bounded window.
-	if pe, ok := s.paths.Get(req.Path); ok {
+	if pe, ok := s.view.GetPath(req.Path); ok {
 		if s.cfg.RevalidateInterval < 0 ||
 			s.cfg.Clock().UnixNano()-pe.CheckedAt < int64(s.cfg.RevalidateInterval) {
 			s.afterTranslate(c, pe)
@@ -134,7 +134,7 @@ func (s *shard) revalidateEntry(c *conn, req *httpmsg.Request, pe cache.PathEntr
 				s.serveListing(c, res.data)
 				return
 			}
-			cur, live := s.paths.Peek(req.Path)
+			cur, live := s.view.PeekPath(req.Path)
 			if res.modTime == pe.ModTime && res.size == pe.Size &&
 				res.fsPath == pe.Translated && live && cur.File == pe.File {
 				// Unchanged, and the entry (with its descriptor) is
@@ -238,7 +238,7 @@ func (s *shard) afterTranslate(c *conn, pe cache.PathEntry) {
 		slot = rangeVariantSlot
 	}
 	var hdr []byte
-	if he, ok := s.hdrs.GetVariant(pe.Translated, slot, pe.ModTime); ok &&
+	if he, ok := s.view.GetHeader(pe.Translated, slot, pe.ModTime); ok &&
 		he.Size == pe.Size && he.Variant == contentRange {
 		hdr = he.Header
 	} else {
@@ -254,7 +254,7 @@ func (s *shard) afterTranslate(c *conn, pe cache.PathEntry) {
 			ETag:          etag,
 			ContentRange:  contentRange,
 		}, !s.cfg.DisableHeaderAlign)
-		s.hdrs.PutVariant(pe.Translated, slot, cache.HeaderEntry{
+		s.view.PutHeader(pe.Translated, slot, cache.HeaderEntry{
 			Header: hdr, Size: pe.Size, ModTime: pe.ModTime, Variant: contentRange,
 		})
 	}
@@ -483,17 +483,17 @@ const rangeVariantSlot = "range"
 // response may already have invalidated it and a fresh entry (with a
 // fresh descriptor) taken its place, which must survive.
 func (s *shard) invalidateFile(reqPath string, pe cache.PathEntry) {
-	if cur, ok := s.paths.Peek(reqPath); ok && cur.File == pe.File {
-		s.paths.Invalidate(reqPath)
+	if cur, ok := s.view.PeekPath(reqPath); ok && cur.File == pe.File {
+		s.view.InvalidatePath(reqPath)
 		releaseEntryFile(pe.File)
 	}
 	// A mismatched mtime drops the entry — every header variant.
-	s.hdrs.Get(pe.Translated, -1)
-	s.hdrs.GetVariant(pe.Translated, rangeVariantSlot, -1)
+	s.view.GetHeader(pe.Translated, "", -1)
+	s.view.GetHeader(pe.Translated, rangeVariantSlot, -1)
 	for _, slot := range nmSlots {
-		s.hdrs.GetVariant(pe.Translated, slot, -1)
+		s.view.GetHeader(pe.Translated, slot, -1)
 	}
-	s.chunks.InvalidateFile(pe.Translated, s.chunks.NumChunks(pe.Size))
+	s.view.InvalidateFile(pe.Translated, s.store.NumChunks(pe.Size))
 }
 
 // putEntry records a translation, dropping the cache's reference to
@@ -503,7 +503,7 @@ func (s *shard) invalidateFile(reqPath string, pe cache.PathEntry) {
 // head buffer, which dies with the exchange, while the cache entry
 // outlives it.
 func (s *shard) putEntry(reqPath string, pe cache.PathEntry) {
-	old, ok := s.paths.Peek(reqPath)
+	old, ok := s.view.PeekPath(reqPath)
 	if ok && old.File != pe.File {
 		releaseEntryFile(old.File)
 	}
@@ -512,7 +512,7 @@ func (s *shard) putEntry(reqPath string, pe cache.PathEntry) {
 		// existing owned key, so revalidation bumps don't clone.
 		reqPath = strings.Clone(reqPath)
 	}
-	s.paths.Put(reqPath, pe)
+	s.view.PutPath(reqPath, pe)
 }
 
 // entryRef extracts the refcounted descriptor from a path entry.
@@ -586,7 +586,7 @@ func (s *shard) notModified(c *conn, pe cache.PathEntry, etag string) {
 	c.ls.status = 304
 	slot := nmSlot(req)
 	if slot != "" {
-		if he, ok := s.hdrs.GetVariant(pe.Translated, slot, pe.ModTime); ok &&
+		if he, ok := s.view.GetHeader(pe.Translated, slot, pe.ModTime); ok &&
 			he.Size == pe.Size && he.Variant == etag {
 			s.respondFixed(c, he.Header)
 			return
@@ -602,7 +602,7 @@ func (s *shard) notModified(c *conn, pe cache.PathEntry, etag string) {
 		ETag:          etag,
 	}, !s.cfg.DisableHeaderAlign)
 	if slot != "" {
-		s.hdrs.PutVariant(pe.Translated, slot, cache.HeaderEntry{
+		s.view.PutHeader(pe.Translated, slot, cache.HeaderEntry{
 			Header: hdr, Size: pe.Size, ModTime: pe.ModTime, Variant: etag,
 		})
 	}

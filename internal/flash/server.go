@@ -30,8 +30,17 @@ type Stats struct {
 	HelperJobs    uint64
 	PathCache     cache.Stats
 	HeaderCache   cache.Stats
-	MapCache      cache.MapCacheStats
-	DynamicCalls  uint64
+	// MapCache is the chunk-cache view: in a per-shard snapshot it is
+	// that shard's loop-private L1 replica tier; in the server-wide
+	// Stats it additionally folds in the shared segment tier, so it
+	// keeps meaning "the chunk cache" as it did in v1.
+	MapCache cache.MapCacheStats
+	// SharedChunks is the shared segment tier alone (chunk bytes held
+	// once for all shards); server-wide Stats only.
+	SharedChunks cache.MapCacheStats
+	// Fills counts the single-flight fill lifecycle (server-wide).
+	Fills        cache.FillStats
+	DynamicCalls uint64
 }
 
 // Add returns the field-wise sum of two snapshots (merging shard views
@@ -50,6 +59,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.PathCache = s.PathCache.Add(o.PathCache)
 	s.HeaderCache = s.HeaderCache.Add(o.HeaderCache)
 	s.MapCache = s.MapCache.Add(o.MapCache)
+	s.SharedChunks = s.SharedChunks.Add(o.SharedChunks)
+	s.Fills = s.Fills.Add(o.Fills)
 	return s
 }
 
@@ -61,6 +72,7 @@ func (s Stats) Add(o Stats) Stats {
 // New, start with Serve or ListenAndServe, stop with Close or Shutdown.
 type Server struct {
 	cfg    Config
+	store  cache.Store // the unified cache layer; shards hold Views of it
 	shards []*shard
 
 	// routes is the v2 handler table. It is mutable only before the
@@ -91,10 +103,13 @@ type shard struct {
 	id  int
 	cfg *Config // read-only after New
 
+	// view is this loop's facade over the server's cache.Store: the
+	// loop-private caches (paths, headers, L1 chunk replicas) plus the
+	// shared chunk tier behind them. Only this loop may call it.
+	view  cache.View
+	store cache.Store // the store's shared geometry and tiers
+
 	// Event-loop-owned state (never touched by other goroutines).
-	paths    *cache.PathCache
-	hdrs     *cache.HeaderCache
-	chunks   *cache.MapCache
 	stats    Stats
 	shutdown bool
 
@@ -147,8 +162,33 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	store := cfg.Cache.Engine
+	if store == nil {
+		// The built-in store: loop-private path/header caches and L1
+		// chunk replicas per shard, over one shared chunk tier whose
+		// byte budget is configured once — NOT divided by EventLoops.
+		store = cache.NewShardedStore(cache.StoreOptions{
+			Shards:             cfg.EventLoops,
+			PathEntries:        cfg.Cache.PathEntries,
+			HeaderEntries:      cfg.Cache.HeaderEntries,
+			MapBytes:           cfg.Cache.MapBytes,
+			ChunkBytes:         cfg.Cache.ChunkBytes,
+			L1Bytes:            cfg.Cache.L1Bytes,
+			DisableReplication: cfg.Cache.DisableReplication,
+			OnPathEvict: func(_ string, e cache.PathEntry) {
+				// Drop the cache's descriptor reference; helpers or
+				// writers still reading through it hold their own, so
+				// the file closes only when the last one finishes.
+				releaseEntryFile(e.File)
+			},
+		})
+	} else if store.Shards() < cfg.EventLoops {
+		return nil, fmt.Errorf("flash: Cache.Engine has %d shards, need %d",
+			store.Shards(), cfg.EventLoops)
+	}
 	s := &Server{
 		cfg:       cfg,
+		store:     store,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
 	}
@@ -160,23 +200,12 @@ func New(cfg Config) (*Server, error) {
 
 func newShard(srv *Server, id int) *shard {
 	cfg := &srv.cfg
-	// The configured cache limits are server-wide totals: each shard
-	// owns an equal share (never less than one entry/byte), so adding
-	// shards re-partitions the caches rather than multiplying them —
-	// in particular the pathname cache's count of open descriptors.
-	n := cfg.EventLoops
 	sh := &shard{
-		srv: srv,
-		id:  id,
-		cfg: cfg,
-		paths: cache.NewPathCacheEvict(max(cfg.PathCacheEntries/n, 1), func(_ string, e cache.PathEntry) {
-			// Drop the cache's descriptor reference; helpers or writers
-			// still reading through it hold their own, so the file
-			// closes only when the last one finishes.
-			releaseEntryFile(e.File)
-		}),
-		hdrs:      cache.NewHeaderCache(max(cfg.HeaderCacheEntries/n, 1)),
-		chunks:    cache.NewMapCache(max(cfg.MapCacheBytes/int64(n), 1), cfg.ChunkBytes),
+		srv:       srv,
+		id:        id,
+		cfg:       cfg,
+		store:     srv.store,
+		view:      srv.store.View(id),
 		msgs:      make(chan loopMsg, 512),
 		loopDone:  make(chan struct{}),
 		clockStop: make(chan struct{}),
@@ -275,20 +304,29 @@ func (s *shard) snapshot() Stats {
 	var out Stats
 	s.call(func() {
 		out = s.stats
-		out.PathCache = s.paths.Stats()
-		out.HeaderCache = s.hdrs.Stats()
-		out.MapCache = s.chunks.Stats()
+		ls := s.view.LocalStats()
+		out.PathCache = ls.Paths
+		out.HeaderCache = ls.Headers
+		out.MapCache = ls.Chunks
 	})
 	return out
 }
 
 // Stats returns the server-wide counters: the sum of every shard's
-// snapshot plus the active connection count.
+// snapshot, the shared chunk tier and fill counters from the store,
+// plus the active connection count. MapCache aggregates both chunk
+// tiers (per-shard L1s plus the shared segments) — the v1 meaning of
+// "the chunk cache" — while SharedChunks reports the shared tier
+// alone.
 func (s *Server) Stats() Stats {
 	var out Stats
 	for _, sh := range s.shards {
 		out = out.Add(sh.snapshot())
 	}
+	shared := s.store.SharedStats()
+	out.MapCache = out.MapCache.Add(shared.Chunks)
+	out.SharedChunks = shared.Chunks
+	out.Fills = shared.Fills
 	out.Active = s.Active()
 	return out
 }
@@ -457,15 +495,16 @@ func (s *Server) Close() error {
 	for _, sh := range s.shards {
 		// Release cached descriptors before the loop exits.
 		sh.call(func() {
-			sh.paths.Each(func(_ string, e cache.PathEntry) {
+			sh.view.EachPath(func(_ string, e cache.PathEntry) {
 				releaseEntryFile(e.File)
 			})
-			sh.paths.Clear()
+			sh.view.ClearPaths()
 		})
 		close(sh.msgs)
 		<-sh.loopDone
 		close(sh.clockStop)
 	}
+	s.store.Close()
 	return nil
 }
 

@@ -148,6 +148,12 @@ func TestMergedStatsEqualSumOfShardStats(t *testing.T) {
 	}
 	// Active is server-wide (connection registry), not a shard counter.
 	sum.Active = merged.Active
+	// The shared chunk tier and fill counters are store-wide state the
+	// same way: merged folds the shared tier into MapCache on top of
+	// the per-shard L1s.
+	sum.MapCache = sum.MapCache.Add(merged.SharedChunks)
+	sum.SharedChunks = merged.SharedChunks
+	sum.Fills = merged.Fills
 	if merged != sum {
 		t.Fatalf("merged stats != sum of shard stats\nmerged: %+v\nsum:    %+v", merged, sum)
 	}

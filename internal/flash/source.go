@@ -62,18 +62,28 @@ func (f *fixedSource) abort(*shard, *conn) {}
 // --- chunkSource ---
 
 // chunkSource is the copy transport for static bodies: it walks the
-// mapped-chunk cache (§5.4) across the response's byte window, one
-// pinned chunk per item, dispatching misses to the disk helpers so the
-// loop never blocks. The first item gathers the response header with
-// the first chunk window in a single writev (§5.5). The source holds
-// one acquired reference to the entry descriptor for the whole walk —
-// chunk loads between items must not find a descriptor that eviction
-// closed — and drops it when the final item releases or the response
-// aborts.
+// chunk tier of the cache store (§5.4) across the response's byte
+// window, one pinned chunk per item. A warm walk stays on the
+// loop-private L1; a cold one subscribes to the single-flight fill
+// for the file (coalescing concurrent misses into one disk pass) and
+// streams chunks as the fill publishes them — parked on a chunk that
+// has not landed yet, the source resumes via a posted loop message,
+// never a blocked goroutine. With coalescing disabled (or a fill it
+// cannot join), each miss dispatches its own helper pread, as in v1.
+// The first item gathers the response header with the first chunk
+// window in a single writev (§5.5). The source holds one acquired
+// reference to the entry descriptor for the whole walk — chunk loads
+// between items must not find a descriptor that eviction closed — and
+// drops it when the final item releases or the response aborts.
 type chunkSource struct {
-	pe  cache.PathEntry
-	ref *cache.FileRef // the walk's pin on the entry descriptor; may be nil
-	hdr []byte         // pending header bytes for the first item
+	pe   cache.PathEntry
+	ref  *cache.FileRef // the walk's pin on the entry descriptor; may be nil
+	hdr  []byte         // pending header bytes for the first item
+	fill *cache.Fill    // the fill this walk subscribed to, if any
+	// gen distinguishes this walk from earlier ones on the same pooled
+	// source: a fill wake posted for a finished response must not
+	// drive the source after init re-arms it.
+	gen uint32
 	// Chunk walk over the absolute byte window [rangeOff, rangeEnd).
 	firstChunk int // first chunk index of the response window
 	endChunk   int // one past the last chunk index
@@ -92,13 +102,14 @@ func (cs *chunkSource) init(s *shard, pe cache.PathEntry, hdr []byte, off, n int
 	if ref != nil {
 		ref.Acquire()
 	}
-	first := int(off / s.chunks.ChunkSize())
+	first := int(off / s.store.ChunkSize())
 	*cs = chunkSource{
 		pe:         pe,
 		ref:        ref,
 		hdr:        hdr,
+		gen:        cs.gen + 1,
 		firstChunk: first,
-		endChunk:   int((off+n-1)/s.chunks.ChunkSize()) + 1,
+		endChunk:   int((off+n-1)/s.store.ChunkSize()) + 1,
 		nextChunk:  first,
 		rangeOff:   off,
 		rangeEnd:   off + n,
@@ -113,20 +124,98 @@ func (cs *chunkSource) dropRef() {
 	}
 }
 
-// next ensures the next chunk is mapped and queues its write.
+// next ensures the next chunk is available and queues its write: L1
+// or shared-tier hit first, then the single-flight fill, then (fills
+// disabled or unjoinable) a per-chunk helper read.
 func (cs *chunkSource) next(s *shard, c *conn) {
 	pe := cs.pe
 	idx := cs.nextChunk
 	key := cache.ChunkKey{Path: pe.Translated, Index: idx}
 	last := idx == cs.endChunk-1
 
-	if ch := s.chunks.Lookup(key); ch != nil {
+	if ch := s.view.Lookup(key, pe.ModTime); ch != nil {
 		// "mincore says resident": send directly.
 		cs.queueChunk(s, c, ch, last)
 		return
 	}
-	// Miss: a helper loads the chunk (the loop never touches the disk).
-	off, n := s.chunks.ChunkRange(pe.Size, idx)
+	if !s.cfg.Cache.DisableCoalescing {
+		if cs.fill == nil {
+			if f, started := s.view.JoinFill(pe.Translated, pe.Size, pe.ModTime); f != nil {
+				cs.fill = f
+				if started {
+					s.startFill(f, pe)
+				}
+			}
+		}
+		if f := cs.fill; f != nil {
+			gen := cs.gen
+			ch, pending, err := f.ChunkAt(idx, func() {
+				// Publish/fail notification, possibly from another
+				// shard's helper: re-enter this walk on our loop.
+				s.post(func() { cs.fillWake(s, c, gen) })
+			})
+			switch {
+			case err != nil:
+				cs.fillError(s, c, err)
+			case ch != nil:
+				cs.queueChunk(s, c, ch, last)
+			case pending:
+				// Parked: fillWake resumes the walk when the chunk
+				// publishes (serve-while-fill — earlier chunks are
+				// already on the wire).
+			default:
+				// The fill ended without holding the chunk (finished
+				// and released its pins): it is in the cache, or the
+				// per-chunk path reloads it.
+				cs.fill = nil
+				if ch := s.view.Lookup(key, pe.ModTime); ch != nil {
+					cs.queueChunk(s, c, ch, last)
+					return
+				}
+				cs.loadChunk(s, c, idx, last)
+			}
+			return
+		}
+	}
+	cs.loadChunk(s, c, idx, last)
+}
+
+// fillWake re-enters the walk after a fill published the chunk it was
+// parked on (or ended). Posted wakes can outlive the response that
+// registered them — the generation, source identity, and connection
+// state checks drop stale ones.
+func (cs *chunkSource) fillWake(s *shard, c *conn, gen uint32) {
+	if cs.gen != gen || c.ls.src != bodySource(cs) ||
+		c.failed || c.writeDone || c.inFlight {
+		return
+	}
+	cs.next(s, c)
+}
+
+// fillError ends the walk on a failed fill. A stale-fill failure on
+// the first chunk restarts the request against the file's fresh
+// identity (nothing has been sent); anything later can only close the
+// connection, as the stated Content-Length is unmeetable.
+func (cs *chunkSource) fillError(s *shard, c *conn, err error) {
+	pe := cs.pe
+	cs.fill = nil
+	s.invalidateFile(c.ls.req.Path, pe)
+	if err == cache.ErrFillStale && cs.nextChunk == cs.firstChunk &&
+		!c.inFlight && !c.failed && !c.writeDone && c.ls.src == bodySource(cs) {
+		cs.dropRef() // the restart builds its own pipeline
+		s.handleRequest(c, c.ls.req)
+		return
+	}
+	s.failConn(c)
+}
+
+// loadChunk dispatches one helper pread for chunk idx — the v1
+// per-chunk miss path, used when coalescing is off or the in-flight
+// fill has a different identity. The loop never touches the disk.
+func (cs *chunkSource) loadChunk(s *shard, c *conn, idx int, last bool) {
+	pe := cs.pe
+	key := cache.ChunkKey{Path: pe.Translated, Index: idx}
+	off, n := s.store.ChunkRange(pe.Size, idx)
 	ref := cs.ref
 	if ref != nil {
 		// The helper's own pin (from the walk's live one): the read
@@ -160,9 +249,28 @@ func (cs *chunkSource) next(s *shard, c *conn) {
 				s.failConn(c)
 				return
 			}
-			ch := s.chunks.Insert(key, res.data, int64(len(res.data)))
+			ch := s.view.Insert(key, res.data, int64(len(res.data)), pe.ModTime)
 			cs.queueChunk(s, c, ch, last)
 		},
+	})
+}
+
+// startFill hands a freshly registered fill to its producer: one
+// jobFill on the helper pool of the shard that owns the path (by
+// hash), so every shard agrees on who performs the single disk pass.
+func (s *shard) startFill(f *cache.Fill, pe cache.PathEntry) {
+	ref := entryRef(pe)
+	if ref != nil {
+		// The producer's own descriptor pin: the fill survives path
+		// entry eviction and the end of the subscribing response.
+		ref.Acquire()
+	}
+	owner := s.srv.shards[cache.OwnerShard(pe.Translated, len(s.srv.shards))]
+	owner.helpers.submit(helperJob{
+		kind:   jobFill,
+		fsPath: pe.Translated,
+		file:   ref,
+		fill:   f,
 	})
 }
 
@@ -170,7 +278,7 @@ func (cs *chunkSource) next(s *shard, c *conn) {
 // clamping the transmitted bytes to the response's byte window.
 func (cs *chunkSource) queueChunk(s *shard, c *conn, ch *cache.Chunk, last bool) {
 	idx := cs.nextChunk
-	base := int64(idx) * s.chunks.ChunkSize()
+	base := int64(idx) * s.store.ChunkSize()
 	a, b := int64(0), int64(len(ch.Data))
 	if cs.rangeOff > base {
 		a = cs.rangeOff - base
@@ -181,7 +289,7 @@ func (cs *chunkSource) queueChunk(s *shard, c *conn, ch *cache.Chunk, last bool)
 	if a < 0 || a > b || b > int64(len(ch.Data)) {
 		// The chunk no longer covers the promised window (file shrank
 		// between identity checks): the response cannot be completed.
-		s.chunks.Release(ch)
+		s.view.Release(ch)
 		s.failConn(c)
 		return
 	}
@@ -197,7 +305,7 @@ func (cs *chunkSource) queueChunk(s *shard, c *conn, ch *cache.Chunk, last bool)
 // final item also ends the walk's descriptor pin.
 func (cs *chunkSource) release(s *shard, c *conn, item writeItem, ok bool) {
 	if item.chunk != nil {
-		s.chunks.Release(item.chunk)
+		s.view.Release(item.chunk)
 	}
 	if item.last {
 		cs.dropRef()

@@ -717,7 +717,7 @@ func TestTortureRangeVariantSlotBounded(t *testing.T) {
 			t.Fatalf("window %d: %v status=%d", i, err, resp.status)
 		}
 	}
-	if n := s.shards[0].hdrs.Len(); n > 2 {
+	if n := s.shards[0].view.HeaderLen(); n > 2 {
 		t.Fatalf("header cache holds %d entries for one path, want <= 2 (base + one range slot)", n)
 	}
 	// Identical repeated windows hit the slot.
@@ -773,7 +773,7 @@ func TestTortureSendfilePrematureClose(t *testing.T) {
 	for {
 		refs := -1
 		s.shards[0].call(func() {
-			if pe, ok := s.shards[0].paths.Peek("/big.bin"); ok {
+			if pe, ok := s.shards[0].view.PeekPath("/big.bin"); ok {
 				if r := entryRef(pe); r != nil {
 					refs = r.Refs()
 				}
