@@ -8,6 +8,7 @@
 //	flashd -root ./public [-addr :8080] [-loops N] [-helpers 8] [-status]
 //	       [-userdir-base /home -userdir-suffix public_html]
 //	       [-access-log access.log]
+//	       [-cache-engine heap|mmap]
 //	       [-cache-path-entries 6000] [-cache-header-entries 6000]
 //	       [-cache-map-mb 64] [-cache-chunk-kb 64] [-cache-l1-kb 0]
 //	       [-cache-no-coalesce] [-cache-no-replicate]
@@ -53,6 +54,7 @@ func main() {
 		root       = flag.String("root", "", "document root (required)")
 		loops      = flag.Int("loops", 0, "event-loop shards (0 = one per CPU)")
 		helpers    = flag.Int("helpers", 8, "disk helper goroutines per shard")
+		cacheEng   = flag.String("cache-engine", "heap", "chunk cache engine: heap (copied buffers) or mmap (refcounted mmap(2) views; heap fallback off Linux)")
 		cachePaths = flag.Int("cache-path-entries", 6000, "pathname cache entries (server-wide)")
 		cacheHdrs  = flag.Int("cache-header-entries", 0, "header cache entries (0 = same as -cache-path-entries)")
 		cacheMapMB = flag.Int64("cache-map-mb", 64, "chunk cache byte budget (MB, server-wide — the store owns it, shards share it)")
@@ -106,6 +108,7 @@ func main() {
 		EventLoops: *loops,
 		NumHelpers: *helpers,
 		Cache: flash.CacheConfig{
+			Engine:             *cacheEng,
 			PathEntries:        pathEntries,
 			HeaderEntries:      hdrEntries,
 			MapBytes:           mapMB << 20,

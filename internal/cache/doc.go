@@ -8,8 +8,14 @@
 // onto the store; every per-request operation (path lookup, header
 // lookup, chunk pin/release, fill subscription) goes through the
 // shard's own View, so the hot path stays shard-local. The server
-// consumes only these interfaces — [NewShardedStore] is the default
-// engine, and alternative engines plug in behind the same API.
+// consumes only these interfaces. Two engines implement them over the
+// same two-tier topology: [NewShardedStore], the default, fills
+// chunks by reading into heap buffers; [NewMmapStore] serves chunks
+// as refcounted views ([MmapRef]) over mmap(2)-mapped file regions —
+// the budget then counts mapped bytes, a mapping is never unmapped
+// while any response, fill subscriber, or writev gather references
+// its bytes, and off Linux the engine falls back to heap reads behind
+// the same lifetime contract.
 //
 // The underlying structures are the paper's three caches:
 //

@@ -126,10 +126,20 @@ func (f *Fill) ChunkAt(index int, notify func()) (c *Chunk, pending bool, err er
 // reports whether the producer should keep going — false after the
 // final chunk, a doomed fill (ErrFillStale is delivered to the
 // subscribers), or a fill already ended.
-func (f *Fill) Publish(data []byte) bool {
+func (f *Fill) Publish(data []byte) bool { return f.publish(data, nil) }
+
+// PublishMapped is Publish for the mmap engine: the published chunk
+// adopts m's reference. On every branch that does not insert — a fill
+// already ended, doomed, or overrun — the reference is released here,
+// so the producer's contract is identical to Publish: hand the
+// mapping over and forget it.
+func (f *Fill) PublishMapped(m *MmapRef) bool { return f.publish(m.Bytes(), m) }
+
+func (f *Fill) publish(data []byte, m *MmapRef) bool {
 	seg := f.seg
 	var wake []func()
 	more := false
+	consumed := m == nil
 	seg.mu.Lock()
 	switch {
 	case f.state != fillPending:
@@ -142,7 +152,15 @@ func (f *Fill) Publish(data []byte) bool {
 		// size.
 	default:
 		idx := len(f.pins)
-		c := seg.chunks.Insert(ChunkKey{Path: f.path, Index: idx}, data, int64(len(data)))
+		var c *Chunk
+		if m != nil {
+			// InsertMapped consumes the reference on both branches
+			// (adopted by a new chunk, or released on a merge).
+			c = seg.chunks.InsertMapped(ChunkKey{Path: f.path, Index: idx}, m, int64(len(data)))
+			consumed = true
+		} else {
+			c = seg.chunks.Insert(ChunkKey{Path: f.path, Index: idx}, data, int64(len(data)))
+		}
 		if c.home == 0 {
 			c.home = f.seg.tag
 		}
@@ -156,6 +174,9 @@ func (f *Fill) Publish(data []byte) bool {
 		}
 	}
 	seg.mu.Unlock()
+	if !consumed {
+		m.Release()
+	}
 	for _, fn := range wake {
 		fn()
 	}

@@ -10,8 +10,10 @@ type ChunkKey struct {
 }
 
 // Chunk is a cached file mapping. In the real server Data holds the
-// file bytes (immutable once inserted — the garbage collector plays the
-// role of munmap); in the simulator Data is nil and only Size is used.
+// file bytes, immutable once inserted: a heap buffer under the
+// default engine (the garbage collector plays the role of munmap) or
+// a view over a refcounted mmap region under the mmap engine (see
+// mapping). In the simulator Data is nil and only Size is used.
 type Chunk struct {
 	Key  ChunkKey
 	Data []byte
@@ -35,6 +37,22 @@ type Chunk struct {
 	prev, next *Chunk
 	onFree     bool
 	dead       bool // detached by InvalidateFile while pinned
+	// mapping, when non-nil, owns the chunk's backing mmap region (the
+	// mmap engine): Data is a view into it, and the chunk holds one
+	// reference, released only when the cache discards the chunk for
+	// good — never while writers or replicas still hold theirs.
+	// Immutable once inserted, like Data.
+	mapping *MmapRef
+}
+
+// dropMapping releases the chunk's backing mapping, if any, once the
+// cache discards the chunk for good (eviction, invalidation, or the
+// dead-chunk release). Heap chunks have none; this is a no-op.
+func (c *Chunk) dropMapping() {
+	if c.mapping != nil {
+		c.mapping.Release()
+		c.mapping = nil
+	}
 }
 
 // Refs returns the current pin count (for tests and introspection).
@@ -179,6 +197,26 @@ func (m *MapCache) Insert(key ChunkKey, data []byte, size int64) *Chunk {
 		m.pin(c)
 		return c
 	}
+	return m.insertNew(key, data, size)
+}
+
+// InsertMapped is Insert for a chunk backed by an engine-owned mmap
+// region: the chunk adopts mr's reference. Inserting over an existing
+// key returns the existing chunk pinned and releases the incoming
+// reference — the resident bytes win, exactly as Insert discards the
+// incoming buffer on a merged concurrent load.
+func (m *MapCache) InsertMapped(key ChunkKey, mr *MmapRef, size int64) *Chunk {
+	if c, ok := m.chunks[key]; ok {
+		m.pin(c)
+		mr.Release()
+		return c
+	}
+	c := m.insertNew(key, mr.Bytes(), size)
+	c.mapping = mr
+	return c
+}
+
+func (m *MapCache) insertNew(key ChunkKey, data []byte, size int64) *Chunk {
 	c := &Chunk{Key: key, Data: data, Size: size, refs: 1}
 	m.chunks[key] = c
 	m.used += size
@@ -204,6 +242,7 @@ func (m *MapCache) Release(c *Chunk) {
 		if m.OnEvict != nil {
 			m.OnEvict(c)
 		}
+		c.dropMapping()
 		return
 	}
 	m.freePush(c)
@@ -233,6 +272,7 @@ func (m *MapCache) evictOver() {
 		if m.OnEvict != nil {
 			m.OnEvict(c)
 		}
+		c.dropMapping()
 	}
 }
 
@@ -255,9 +295,11 @@ func (m *MapCache) InvalidateFile(path string, maxChunks int) {
 			if m.OnEvict != nil {
 				m.OnEvict(c)
 			}
+			c.dropMapping()
 		} else {
 			// Detach from the index so new lookups miss; the pinned
-			// chunk is dropped when its last holder releases it.
+			// chunk is dropped (mapping and all) when its last holder
+			// releases it.
 			delete(m.chunks, key)
 			m.used -= c.Size
 			m.stats.Evictions++

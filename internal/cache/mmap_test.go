@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testMmapStore(t *testing.T, shards int, mapBytes int64, opts ...func(*StoreOptions)) *ShardedStore {
+	t.Helper()
+	o := StoreOptions{
+		Shards:        shards,
+		PathEntries:   64,
+		HeaderEntries: 64,
+		MapBytes:      mapBytes,
+		ChunkBytes:    1024,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return NewMmapStore(o)
+}
+
+// writeTempFile creates a file whose chunk contents the mmap tests
+// can verify against.
+func writeTempFile(t *testing.T, data []byte) *os.File {
+	t.Helper()
+	name := filepath.Join(t.TempDir(), "f.bin")
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// The mmap engine's end-to-end chunk lifecycle: map, insert, look up
+// the real file bytes, and verify the mapping's reference count at
+// every stage — the cache chunk and its L1 replica each hold one, and
+// invalidation drops both without touching the observer's hold.
+func TestMmapChunkLifecycleRefcounts(t *testing.T) {
+	content := bytes.Repeat([]byte("mmap-engine!"), 200) // > 1 chunk
+	f := writeTempFile(t, content)
+	st := testMmapStore(t, 1, 1<<20)
+	v := st.View(0).(MappedView)
+
+	off, n := st.ChunkRange(int64(len(content)), 0)
+	mr, err := st.MapChunk(f, off, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mr.Bytes(), content[off:off+n]) {
+		t.Fatal("mapped bytes differ from file bytes")
+	}
+	hold := mr.Acquire() // observer's hold, so Refs stays readable
+
+	key := ChunkKey{Path: "/f", Index: 0}
+	c := v.InsertMapped(key, mr, n, 7) // chunk adopts the mapped ref
+	if !bytes.Equal(c.Data, content[off:off+n]) {
+		t.Fatal("chunk bytes differ from file bytes")
+	}
+	// Ours + the L1 replica's (InsertMapped replicates; the segment
+	// copy and the replica share the mapping with separate holds).
+	if got := hold.Refs(); got != 3 {
+		t.Fatalf("refs after insert = %d, want 3 (observer + segment + L1)", got)
+	}
+	v.Release(c)
+
+	// A warm lookup serves the same mapping, no new references.
+	c2 := v.Lookup(key, 7)
+	if c2 == nil || &c2.Data[0] != &c.Data[0] {
+		t.Fatal("lookup did not return the shared mapped bytes")
+	}
+	v.Release(c2)
+	if got := hold.Refs(); got != 3 {
+		t.Fatalf("refs after warm lookup = %d, want 3", got)
+	}
+
+	// Invalidation drops the segment chunk and the L1 replica: both
+	// holds go, only the observer's remains — and the pages stay
+	// mapped until it releases.
+	v.InvalidateFile("/f", st.NumChunks(int64(len(content))))
+	if got := hold.Refs(); got != 1 {
+		t.Fatalf("refs after invalidate = %d, want 1 (observer only)", got)
+	}
+	if hold.Mapped() != mmapSupported {
+		t.Fatalf("Mapped() = %v before final release, want %v", hold.Mapped(), mmapSupported)
+	}
+	hold.Release()
+}
+
+// A mapping may not be unmapped while any holder still references its
+// bytes: evicting the segment copy under budget pressure must leave
+// an L1 replica's (and a pinned reader's) bytes valid.
+func TestMmapEvictionKeepsSharedMappingAlive(t *testing.T) {
+	content := bytes.Repeat([]byte("x"), 1024)
+	f := writeTempFile(t, content)
+	// One-chunk budget: every insert evicts the previous chunk.
+	st := testMmapStore(t, 1, 1024)
+	v := st.View(0).(MappedView)
+
+	mr, err := st.MapChunk(f, 0, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := mr.Acquire()
+	defer hold.Release()
+	c := v.InsertMapped(ChunkKey{Path: "/a", Index: 0}, mr, 1024, 1)
+	// Reader keeps its pin on /a while /b storms the budget.
+	for i := 0; i < 4; i++ {
+		f2 := writeTempFile(t, content)
+		mr2, err := st.MapChunk(f2, 0, 1024, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Release(v.InsertMapped(ChunkKey{Path: "/b", Index: i}, mr2, 1024, 1))
+	}
+	// The pinned chunk's bytes must still be readable (on Linux this
+	// faults if the region were unmapped).
+	if c.Data[0] != 'x' || c.Data[1023] != 'x' {
+		t.Fatal("pinned mapped chunk corrupted by eviction pressure")
+	}
+	v.Release(c)
+	if got := st.SharedStats().UsedBytes; got > 1024 {
+		t.Fatalf("budget not reclaimed: used %d, limit 1024", got)
+	}
+}
+
+// PublishMapped must consume the mapping reference on every branch:
+// adopted when the chunk lands, released when the fill is doomed or
+// already over.
+func TestFillPublishMappedConsumesRef(t *testing.T) {
+	content := bytes.Repeat([]byte("y"), 2048)
+	f := writeTempFile(t, content)
+	st := testMmapStore(t, 1, 1<<20)
+	v := st.View(0).(MappedView)
+
+	fill, started := v.JoinFill("/f", 2048, 1)
+	if !started {
+		t.Fatal("JoinFill did not start")
+	}
+	mr, _ := st.MapChunk(f, 0, 1024, true)
+	hold := mr.Acquire()
+	if !fill.PublishMapped(mr) {
+		t.Fatal("PublishMapped(0) said stop")
+	}
+	if got := hold.Refs(); got != 2 { // observer + fill's pinned chunk
+		t.Fatalf("refs after publish = %d, want 2", got)
+	}
+
+	// Invalidate mid-fill: the next publish must fail the fill and
+	// release the incoming mapping rather than leaking it.
+	v.InvalidateFile("/f", 2)
+	mr2, _ := st.MapChunk(f, 1024, 1024, true)
+	hold2 := mr2.Acquire()
+	if fill.PublishMapped(mr2) {
+		t.Fatal("doomed fill accepted a publish")
+	}
+	if got := hold2.Refs(); got != 1 {
+		t.Fatalf("refs of rejected publish = %d, want 1 (observer only)", got)
+	}
+	if _, _, err := fill.ChunkAt(1, nil); err != ErrFillStale {
+		t.Fatalf("err = %v, want ErrFillStale", err)
+	}
+	// Chunk 0 was detached by the invalidation and its last hold was
+	// the fill's, dropped at failure: only the observer remains.
+	if got := hold.Refs(); got != 1 {
+		t.Fatalf("refs after doomed fill = %d, want 1", got)
+	}
+	hold.Release()
+	hold2.Release()
+}
+
+// Zero-length chunks (empty files) cannot be mmapped; the engine must
+// hand back an empty heap-backed ref instead of an mmap error.
+func TestMapChunkZeroLength(t *testing.T) {
+	f := writeTempFile(t, nil)
+	st := testMmapStore(t, 1, 1<<20)
+	mr, err := st.MapChunk(f, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Mapped() || len(mr.Bytes()) != 0 {
+		t.Fatalf("zero-length map = mapped=%v len=%d", mr.Mapped(), len(mr.Bytes()))
+	}
+	mr.Release()
+}
+
+// Regression: auto-sized L1 must floor at one chunk. With a small
+// shared budget, MapBytes/(8*Shards) rounds below the chunk size —
+// the old code handed the L1 a zero byte budget, silently disabling
+// replica retention (auto conflated with "off"), and every warm
+// lookup went back to the shared tier's locks.
+func TestAutoL1SizeFloorsAtOneChunk(t *testing.T) {
+	// 4096/(8*4) = 128 bytes < the 1024-byte chunk.
+	st := testStore(4, 4096)
+	v := st.View(0)
+	key := ChunkKey{Path: "/a", Index: 0}
+	v.Release(v.Insert(key, chunkData('x', 1024), 1024, 1))
+	c := v.Lookup(key, 1)
+	if c == nil {
+		t.Fatal("lookup missed")
+	}
+	v.Release(c)
+	if hits := v.LocalStats().Chunks.Hits; hits != 1 {
+		t.Fatalf("L1 hits = %d, want 1 — auto-sized L1 retained nothing", hits)
+	}
+	// The explicit sentinel still disables retention.
+	st2 := testStore(4, 4096, func(o *StoreOptions) { o.L1Bytes = -1 })
+	v2 := st2.View(0)
+	v2.Release(v2.Insert(key, chunkData('x', 1024), 1024, 1))
+	if c := v2.Lookup(key, 1); c != nil {
+		v2.Release(c)
+	}
+	if hits := v2.LocalStats().Chunks.Hits; hits != 0 {
+		t.Fatalf("L1 hits with retention disabled = %d, want 0", hits)
+	}
+}

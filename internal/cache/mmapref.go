@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// MmapRef is a reference-counted mmap(2) region backing one chunk of
+// the mmap cache engine (NewMmapStore). It extends the FileRef
+// pattern to mappings: the cache's chunk holds one reference for as
+// long as the chunk lives, and every additional holder — an L1
+// replica sharing the pages, an in-flight response whose writev
+// gathers the bytes, a fill subscriber — acquires its own, so
+// eviction or invalidation can never munmap a region out from under a
+// write in flight. The region is unmapped exactly once, when the last
+// reference is released.
+//
+// On platforms without mmap support (see mmap_other.go) the ref wraps
+// a plain heap buffer and Release frees nothing; the engine behaves
+// like the heap engine behind the same lifetime contract.
+//
+// Like the paper's Flash, a mapped region shares pages with the page
+// cache: if the underlying file is truncated while mapped, touching
+// bytes past the new EOF faults (SIGBUS). The engine narrows the
+// window the same way the heap engine narrows its stat-then-read
+// race — identity is re-verified before every map — but cannot close
+// it; serving docroots that are truncated in place is undefined on
+// both engines.
+// A ref is either a root (it owns the mapping; raw non-nil or a heap
+// buffer) or a derived view created with Slice, which shares its
+// root's reference count — one mapping, one count, any number of
+// chunk-sized windows onto it. Fills exploit this: the producer maps
+// the whole file once and publishes each chunk as a view, so a
+// multi-chunk file costs one mmap/munmap pair instead of one per
+// chunk (mmap and munmap serialize on the process's address-space
+// lock and invalidate TLBs; per-chunk churn is measurably slower
+// than the copies it replaces).
+type MmapRef struct {
+	raw  []byte   // full page-aligned mapping (the munmap argument); nil when heap-backed or derived
+	data []byte   // the chunk's byte view within the mapping
+	base *MmapRef // the root ref for a derived view; nil for a root
+	refs atomic.Int32
+}
+
+// root returns the ref that owns the mapping and carries the count.
+func (r *MmapRef) root() *MmapRef {
+	if r.base != nil {
+		return r.base
+	}
+	return r
+}
+
+// mmapPageSize is the fault granularity for Touch.
+var mmapPageSize = os.Getpagesize()
+
+// mmapTouchSink absorbs Touch's reads so they cannot be optimized
+// away. Atomic: concurrent fills touch from independent helpers.
+var mmapTouchSink atomic.Uint32
+
+// newMmapRef adopts a mapped region with a reference count of one
+// (the creator's — typically the cache chunk's — reference).
+func newMmapRef(raw, data []byte) *MmapRef {
+	r := &MmapRef{raw: raw, data: data}
+	r.refs.Store(1)
+	return r
+}
+
+// newHeapRef wraps a heap buffer in the same lifetime contract (the
+// portable fallback, and the zero-length-chunk case: mmap of length
+// zero is an error).
+func newHeapRef(data []byte) *MmapRef { return newMmapRef(nil, data) }
+
+// Bytes returns the chunk's byte view. Valid only while the caller
+// holds a reference.
+func (r *MmapRef) Bytes() []byte { return r.data }
+
+// Mapped reports whether the bytes are a real mmap region (false for
+// the portable heap fallback and zero-length chunks).
+func (r *MmapRef) Mapped() bool { return r.root().raw != nil }
+
+// Acquire adds a reference on behalf of a new holder. The caller must
+// already hold a reference (a count observed above zero can otherwise
+// race with the final Release).
+func (r *MmapRef) Acquire() *MmapRef {
+	r.root().refs.Add(1)
+	return r
+}
+
+// Release drops one reference, unmapping the region when the last one
+// goes (madvise DONTNEED + munmap on Linux; a no-op for heap-backed
+// refs — the garbage collector reclaims the buffer).
+func (r *MmapRef) Release() {
+	root := r.root()
+	if n := root.refs.Add(-1); n == 0 {
+		if root.raw != nil {
+			munmapRegion(root.raw)
+			root.raw, root.data = nil, nil
+		}
+	} else if n < 0 {
+		panic("cache: MmapRef over-released")
+	}
+}
+
+// Refs returns the current reference count (for tests).
+func (r *MmapRef) Refs() int { return int(r.root().refs.Load()) }
+
+// Slice returns a derived ref viewing [off, off+n) of r's bytes,
+// holding its own reference to the shared mapping. The caller's
+// reference covers the call.
+func (r *MmapRef) Slice(off, n int64) *MmapRef {
+	root := r.root()
+	root.refs.Add(1)
+	return &MmapRef{data: r.data[off : off+n], base: root}
+}
+
+// Touch faults the view's pages in, one byte per page — the paper's
+// "touch" half of mmap + touch, run on a helper goroutine so neither
+// the event loop nor a writer mid-writev takes the fault. A no-op
+// cost for heap-backed refs.
+func (r *MmapRef) Touch() {
+	var sink byte
+	for i := 0; i < len(r.data); i += mmapPageSize {
+		sink += r.data[i]
+	}
+	mmapTouchSink.Store(uint32(sink))
+}
+
+// mapChunk maps [off, off+n) of f, handling the zero-length case the
+// syscall refuses. sequential marks a fill's one-pass read (madvise
+// MADV_SEQUENTIAL instead of the default access pattern).
+func mapChunk(f *os.File, off, n int64, sequential bool) (*MmapRef, error) {
+	if n <= 0 {
+		return newHeapRef(nil), nil
+	}
+	return mapFileRegion(f, off, n, sequential)
+}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -58,6 +59,10 @@ type ShardedStore struct {
 	chunkSize int64
 	segments  []*segment
 	views     []*storeView
+	// mmapBacked marks the mmap engine (NewMmapStore): chunks inserted
+	// through MapChunk/InsertMapped/PublishMapped are views over
+	// refcounted mmap regions instead of heap buffers.
+	mmapBacked bool
 
 	fillsStarted   atomic.Uint64
 	fillsJoined    atomic.Uint64
@@ -86,7 +91,9 @@ type storeView struct {
 }
 
 var _ Store = (*ShardedStore)(nil)
+var _ ChunkMapper = (*ShardedStore)(nil)
 var _ View = (*storeView)(nil)
+var _ MappedView = (*storeView)(nil)
 
 // NewShardedStore builds the v2 store. It is also the v1
 // compatibility constructor: with replication and coalescing left on,
@@ -103,7 +110,15 @@ func NewShardedStore(o StoreOptions) *ShardedStore {
 		o.ChunkBytes = DefaultChunkSize
 	}
 	if o.L1Bytes == 0 {
+		// Auto-size: an eighth of the shared tier, split across shards —
+		// floored at one chunk, because a small MapBytes must shrink the
+		// L1, not silently disable it. "Off" is the negative sentinel
+		// (matching the -cache-l1-kb flag contract), never a rounding
+		// artifact.
 		o.L1Bytes = o.MapBytes / (8 * int64(o.Shards))
+		if o.L1Bytes < o.ChunkBytes {
+			o.L1Bytes = o.ChunkBytes
+		}
 	}
 	if o.L1Bytes < 0 {
 		o.L1Bytes = 0
@@ -130,6 +145,45 @@ func NewShardedStore(o StoreOptions) *ShardedStore {
 		st.views = append(st.views, v)
 	}
 	return st
+}
+
+// NewMmapStore builds the mmap chunk engine: the same sharded
+// geometry, budgets, and fill machinery as NewShardedStore, but with
+// the chunk tier's bytes served as views over mmap(2)-mapped file
+// regions — the paper's own transport, and the regime its Figure 6
+// targets: a docroot larger than RAM, where heap chunks double-buffer
+// against the page cache while mapped chunks ARE the page cache.
+//
+// Producers (the server's disk helpers) call MapChunk instead of
+// reading, then hand the mapping to InsertMapped (per-chunk loads) or
+// Fill.PublishMapped (single-flight fills); every other Store/View
+// method is identical, so the engines are interchangeable behind the
+// interfaces. The byte budget counts mapped bytes: chunk size equals
+// mapping length (the default 64 KiB chunks are page multiples, so
+// alignment slack is zero). Generation tags, invalidation, and
+// doomed-fill semantics are shared with the heap engine unchanged.
+//
+// On platforms without mmap (mmap_other.go) MapChunk preads into heap
+// buffers behind the same refcounted lifetime, so Engine="mmap"
+// remains portable.
+func NewMmapStore(o StoreOptions) *ShardedStore {
+	st := NewShardedStore(o)
+	st.mmapBacked = true
+	return st
+}
+
+// MmapBacked reports whether this store is the mmap engine.
+func (st *ShardedStore) MmapBacked() bool { return st.mmapBacked }
+
+// MapChunk maps [off, off+n) of f for insertion via InsertMapped or
+// Fill.PublishMapped (mmap engine only). sequential hints a fill's
+// one-pass read (madvise MADV_SEQUENTIAL). The region is touched on
+// the calling goroutine — run it on a disk helper, not an event loop.
+func (st *ShardedStore) MapChunk(f *os.File, off, n int64, sequential bool) (*MmapRef, error) {
+	if !st.mmapBacked {
+		panic("cache: MapChunk on a heap-engine store")
+	}
+	return mapChunk(f, off, n, sequential)
 }
 
 func maxInt(a, b int) int {
@@ -288,9 +342,19 @@ func (v *storeView) Lookup(key ChunkKey, modTime int64) *Chunk {
 
 // replicate copies a segment hit into the L1 (sharing the immutable
 // byte slice — replication costs index entries, not memory), returns
-// the replica pinned, and drops the segment pin.
+// the replica pinned, and drops the segment pin. An mmap-backed chunk
+// is shared by reference: the replica acquires its own hold on the
+// mapping, so the L1 and the segment can evict in either order
+// without unmapping pages the other still serves. (Reading c.mapping
+// outside the segment lock is safe — the field is immutable and the
+// caller's pin keeps the chunk alive.)
 func (v *storeView) replicate(seg *segment, c *Chunk) *Chunk {
-	rep := v.l1.Insert(c.Key, c.Data, c.Size)
+	var rep *Chunk
+	if m := c.mapping; m != nil {
+		rep = v.l1.InsertMapped(c.Key, m.Acquire(), c.Size)
+	} else {
+		rep = v.l1.Insert(c.Key, c.Data, c.Size)
+	}
 	rep.ModTime = c.ModTime
 	rep.home = -(int32(v.id) + 1)
 	seg.mu.Lock()
@@ -305,6 +369,24 @@ func (v *storeView) Insert(key ChunkKey, data []byte, size, modTime int64) *Chun
 	seg := v.store.segmentFor(key.Path)
 	seg.mu.Lock()
 	c := seg.chunks.Insert(key, data, size)
+	if c.home == 0 {
+		c.home = seg.tag
+	}
+	c.ModTime = modTime
+	seg.mu.Unlock()
+	if v.l1 == nil {
+		return c
+	}
+	return v.replicate(seg, c)
+}
+
+// InsertMapped is Insert for an mmap-backed chunk (MappedView): the
+// chunk adopts m's reference; on a merge with an already-resident
+// chunk the incoming mapping is released and the resident bytes win.
+func (v *storeView) InsertMapped(key ChunkKey, m *MmapRef, size, modTime int64) *Chunk {
+	seg := v.store.segmentFor(key.Path)
+	seg.mu.Lock()
+	c := seg.chunks.InsertMapped(key, m, size)
 	if c.home == 0 {
 		c.home = seg.tag
 	}

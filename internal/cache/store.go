@@ -1,5 +1,7 @@
 package cache
 
+import "os"
+
 // Store is the unified cache layer of the v2 architecture: one object
 // subsuming the pathname, response-header, and mapped-chunk caches
 // (the §5 trio), carved into per-event-loop Views plus a shared chunk
@@ -86,6 +88,30 @@ type View interface {
 
 	// LocalStats snapshots this view's loop-private counters.
 	LocalStats() ViewStats
+}
+
+// ChunkMapper is the optional Store capability of the mmap engine:
+// producers map file regions through the store (which owns the
+// madvise policy) instead of reading them, and hand the refcounted
+// mapping to MappedView.InsertMapped or Fill.PublishMapped. Consumers
+// type-assert it and check MmapBacked before switching transports; a
+// plain heap store implements neither.
+type ChunkMapper interface {
+	// MmapBacked reports whether the chunk tier adopts mmap regions.
+	MmapBacked() bool
+	// MapChunk maps [off, off+n) of f, pinned with one reference that
+	// the eventual InsertMapped/PublishMapped call adopts. It may
+	// fault the region in (blocking), so call it from a disk helper.
+	MapChunk(f *os.File, off, n int64, sequential bool) (*MmapRef, error)
+}
+
+// MappedView is the View extension the mmap engine's views implement:
+// InsertMapped records a chunk whose bytes are an engine-owned
+// mapping (the chunk adopts the reference), with the same tiering —
+// owner segment plus L1 replica — as Insert.
+type MappedView interface {
+	View
+	InsertMapped(key ChunkKey, m *MmapRef, size, modTime int64) *Chunk
 }
 
 // ViewStats are one view's loop-private counters. Chunks covers the

@@ -96,7 +96,9 @@ func readThroughFirstByte(t *testing.T, br *bufio.Reader) byte {
 // A miss storm — K cold connections racing for the same uncached file —
 // must coalesce onto one fill: exactly one disk pass (one read per
 // chunk), no matter how many requests arrived.
-func TestMissStormCoalesces(t *testing.T) {
+func TestMissStormCoalesces(t *testing.T) { forEachEngine(t, testMissStormCoalesces) }
+
+func testMissStormCoalesces(t *testing.T, engine string) {
 	const (
 		chunk  = 8192
 		chunks = 4
@@ -117,6 +119,7 @@ func TestMissStormCoalesces(t *testing.T) {
 		cfg.EventLoops = 4
 		cfg.SendfileThreshold = -1 // force every body through the chunk cache
 		cfg.Cache.ChunkBytes = chunk
+		cfg.Cache.Engine = engine
 	})
 	content := pattern(chunk * chunks)
 	mustWrite(t, root, "storm.bin", string(content))
@@ -163,6 +166,10 @@ func TestMissStormCoalesces(t *testing.T) {
 // body bytes as chunks land, before the fill completes — they are not
 // parked until the whole file is in cache.
 func TestServeWhileFillFirstByteBeforeCompletion(t *testing.T) {
+	forEachEngine(t, testServeWhileFillFirstByteBeforeCompletion)
+}
+
+func testServeWhileFillFirstByteBeforeCompletion(t *testing.T, engine string) {
 	const (
 		chunk  = 8192
 		chunks = 4
@@ -181,6 +188,7 @@ func TestServeWhileFillFirstByteBeforeCompletion(t *testing.T) {
 		cfg.EventLoops = 1 // both connections land on the same shard
 		cfg.SendfileThreshold = -1
 		cfg.Cache.ChunkBytes = chunk
+		cfg.Cache.Engine = engine
 	})
 	content := pattern(chunk * chunks)
 	mustWrite(t, root, "swf.bin", string(content))
@@ -233,6 +241,10 @@ func TestServeWhileFillFirstByteBeforeCompletion(t *testing.T) {
 // to completion, the chunks stay cached, and the next request is served
 // warm without touching the disk again.
 func TestClientAbortMidFillLeavesFillRunning(t *testing.T) {
+	forEachEngine(t, testClientAbortMidFillLeavesFillRunning)
+}
+
+func testClientAbortMidFillLeavesFillRunning(t *testing.T, engine string) {
 	const (
 		chunk  = 8192
 		chunks = 4
@@ -254,6 +266,7 @@ func TestClientAbortMidFillLeavesFillRunning(t *testing.T) {
 		cfg.EventLoops = 1
 		cfg.SendfileThreshold = -1
 		cfg.Cache.ChunkBytes = chunk
+		cfg.Cache.Engine = engine
 	})
 	content := pattern(chunk * chunks)
 	mustWrite(t, root, "abort.bin", string(content))
@@ -289,6 +302,10 @@ func TestClientAbortMidFillLeavesFillRunning(t *testing.T) {
 // Config.Cache.DisableCoalescing reverts to v1 behaviour: every cold
 // request performs its own per-chunk read, and no fills ever start.
 func TestDisableCoalescingFallsBackToPerChunkReads(t *testing.T) {
+	forEachEngine(t, testDisableCoalescingFallsBackToPerChunkReads)
+}
+
+func testDisableCoalescingFallsBackToPerChunkReads(t *testing.T, engine string) {
 	const k = 6
 	var reads atomic.Int32
 	gate := make(chan struct{})
@@ -306,6 +323,7 @@ func TestDisableCoalescingFallsBackToPerChunkReads(t *testing.T) {
 		cfg.SendfileThreshold = -1
 		cfg.Cache.ChunkBytes = 8192
 		cfg.Cache.DisableCoalescing = true
+		cfg.Cache.Engine = engine
 	})
 	content := pattern(1000) // one chunk
 	mustWrite(t, root, "solo.bin", string(content))
@@ -343,7 +361,9 @@ func TestDisableCoalescingFallsBackToPerChunkReads(t *testing.T) {
 // Torture: a trickling disk, a chunk budget far smaller than any file
 // (so active fills pin past the byte limit), fast and slow readers, and
 // clients aborting mid-body — run under -race in CI.
-func TestServeWhileFillTorture(t *testing.T) {
+func TestServeWhileFillTorture(t *testing.T) { forEachEngine(t, testServeWhileFillTorture) }
+
+func testServeWhileFillTorture(t *testing.T, engine string) {
 	installDiskHook(t, func(fsPath string, off int64) {
 		if strings.Contains(fsPath, "torture") {
 			time.Sleep(200 * time.Microsecond) // trickle the fill
@@ -357,6 +377,7 @@ func TestServeWhileFillTorture(t *testing.T) {
 		cfg.SendfileThreshold = -1
 		cfg.Cache.ChunkBytes = 4096
 		cfg.Cache.MapBytes = 8192 // two chunks of budget: constant eviction pressure
+		cfg.Cache.Engine = engine
 	})
 	files := []string{"torture0.bin", "torture1.bin", "torture2.bin"}
 	sizes := []int{40000, 65536, 100000}

@@ -243,12 +243,26 @@ type CacheConfig struct {
 	// DisableReplication turns off the per-shard L1: every chunk
 	// lookup goes to the shared tier and takes a segment lock.
 	DisableReplication bool
-	// Engine, if non-nil, replaces the built-in sharded store
-	// entirely. It must have been built with at least EventLoops
-	// shards. The remaining Cache fields (except DisableCoalescing)
-	// are ignored.
-	Engine cache.Store
+	// Engine selects the chunk-tier backing: "" or EngineHeap for the
+	// default heap-buffer engine, EngineMmap for chunks served as
+	// views over refcounted mmap(2) regions — the paper's own
+	// transport, which stops double-buffering file bytes against the
+	// page cache and wins when the docroot dwarfs the budget. Off
+	// Linux the mmap engine reads into heap buffers behind the same
+	// lifetime contract (mmap_other.go), so the setting is portable.
+	Engine string
+	// Store, if non-nil, replaces the built-in store entirely (Engine
+	// is then ignored). It must have been built with at least
+	// EventLoops shards. The remaining Cache fields (except
+	// DisableCoalescing) are ignored.
+	Store cache.Store
 }
+
+// Cache engine names for CacheConfig.Engine and flashd -cache-engine.
+const (
+	EngineHeap = "heap"
+	EngineMmap = "mmap"
+)
 
 // DefaultSendfileThreshold is the body size at which static responses
 // switch from the chunk-cache copy path to the sendfile transport when
@@ -263,6 +277,14 @@ const DefaultMaxBodyBytes = 8 << 20
 var (
 	ErrNoDocRoot  = errors.New("flash: Config.DocRoot is required")
 	ErrBadDocRoot = errors.New("flash: Config.DocRoot is not a directory")
+	// ErrBadCacheEngine reports an unknown Cache.Engine name.
+	ErrBadCacheEngine = errors.New(`flash: Cache.Engine must be "", "heap", or "mmap"`)
+	// ErrCacheConfigConflict reports a deprecated flat cache field and
+	// its grouped Cache counterpart set to different non-zero values.
+	// The grouped spelling wins by contract, but a disagreement is
+	// almost always a half-finished migration — refuse it rather than
+	// silently overriding the caller's flat value.
+	ErrCacheConfigConflict = errors.New("flash: conflicting cache configuration")
 )
 
 // withDefaults validates cfg and fills defaults.
@@ -282,9 +304,29 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.IndexFile == "" {
 		cfg.IndexFile = "index.html"
 	}
+	switch cfg.Cache.Engine {
+	case "", EngineHeap, EngineMmap:
+	default:
+		return cfg, fmt.Errorf("%w (got %q)", ErrBadCacheEngine, cfg.Cache.Engine)
+	}
 	// Merge the deprecated flat cache fields into the grouped struct,
 	// fill defaults, then mirror the resolved values back so readers
-	// of either spelling agree.
+	// of either spelling agree. Both spellings set to different
+	// non-zero values is a conflict, not a precedence question.
+	for _, pair := range []struct {
+		name        string
+		flat, group int64
+	}{
+		{"PathCacheEntries vs Cache.PathEntries", int64(cfg.PathCacheEntries), int64(cfg.Cache.PathEntries)},
+		{"HeaderCacheEntries vs Cache.HeaderEntries", int64(cfg.HeaderCacheEntries), int64(cfg.Cache.HeaderEntries)},
+		{"MapCacheBytes vs Cache.MapBytes", cfg.MapCacheBytes, cfg.Cache.MapBytes},
+		{"ChunkBytes vs Cache.ChunkBytes", cfg.ChunkBytes, cfg.Cache.ChunkBytes},
+	} {
+		if pair.flat != 0 && pair.group != 0 && pair.flat != pair.group {
+			return cfg, fmt.Errorf("%w: Config.%s (%d vs %d) — set one spelling, or make them agree",
+				ErrCacheConfigConflict, pair.name, pair.flat, pair.group)
+		}
+	}
 	if cfg.Cache.PathEntries == 0 {
 		cfg.Cache.PathEntries = cfg.PathCacheEntries
 	}

@@ -1,0 +1,83 @@
+package flash
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Regression: setting a deprecated flat cache field and its grouped
+// Cache counterpart to different non-zero values used to resolve
+// silently (grouped won and was mirrored back over the caller's flat
+// value). The precedence is now explicit — a disagreement is a config
+// error naming both spellings. All four shimmed fields.
+func TestCacheConfigShimConflicts(t *testing.T) {
+	root := t.TempDir()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"PathEntries", func(c *Config) { c.PathCacheEntries = 100; c.Cache.PathEntries = 200 }},
+		{"HeaderEntries", func(c *Config) { c.HeaderCacheEntries = 100; c.Cache.HeaderEntries = 200 }},
+		{"MapBytes", func(c *Config) { c.MapCacheBytes = 1 << 20; c.Cache.MapBytes = 2 << 20 }},
+		{"ChunkBytes", func(c *Config) { c.ChunkBytes = 4096; c.Cache.ChunkBytes = 8192 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{DocRoot: root}
+			tc.mutate(&cfg)
+			_, err := cfg.withDefaults()
+			if !errors.Is(err, ErrCacheConfigConflict) {
+				t.Fatalf("err = %v, want ErrCacheConfigConflict", err)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Fatalf("error does not name the conflicting field: %v", err)
+			}
+		})
+	}
+}
+
+// The shim still merges when only one spelling is set, and agreement
+// between the two is not a conflict.
+func TestCacheConfigShimMergeAndAgreement(t *testing.T) {
+	root := t.TempDir()
+
+	// Flat only: merged into the grouped field.
+	cfg, err := Config{DocRoot: root, MapCacheBytes: 3 << 20, PathCacheEntries: 123}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cache.MapBytes != 3<<20 || cfg.Cache.PathEntries != 123 {
+		t.Fatalf("flat values not merged: %+v", cfg.Cache)
+	}
+
+	// Grouped only: mirrored back to the flat field.
+	cfg, err = Config{DocRoot: root, Cache: CacheConfig{ChunkBytes: 8192}}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ChunkBytes != 8192 {
+		t.Fatalf("grouped value not mirrored back: ChunkBytes = %d", cfg.ChunkBytes)
+	}
+
+	// Both set, equal: fine.
+	if _, err := (Config{DocRoot: root, MapCacheBytes: 1 << 20,
+		Cache: CacheConfig{MapBytes: 1 << 20}}).withDefaults(); err != nil {
+		t.Fatalf("agreeing spellings rejected: %v", err)
+	}
+}
+
+// Cache.Engine accepts the two engine names (and empty); anything
+// else is refused at validation, not at first miss.
+func TestCacheEngineValidation(t *testing.T) {
+	root := t.TempDir()
+	for _, eng := range []string{"", EngineHeap, EngineMmap} {
+		if _, err := (Config{DocRoot: root, Cache: CacheConfig{Engine: eng}}).withDefaults(); err != nil {
+			t.Fatalf("engine %q rejected: %v", eng, err)
+		}
+	}
+	_, err := (Config{DocRoot: root, Cache: CacheConfig{Engine: "tmpfs"}}).withDefaults()
+	if !errors.Is(err, ErrBadCacheEngine) {
+		t.Fatalf("err = %v, want ErrBadCacheEngine", err)
+	}
+}

@@ -26,6 +26,16 @@ import (
 	"repro/internal/cache"
 )
 
+// forEachEngine runs a test body once per cache engine. The engines
+// differ only in chunk transport (heap copies vs refcounted mmap
+// views), so every suite run through this helper is an equivalence
+// statement: engine choice can never change wire bytes.
+func forEachEngine(t *testing.T, fn func(t *testing.T, engine string)) {
+	for _, engine := range []string{EngineHeap, EngineMmap} {
+		t.Run("engine="+engine, func(t *testing.T) { fn(t, engine) })
+	}
+}
+
 // pattern returns n non-uniform bytes; offset bugs that uniform fills
 // (like big.bin's all-'B') would mask show up as mismatches here.
 func pattern(n int) []byte {
@@ -37,8 +47,8 @@ func pattern(n int) []byte {
 }
 
 // newEquivPair builds one docroot and serves it through both
-// transports.
-func newEquivPair(t *testing.T) (sf, cp *Server, sfBase, cpBase string) {
+// transports on the given cache engine.
+func newEquivPair(t *testing.T, engine string) (sf, cp *Server, sfBase, cpBase string) {
 	t.Helper()
 	root := t.TempDir()
 	files := map[string][]byte{
@@ -54,7 +64,8 @@ func newEquivPair(t *testing.T) (sf, cp *Server, sfBase, cpBase string) {
 		}
 	}
 	start := func(threshold int64) (*Server, string) {
-		s, err := New(Config{DocRoot: root, SendfileThreshold: threshold})
+		s, err := New(Config{DocRoot: root, SendfileThreshold: threshold,
+			Cache: CacheConfig{Engine: engine}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,8 +122,10 @@ func assertSameResponse(t *testing.T, label string, a, b *rawResponse) {
 	}
 }
 
-func TestTransportEquivalence(t *testing.T) {
-	sf, _, sfBase, cpBase := newEquivPair(t)
+func TestTransportEquivalence(t *testing.T) { forEachEngine(t, testTransportEquivalence) }
+
+func testTransportEquivalence(t *testing.T, engine string) {
+	sf, _, sfBase, cpBase := newEquivPair(t, engine)
 	etag := fileETag(t, sf, "small.txt")
 
 	cases := []struct {
@@ -161,7 +174,11 @@ func TestTransportEquivalence(t *testing.T) {
 // threshold, small below it on a default-threshold server) and asserts
 // the two framings agree exchange by exchange.
 func TestTransportEquivalencePipelined(t *testing.T) {
-	_, _, sfBase, cpBase := newEquivPair(t)
+	forEachEngine(t, testTransportEquivalencePipelined)
+}
+
+func testTransportEquivalencePipelined(t *testing.T, engine string) {
+	_, _, sfBase, cpBase := newEquivPair(t, engine)
 	script := "" +
 		"GET /large.bin HTTP/1.1\r\nHost: t\r\n\r\n" +
 		"GET /small.txt HTTP/1.1\r\nHost: t\r\n\r\n" +
@@ -214,91 +231,98 @@ func TestFDLifetimeUnderEviction(t *testing.T) {
 		{"sendfile", 1},
 	} {
 		t.Run("transport="+tc.name, func(t *testing.T) {
-			root := t.TempDir()
-			const nfiles, fileSize = 6, 192 << 10
-			want := make([][]byte, nfiles)
-			for i := 0; i < nfiles; i++ {
-				want[i] = pattern(fileSize + i) // distinct sizes and bytes
-				name := fmt.Sprintf("f%d.bin", i)
-				if err := os.WriteFile(filepath.Join(root, name), want[i], 0o644); err != nil {
-					t.Fatal(err)
-				}
-			}
-			s, err := New(Config{
-				DocRoot:           root,
-				EventLoops:        1,
-				PathCacheEntries:  2, // working set is 6: constant eviction
-				MapCacheBytes:     1, // chunks are transient: every read hits the fd
-				SendfileThreshold: tc.threshold,
+			forEachEngine(t, func(t *testing.T, engine string) {
+				testFDLifetimeUnderEviction(t, tc.threshold, engine)
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			l, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				t.Fatal(err)
-			}
-			go s.Serve(l)
-			t.Cleanup(func() { s.Close() })
-			base := "http://" + l.Addr().String()
+		})
+	}
+}
 
-			var wg sync.WaitGroup
-			errs := make(chan error, 64)
-			for w := 0; w < 8; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					client := &http.Client{}
-					for j := 0; j < 40; j++ {
-						i := (w + j) % nfiles
-						resp, err := client.Get(fmt.Sprintf("%s/f%d.bin", base, i))
-						if err != nil {
-							errs <- err
-							return
-						}
-						body, err := io.ReadAll(resp.Body)
-						resp.Body.Close()
-						if err != nil {
-							errs <- fmt.Errorf("f%d.bin: %v", i, err)
-							return
-						}
-						if resp.StatusCode != 200 {
-							errs <- fmt.Errorf("f%d.bin: status %d", i, resp.StatusCode)
-							return
-						}
-						if !bytes.Equal(body, want[i]) {
-							errs <- fmt.Errorf("f%d.bin: body corrupt (%d bytes)", i, len(body))
-							return
-						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			close(errs)
-			for err := range errs {
-				t.Fatal(err)
-			}
+func testFDLifetimeUnderEviction(t *testing.T, threshold int64, engine string) {
+	root := t.TempDir()
+	const nfiles, fileSize = 6, 192 << 10
+	want := make([][]byte, nfiles)
+	for i := 0; i < nfiles; i++ {
+		want[i] = pattern(fileSize + i) // distinct sizes and bytes
+		name := fmt.Sprintf("f%d.bin", i)
+		if err := os.WriteFile(filepath.Join(root, name), want[i], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(Config{
+		DocRoot:           root,
+		EventLoops:        1,
+		PathCacheEntries:  2, // working set is 6: constant eviction
+		MapCacheBytes:     1, // chunks are transient: every read hits the fd
+		SendfileThreshold: threshold,
+		Cache:             CacheConfig{Engine: engine},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	base := "http://" + l.Addr().String()
 
-			// Quiesced: no pin may outlive its response — every cached
-			// entry holds exactly the cache's own reference.
-			deadline := time.Now().Add(2 * time.Second)
-			for {
-				leaked := 0
-				s.shards[0].call(func() {
-					s.shards[0].view.EachPath(func(_ string, e cache.PathEntry) {
-						if r := entryRef(e); r != nil && r.Refs() != 1 {
-							leaked++
-						}
-					})
-				})
-				if leaked == 0 {
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for j := 0; j < 40; j++ {
+				i := (w + j) % nfiles
+				resp, err := client.Get(fmt.Sprintf("%s/f%d.bin", base, i))
+				if err != nil {
+					errs <- err
 					return
 				}
-				if time.Now().After(deadline) {
-					t.Fatalf("%d cached descriptors still pinned after quiesce", leaked)
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("f%d.bin: %v", i, err)
+					return
 				}
-				time.Sleep(10 * time.Millisecond)
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("f%d.bin: status %d", i, resp.StatusCode)
+					return
+				}
+				if !bytes.Equal(body, want[i]) {
+					errs <- fmt.Errorf("f%d.bin: body corrupt (%d bytes)", i, len(body))
+					return
+				}
 			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: no pin may outlive its response — every cached
+	// entry holds exactly the cache's own reference.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		leaked := 0
+		s.shards[0].call(func() {
+			s.shards[0].view.EachPath(func(_ string, e cache.PathEntry) {
+				if r := entryRef(e); r != nil && r.Refs() != 1 {
+					leaked++
+				}
+			})
 		})
+		if leaked == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d cached descriptors still pinned after quiesce", leaked)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -67,8 +67,23 @@ type helperResult struct {
 	// of Flash keeping file mappings between requests) and closes it on
 	// invalidation or eviction.
 	file *os.File
+	// mapped carries a chunk job's mmap region under the mmap engine
+	// (data is its byte view). The helper hands the reference to the
+	// done callback, which either adopts it into the cache
+	// (insertChunk) or releases it (releaseMapped) on the paths that
+	// discard the result.
+	mapped *cache.MmapRef
 	// isListing marks data as a generated directory listing.
 	isListing bool
+}
+
+// releaseMapped drops the result's mapping reference on paths that
+// discard the result instead of inserting it (error, stale identity).
+func (r *helperResult) releaseMapped() {
+	if r.mapped != nil {
+		r.mapped.Release()
+		r.mapped = nil
+	}
 }
 
 // helperPool runs the blocking-work goroutines. Jobs queue without
@@ -142,9 +157,9 @@ func (p *helperPool) execute(job helperJob) helperResult {
 	case jobStat:
 		return statJob(job.fsPath, job.index, job.listings)
 	case jobChunk:
-		return chunkJob(job.fsPath, job.file, job.off, job.n)
+		return chunkJob(job.fsPath, job.file, job.off, job.n, p.sh.srv.mapper)
 	case jobFill:
-		fillJob(job.fsPath, job.file, job.fill)
+		fillJob(job.fsPath, job.file, job.fill, p.sh.srv.mapper)
 		return helperResult{}
 	default:
 		return helperResult{err: os.ErrInvalid, status: 500}
@@ -200,7 +215,13 @@ func statJob(fsPath, index string, listings bool) helperResult {
 // caches can detect modified files (§5.3). ReadAt is safe for
 // concurrent use of one descriptor across helpers. The submitter's
 // descriptor pin is released here, once the read is done.
-func chunkJob(fsPath string, ref *cache.FileRef, off, n int64) helperResult {
+//
+// Under the mmap engine (mapper non-nil) the chunk is mapped instead
+// of read — the paper's "mmap + touch", with the faults taken here on
+// the helper — and the result carries the mapping reference for the
+// loop to adopt. A map failure (an exotic filesystem, say) falls back
+// to the plain read; the engines differ in transport, never in bytes.
+func chunkJob(fsPath string, ref *cache.FileRef, off, n int64, mapper cache.ChunkMapper) helperResult {
 	var f *os.File
 	if ref != nil {
 		defer ref.Release()
@@ -220,6 +241,17 @@ func chunkJob(fsPath string, ref *cache.FileRef, off, n int64) helperResult {
 	}
 	if testDiskRead != nil {
 		testDiskRead(fsPath, off)
+	}
+	if mapper != nil {
+		if mr, err := mapper.MapChunk(f, off, n, false); err == nil {
+			return helperResult{
+				fsPath:  fsPath,
+				size:    st.Size(),
+				modTime: st.ModTime().Unix(),
+				data:    mr.Bytes(),
+				mapped:  mr,
+			}
+		}
 	}
 	buf := make([]byte, n)
 	got, err := io.ReadFull(io.NewSectionReader(f, off, n), buf)
@@ -242,7 +274,16 @@ func chunkJob(fsPath string, ref *cache.FileRef, off, n int64) helperResult {
 // before every read, exactly as often as the per-chunk path stats, so
 // a file swapped mid-fill fails the fill (ErrFillStale) instead of
 // publishing bytes from two generations.
-func fillJob(fsPath string, ref *cache.FileRef, fill *cache.Fill) {
+// Under the mmap engine the producer maps the WHOLE file once
+// (lazily, madvise SEQUENTIAL — this is the engine's one-pass read)
+// and publishes each chunk as a refcounted view into that one
+// mapping, touched just before it goes out so the faults land here on
+// the helper: a multi-chunk file costs one mmap/munmap pair, not one
+// per chunk. PublishMapped consumes each view's reference on every
+// branch, so the producer's control flow is unchanged; the mapping
+// itself unmaps when the last chunk view (cache chunk, L1 replica,
+// in-flight response) lets go.
+func fillJob(fsPath string, ref *cache.FileRef, fill *cache.Fill, mapper cache.ChunkMapper) {
 	var f *os.File
 	if ref != nil {
 		defer ref.Release()
@@ -257,6 +298,16 @@ func fillJob(fsPath string, ref *cache.FileRef, fill *cache.Fill) {
 		defer opened.Close()
 		f = opened
 	}
+	var mapping *cache.MmapRef
+	if mapper != nil {
+		// A map failure (an exotic filesystem, say) leaves mapping nil
+		// and the loop below falls back to plain reads — the engines
+		// differ in transport, never in bytes.
+		if mr, err := mapper.MapChunk(f, 0, fill.Size(), true); err == nil {
+			mapping = mr
+			defer mapping.Release()
+		}
+	}
 	for i := 0; i < fill.NumChunks(); i++ {
 		st, err := f.Stat()
 		if err != nil {
@@ -270,6 +321,14 @@ func fillJob(fsPath string, ref *cache.FileRef, fill *cache.Fill) {
 		off, n := fill.ChunkRange(i)
 		if testDiskRead != nil {
 			testDiskRead(fsPath, off)
+		}
+		if mapping != nil {
+			sub := mapping.Slice(off, n)
+			sub.Touch() // fault this chunk's pages here, not on a writer
+			if !fill.PublishMapped(sub) {
+				return
+			}
+			continue
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {

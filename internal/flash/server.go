@@ -74,6 +74,10 @@ type Server struct {
 	cfg    Config
 	store  cache.Store // the unified cache layer; shards hold Views of it
 	shards []*shard
+	// mapper is the store's mmap capability (Cache.Engine="mmap"):
+	// helpers map chunks through it instead of reading them. Nil for
+	// the heap engine, and for custom stores without the capability.
+	mapper cache.ChunkMapper
 
 	// routes is the v2 handler table. It is mutable only before the
 	// server starts (Handle panics afterwards), so shards and
@@ -108,6 +112,9 @@ type shard struct {
 	// shared chunk tier behind them. Only this loop may call it.
 	view  cache.View
 	store cache.Store // the store's shared geometry and tiers
+	// mview is view's mapped-insert extension; non-nil exactly when
+	// srv.mapper is (the mmap engine).
+	mview cache.MappedView
 
 	// Event-loop-owned state (never touched by other goroutines).
 	stats    Stats
@@ -162,12 +169,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	store := cfg.Cache.Engine
+	store := cfg.Cache.Store
 	if store == nil {
 		// The built-in store: loop-private path/header caches and L1
 		// chunk replicas per shard, over one shared chunk tier whose
 		// byte budget is configured once — NOT divided by EventLoops.
-		store = cache.NewShardedStore(cache.StoreOptions{
+		// Cache.Engine picks the chunk backing: heap buffers, or
+		// refcounted mmap regions (NewMmapStore).
+		opts := cache.StoreOptions{
 			Shards:             cfg.EventLoops,
 			PathEntries:        cfg.Cache.PathEntries,
 			HeaderEntries:      cfg.Cache.HeaderEntries,
@@ -181,9 +190,14 @@ func New(cfg Config) (*Server, error) {
 				// the file closes only when the last one finishes.
 				releaseEntryFile(e.File)
 			},
-		})
+		}
+		if cfg.Cache.Engine == EngineMmap {
+			store = cache.NewMmapStore(opts)
+		} else {
+			store = cache.NewShardedStore(opts)
+		}
 	} else if store.Shards() < cfg.EventLoops {
-		return nil, fmt.Errorf("flash: Cache.Engine has %d shards, need %d",
+		return nil, fmt.Errorf("flash: Cache.Store has %d shards, need %d",
 			store.Shards(), cfg.EventLoops)
 	}
 	s := &Server{
@@ -191,6 +205,13 @@ func New(cfg Config) (*Server, error) {
 		store:     store,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
+	}
+	if cm, ok := store.(cache.ChunkMapper); ok && cm.MmapBacked() {
+		// Mapped inserts need MappedView on every shard's view; a
+		// store advertising the mapper without it stays on reads.
+		if _, ok := store.View(0).(cache.MappedView); ok {
+			s.mapper = cm
+		}
 	}
 	for i := 0; i < cfg.EventLoops; i++ {
 		s.shards = append(s.shards, newShard(s, i))
@@ -209,6 +230,9 @@ func newShard(srv *Server, id int) *shard {
 		msgs:      make(chan loopMsg, 512),
 		loopDone:  make(chan struct{}),
 		clockStop: make(chan struct{}),
+	}
+	if srv.mapper != nil {
+		sh.mview = sh.view.(cache.MappedView)
 	}
 	sh.clock.Store(time.Now().UnixNano())
 	go sh.runClock()

@@ -232,6 +232,7 @@ func (cs *chunkSource) loadChunk(s *shard, c *conn, idx int, last bool) {
 			if res.err != nil {
 				// The file vanished or changed size mid-response; the
 				// stated Content-Length can no longer be honored.
+				res.releaseMapped()
 				s.invalidateFile(c.ls.req.Path, pe)
 				s.failConn(c)
 				return
@@ -239,6 +240,7 @@ func (cs *chunkSource) loadChunk(s *shard, c *conn, idx int, last bool) {
 			if res.modTime != pe.ModTime {
 				// Stale caches detected by the mapping layer (§5.3-5.4):
 				// invalidate and restart this request against the new file.
+				res.releaseMapped()
 				s.invalidateFile(c.ls.req.Path, pe)
 				if idx == cs.firstChunk && !c.inFlight && !c.failed &&
 					!c.writeDone && c.ls.src == bodySource(cs) {
@@ -249,10 +251,22 @@ func (cs *chunkSource) loadChunk(s *shard, c *conn, idx int, last bool) {
 				s.failConn(c)
 				return
 			}
-			ch := s.view.Insert(key, res.data, int64(len(res.data)), pe.ModTime)
+			ch := s.insertChunk(key, &res, pe.ModTime)
 			cs.queueChunk(s, c, ch, last)
 		},
 	})
+}
+
+// insertChunk records a helper's chunk result through the view: the
+// plain insert on the heap engine, or the mapped insert — the cache
+// chunk adopts the result's mmap reference — under the mmap engine.
+func (s *shard) insertChunk(key cache.ChunkKey, res *helperResult, modTime int64) *cache.Chunk {
+	if res.mapped != nil {
+		m := res.mapped
+		res.mapped = nil // ownership moves to the chunk
+		return s.mview.InsertMapped(key, m, int64(len(res.data)), modTime)
+	}
+	return s.view.Insert(key, res.data, int64(len(res.data)), modTime)
 }
 
 // startFill hands a freshly registered fill to its producer: one

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# bench_engine_disk.sh — heap-vs-mmap cache engine sweep against a real
+# disk (the regime BenchmarkEngineZipf deliberately avoids: there the
+# docroot is page-cache-warm so the fill transports hit DRAM; here the
+# page cache is defeated between runs so fills pay real I/O).
+#
+# For each engine this script:
+#   1. seeds a Zipf-shaped docroot ~10x the chunk-cache budget,
+#   2. drops the kernel page cache (echo 3 > drop_caches — needs root;
+#      without root the first run's fills warm the cache for the second
+#      and the comparison measures nothing),
+#   3. starts `flashd -cache-engine <engine>` cold,
+#   4. drives it with `loadgen -zipf-*` for the configured duration,
+#   5. samples the server's VmRSS (peak and final) from /proc. Read it
+#      with care: resident mapped file pages COUNT toward VmRSS, so
+#      the two engines can show similar numbers — the difference is
+#      what the pages are. The heap engine's budget is anonymous
+#      memory duplicating bytes the page cache also holds (double
+#      buffering, the paper's section 4.3 complaint); the mmap
+#      engine's budget IS the page cache's copy, mapped in — clean,
+#      shared, and reclaimable under memory pressure without swap.
+#      System-wide cached-file memory (free(1)'s "buff/cache") drops
+#      by roughly the budget on the mmap engine.
+#
+# An O_DIRECT baseline (dd iflag=direct over the docroot) is printed
+# first when root is unavailable, as a sanity number for raw device
+# latency — but drop_caches is the supported way to run the sweep.
+#
+# Usage: scripts/bench_engine_disk.sh [docroot-dir]
+#   FILES=640 FILE_KB=256 MAP_MB=16 CLIENTS=64 DURATION=30s SKEW=1.1
+#   variables override the sweep shape.
+
+set -euo pipefail
+
+ROOT=${1:-$(mktemp -d /tmp/flash-disk-sweep.XXXXXX)}
+FILES=${FILES:-640}
+FILE_KB=${FILE_KB:-256}
+MAP_MB=${MAP_MB:-16} # budget: FILES*FILE_KB should be ~10x this
+CLIENTS=${CLIENTS:-64}
+DURATION=${DURATION:-30s}
+SKEW=${SKEW:-1.1}
+ADDR=${ADDR:-127.0.0.1:8090}
+OUT=${OUT:-/tmp/flash-disk-sweep}
+
+cd "$(dirname "$0")/.."
+go build -o "$OUT-flashd" ./cmd/flashd
+go build -o "$OUT-loadgen" ./cmd/loadgen
+
+mkdir -p "$ROOT/zipf"
+if [ ! -f "$ROOT/zipf/f00000.bin" ]; then
+    echo "seeding $FILES x ${FILE_KB}KiB under $ROOT/zipf ..."
+    for i in $(seq 0 $((FILES - 1))); do
+        head -c $((FILE_KB * 1024)) /dev/urandom \
+            >"$ROOT/zipf/$(printf 'f%05d.bin' "$i")"
+    done
+fi
+
+drop_caches() {
+    sync
+    if [ -w /proc/sys/vm/drop_caches ]; then
+        echo 3 >/proc/sys/vm/drop_caches
+        echo "  page cache dropped"
+    elif command -v sudo >/dev/null && sudo -n true 2>/dev/null; then
+        echo 3 | sudo tee /proc/sys/vm/drop_caches >/dev/null
+        echo "  page cache dropped (sudo)"
+    else
+        echo "  WARNING: cannot drop the page cache (need root)."
+        echo "  Raw-device sanity number via O_DIRECT instead:"
+        dd if="$ROOT/zipf/f00000.bin" of=/dev/null iflag=direct bs=64k 2>&1 |
+            tail -1 | sed 's/^/    /' || true
+        echo "  Engine numbers below compare a WARM page cache only."
+    fi
+}
+
+rss_kb() { awk '/^VmRSS/ {print $2}' "/proc/$1/status" 2>/dev/null || echo 0; }
+
+for engine in heap mmap; do
+    echo "=== engine=$engine ==="
+    drop_caches
+    "$OUT-flashd" -root "$ROOT" -addr "$ADDR" -cache-engine "$engine" \
+        -cache-map-mb "$MAP_MB" -sendfile-threshold 0 \
+        >"$OUT-$engine.log" 2>&1 &
+    SRV=$!
+    trap 'kill $SRV 2>/dev/null || true' EXIT
+    sleep 0.5
+
+    peak=0
+    (while kill -0 "$SRV" 2>/dev/null; do
+        cur=$(rss_kb "$SRV")
+        [ "$cur" -gt "$peak" ] && peak=$cur && echo "$peak" >"$OUT-$engine.rss"
+        sleep 0.2
+    done) &
+    MON=$!
+
+    "$OUT-loadgen" -addr "$ADDR" -clients "$CLIENTS" -duration "$DURATION" \
+        -keepalive -zipf-files "$FILES" -zipf-skew "$SKEW" \
+        -json "$OUT-$engine.json" | sed 's/^/  /'
+
+    final=$(rss_kb "$SRV")
+    kill "$SRV" 2>/dev/null || true
+    wait "$SRV" 2>/dev/null || true
+    kill "$MON" 2>/dev/null || true
+    peak=$(cat "$OUT-$engine.rss" 2>/dev/null || echo "$final")
+    echo "  VmRSS: final ${final} KiB, peak ${peak} KiB"
+    echo "  summary json: $OUT-$engine.json"
+done
+
+echo
+echo "Compare requests/s + MB/s across $OUT-{heap,mmap}.json and the"
+echo "VmRSS lines above. Same budget (${MAP_MB} MiB) both runs, but the"
+echo "heap engine's is anonymous memory on top of the page cache's copy"
+echo "of the same bytes, while the mmap engine's is the page cache copy"
+echo "itself (clean, shared, reclaimable): one copy of file data in the"
+echo "system instead of two."
