@@ -8,6 +8,7 @@
 //	flashd -root ./public [-addr :8080] [-loops N] [-helpers 8] [-status]
 //	       [-userdir-base /home -userdir-suffix public_html]
 //	       [-access-log access.log]
+//	       [-conn-engine goroutine|epoll]
 //	       [-cache-engine heap|mmap]
 //	       [-cache-path-entries 6000] [-cache-header-entries 6000]
 //	       [-cache-map-mb 64] [-cache-chunk-kb 64] [-cache-l1-kb 0]
@@ -54,6 +55,8 @@ func main() {
 		root       = flag.String("root", "", "document root (required)")
 		loops      = flag.Int("loops", 0, "event-loop shards (0 = one per CPU)")
 		helpers    = flag.Int("helpers", 8, "disk helper goroutines per shard")
+		connEng    = flag.String("conn-engine", "goroutine", "connection engine: goroutine (portable, 3 goroutines/conn) or epoll (Linux readiness loop, zero goroutines per idle conn)")
+		idleTO     = flag.Duration("idle-timeout", 0, "keep-alive idle timeout (0 = built-in default; idle-conn soaks raise this)")
 		cacheEng   = flag.String("cache-engine", "heap", "chunk cache engine: heap (copied buffers) or mmap (refcounted mmap(2) views; heap fallback off Linux)")
 		cachePaths = flag.Int("cache-path-entries", 6000, "pathname cache entries (server-wide)")
 		cacheHdrs  = flag.Int("cache-header-entries", 0, "header cache entries (0 = same as -cache-path-entries)")
@@ -104,9 +107,11 @@ func main() {
 	}
 
 	cfg := flash.Config{
-		DocRoot:    *root,
-		EventLoops: *loops,
-		NumHelpers: *helpers,
+		DocRoot:     *root,
+		EventLoops:  *loops,
+		NumHelpers:  *helpers,
+		ConnEngine:  *connEng,
+		IdleTimeout: *idleTO,
 		Cache: flash.CacheConfig{
 			Engine:             *cacheEng,
 			PathEntries:        pathEntries,
@@ -191,8 +196,10 @@ func main() {
 				shards := srv.ShardStats()
 				var b strings.Builder
 				fmt.Fprintf(&b, "flashd status\n=============\n")
+				fmt.Fprintf(&b, "conn engine:   %s\n", srv.ConnEngine())
 				fmt.Fprintf(&b, "accepted:      %d\n", st.Accepted)
 				fmt.Fprintf(&b, "active:        %d\n", st.Active)
+				fmt.Fprintf(&b, "open conns:    %d (idle: %d)\n", st.OpenConns, st.IdleConns)
 				fmt.Fprintf(&b, "responses:     %d\n", st.Responses)
 				fmt.Fprintf(&b, "not found:     %d\n", st.NotFound)
 				fmt.Fprintf(&b, "errors:        %d\n", st.Errors)
@@ -211,8 +218,8 @@ func main() {
 					st.Fills.Started, st.Fills.Joined, st.Fills.Completed, st.Fills.Failed)
 				fmt.Fprintf(&b, "\nper-shard (%d event loops)\n", srv.NumShards())
 				for i, ss := range shards {
-					fmt.Fprintf(&b, "shard %2d: accepted=%d responses=%d bytes=%d path-hit=%.1f%%\n",
-						i, ss.Accepted, ss.Responses, ss.BytesSent, 100*ss.PathCache.HitRate())
+					fmt.Fprintf(&b, "shard %2d: accepted=%d open=%d idle=%d responses=%d bytes=%d path-hit=%.1f%%\n",
+						i, ss.Accepted, ss.OpenConns, ss.IdleConns, ss.Responses, ss.BytesSent, 100*ss.PathCache.HitRate())
 				}
 				return 200, "text/plain", io.NopCloser(strings.NewReader(b.String())), nil
 			}))

@@ -12,7 +12,16 @@
 //	        [-range-frac 0.2] [-revalidate-frac 0.2]
 //	        [-large-frac 0.1 -large-path /large.bin]
 //	        [-post-frac 0.1 -post-bytes 1024 -post-path /echo]
+//	        [-open-conns 10000 -idle-frac 1.0 -think 1s]
 //	        [-json out.json]
+//
+// -open-conns holds that many extra keep-alive connections open for
+// the whole run — the idle-connection fleet used to measure per-conn
+// server cost (the epoll engine's reason to exist). Each fleet conn
+// performs one priming exchange; the -idle-frac share then sits fully
+// idle while the rest re-request with exponentially distributed think
+// times of mean -think (a Poisson arrival process per conn). Fleet
+// exchanges count toward the summary like any other.
 //
 // -range-frac issues that fraction of requests with "Range: bytes=0-1023"
 // (exercising the 206 partial-content path); -revalidate-frac issues
@@ -89,6 +98,9 @@ func main() {
 		zipfSkew  = flag.Float64("zipf-skew", 1.1, "Zipf exponent (> 1) for -zipf-files; larger = more skew")
 		zipfFmt   = flag.String("zipf-path-fmt", "/zipf/f%05d.bin", "printf pattern mapping a Zipf rank to a request path")
 		zipfSeed  = flag.Int64("zipf-seed", 1, "PRNG seed for the -zipf-files request stream")
+		openConns = flag.Int("open-conns", 0, "background keep-alive connections held open for the whole run (idle-conn fleet)")
+		idleFrac  = flag.Float64("idle-frac", 1.0, "fraction of -open-conns that stay fully idle after one priming exchange (0..1); the rest re-request with Poisson think time")
+		thinkTime = flag.Duration("think", time.Second, "mean think time (exponential) for the non-idle share of -open-conns")
 		jsonOut   = flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
@@ -156,6 +168,16 @@ func main() {
 		postPath:  *postPath,
 	}
 	start := time.Now()
+	if *openConns > 0 {
+		idleCut := int(float64(*openConns) * *idleFrac)
+		for i := 0; i < *openConns; i++ {
+			wg.Add(1)
+			go func(seed int64, idle bool) {
+				defer wg.Done()
+				runFleetConn(*addr, next, idle, *thinkTime, seed, stop, &c)
+			}(int64(i), i < idleCut)
+		}
+	}
 	for i := 0; i < *clients; i++ {
 		wg.Add(1)
 		go func(h *metrics.Histogram) {
@@ -180,6 +202,10 @@ func main() {
 		Errors:    c.errors.Load(),
 	}
 	fmt.Printf("clients:     %d (keepalive=%v)\n", *clients, *keepAlive)
+	if *openConns > 0 {
+		fmt.Printf("fleet:       %d open conns (idle-frac=%.2f, think=%v)\n",
+			*openConns, *idleFrac, *thinkTime)
+	}
 	fmt.Printf("duration:    %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("responses:   %d (%.1f req/s)\n", sum.Responses, sum.RequestsPerSec())
 	fmt.Printf("partial:     %d (206 range responses)\n", c.partial.Load())
@@ -203,6 +229,8 @@ func main() {
 	if *jsonOut != "" {
 		js := jsonSummary{
 			Clients:        *clients,
+			OpenConns:      *openConns,
+			IdleFrac:       *idleFrac,
 			KeepAlive:      *keepAlive,
 			DurationSec:    elapsed.Seconds(),
 			Responses:      sum.Responses,
@@ -247,6 +275,8 @@ func main() {
 // by -json; BENCH_*.json files embed it verbatim.
 type jsonSummary struct {
 	Clients        int            `json:"clients"`
+	OpenConns      int            `json:"open_conns,omitempty"`
+	IdleFrac       float64        `json:"idle_frac,omitempty"`
 	KeepAlive      bool           `json:"keepalive"`
 	DurationSec    float64        `json:"duration_sec"`
 	Responses      uint64         `json:"responses"`
@@ -400,6 +430,78 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 			conn.Close()
 			conn = nil
 		}
+	}
+}
+
+// runFleetConn is one member of the -open-conns idle fleet: dial, one
+// priming keep-alive exchange, then either park until the run ends
+// (idle) or re-request forever with exponentially distributed think
+// gaps of the given mean — each conn an independent Poisson arrival
+// process. A dropped conn (server close, error) redials so the fleet
+// size holds for the whole run.
+func runFleetConn(addr string, next func() string, idle bool, think time.Duration,
+	seed int64, stop <-chan struct{}, c *counters) {
+	rng := rand.New(rand.NewSource(seed))
+	var conn net.Conn
+	var br *bufio.Reader
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if conn == nil {
+			nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				c.errors.Add(1)
+				select {
+				case <-stop:
+					return
+				case <-time.After(100 * time.Millisecond):
+				}
+				continue
+			}
+			conn, br = nc, bufio.NewReader(nc)
+			res, err := doRequest(conn, br, "GET", next(), "", true, "")
+			if err != nil || !res.keep {
+				c.errors.Add(1)
+				conn.Close()
+				conn = nil
+				continue
+			}
+			c.responses.Add(1)
+			c.bytes.Add(res.bodyBytes)
+			// The priming exchange set a 30s deadline; clear it so the
+			// parked conn does not trip it while idle.
+			conn.SetDeadline(time.Time{})
+		}
+		if idle {
+			<-stop // hold the conn open, perfectly quiet
+			return
+		}
+		gap := time.Duration(rng.ExpFloat64() * float64(think))
+		select {
+		case <-stop:
+			return
+		case <-time.After(gap):
+		}
+		res, err := doRequest(conn, br, "GET", next(), "", true, "")
+		if err != nil || !res.keep {
+			if err != nil {
+				c.errors.Add(1)
+			}
+			conn.Close()
+			conn = nil
+			continue
+		}
+		c.responses.Add(1)
+		c.bytes.Add(res.bodyBytes)
+		conn.SetDeadline(time.Time{})
 	}
 }
 

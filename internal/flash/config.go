@@ -29,9 +29,17 @@
 //     blocks on disk: misses are dispatched to helpers and the request
 //     parks until the completion message arrives, like the paper's
 //     helper processes notifying the server over a pipe.
-//   - Per-connection reader and writer goroutines stand in for
-//     select-driven non-blocking socket code; Go's netpoller parks them
-//     without consuming threads.
+//   - Two connection engines drive sockets (Config.ConnEngine). The
+//     portable default parks per-connection reader and writer
+//     goroutines on Go's netpoller, standing in for select-driven
+//     non-blocking socket code. The Linux-only epoll engine is the
+//     literal reading: connections are accepted with
+//     accept4(SOCK_NONBLOCK), multiplexed by a raw edge-triggered
+//     epoll loop per shard, advanced by an explicit per-connection
+//     state machine, and timed out on a per-shard timer wheel — an
+//     idle keep-alive connection holds no goroutines at all. Both
+//     engines feed the same parser/cache/transport pipeline and are
+//     byte-identical on the wire.
 //   - File chunks are immutable []byte buffers; cache eviction drops
 //     the reference while in-flight writers keep theirs, so the garbage
 //     collector plays the role of munmap.
@@ -126,6 +134,19 @@ type Config struct {
 	//
 	// Deprecated: set Cache.ChunkBytes.
 	ChunkBytes int64
+
+	// ConnEngine selects the per-connection I/O engine. The default,
+	// ConnEngineGoroutine, runs a reader and a writer goroutine per
+	// connection parked on Go's netpoller — portable everywhere and
+	// friendly to blocking handlers. ConnEngineEpoll (Linux only) runs
+	// a readiness-driven state machine on a raw epoll loop per shard —
+	// the paper's select()-loop heart — so an idle keep-alive
+	// connection costs an fd in an interest set plus a few hundred
+	// bytes of state, no goroutine stacks: the engine for
+	// hundreds-of-thousands-of-connections fleets. Both engines speak
+	// byte-identical HTTP (the torture and equivalence suites run on
+	// each).
+	ConnEngine string
 
 	// SendfileThreshold selects the static-body transport per response:
 	// bodies of at least this many bytes are served straight from the
@@ -264,6 +285,13 @@ const (
 	EngineMmap = "mmap"
 )
 
+// Connection engine names for Config.ConnEngine and flashd
+// -conn-engine.
+const (
+	ConnEngineGoroutine = "goroutine"
+	ConnEngineEpoll     = "epoll"
+)
+
 // DefaultSendfileThreshold is the body size at which static responses
 // switch from the chunk-cache copy path to the sendfile transport when
 // Config.SendfileThreshold is left zero.
@@ -279,6 +307,11 @@ var (
 	ErrBadDocRoot = errors.New("flash: Config.DocRoot is not a directory")
 	// ErrBadCacheEngine reports an unknown Cache.Engine name.
 	ErrBadCacheEngine = errors.New(`flash: Cache.Engine must be "", "heap", or "mmap"`)
+	// ErrBadConnEngine reports an unknown ConnEngine name.
+	ErrBadConnEngine = errors.New(`flash: ConnEngine must be "", "goroutine", or "epoll"`)
+	// ErrConnEngineUnsupported reports ConnEngineEpoll on a platform
+	// without epoll (the goroutine engine is the portable fallback).
+	ErrConnEngineUnsupported = errors.New("flash: ConnEngine epoll is only supported on linux")
 	// ErrCacheConfigConflict reports a deprecated flat cache field and
 	// its grouped Cache counterpart set to different non-zero values.
 	// The grouped spelling wins by contract, but a disagreement is
@@ -308,6 +341,17 @@ func (cfg Config) withDefaults() (Config, error) {
 	case "", EngineHeap, EngineMmap:
 	default:
 		return cfg, fmt.Errorf("%w (got %q)", ErrBadCacheEngine, cfg.Cache.Engine)
+	}
+	switch cfg.ConnEngine {
+	case "":
+		cfg.ConnEngine = ConnEngineGoroutine
+	case ConnEngineGoroutine:
+	case ConnEngineEpoll:
+		if !epollSupported {
+			return cfg, ErrConnEngineUnsupported
+		}
+	default:
+		return cfg, fmt.Errorf("%w (got %q)", ErrBadConnEngine, cfg.ConnEngine)
 	}
 	// Merge the deprecated flat cache fields into the grouped struct,
 	// fill defaults, then mirror the resolved values back so readers

@@ -101,6 +101,16 @@ type conn struct {
 	failed     bool
 	writeDone  bool // writeCh has been closed
 	endPending bool // close writeCh when the in-flight item completes
+
+	// busy (loop-owned) marks an exchange in flight for the idle gauge:
+	// set at exchange start, cleared at signalNext/teardown.
+	busy bool
+
+	// np is the connection's epoll-engine state (ConnEngineEpoll);
+	// nil under the goroutine engine. When set, writeCh/nextCh are nil
+	// and no reader or writer goroutine exists: the shard's readiness
+	// loop drives the exchange instead (netpoll_linux.go).
+	np *npConn
 }
 
 func newConn(sh *shard, nc net.Conn) *conn {

@@ -65,7 +65,7 @@ func newEquivPair(t *testing.T, engine string) (sf, cp *Server, sfBase, cpBase s
 	}
 	start := func(threshold int64) (*Server, string) {
 		s, err := New(Config{DocRoot: root, SendfileThreshold: threshold,
-			Cache: CacheConfig{Engine: engine}})
+			ConnEngine: testConnEngine, Cache: CacheConfig{Engine: engine}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +122,9 @@ func assertSameResponse(t *testing.T, label string, a, b *rawResponse) {
 	}
 }
 
-func TestTransportEquivalence(t *testing.T) { forEachEngine(t, testTransportEquivalence) }
+func TestTransportEquivalence(t *testing.T) {
+	forEachConnEngine(t, func(t *testing.T) { forEachEngine(t, testTransportEquivalence) })
+}
 
 func testTransportEquivalence(t *testing.T, engine string) {
 	sf, _, sfBase, cpBase := newEquivPair(t, engine)
@@ -174,7 +176,7 @@ func testTransportEquivalence(t *testing.T, engine string) {
 // threshold, small below it on a default-threshold server) and asserts
 // the two framings agree exchange by exchange.
 func TestTransportEquivalencePipelined(t *testing.T) {
-	forEachEngine(t, testTransportEquivalencePipelined)
+	forEachConnEngine(t, func(t *testing.T) { forEachEngine(t, testTransportEquivalencePipelined) })
 }
 
 func testTransportEquivalencePipelined(t *testing.T, engine string) {

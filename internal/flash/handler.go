@@ -472,7 +472,7 @@ func (s *shard) startHandler(c *conn, req *httpmsg.Request, h Handler, body *bod
 	r := &Request{
 		Request:    req,
 		Body:       io.Reader(eofReader{}),
-		RemoteAddr: c.nc.RemoteAddr().String(),
+		RemoteAddr: c.remote,
 	}
 	if body != nil {
 		body.w = w

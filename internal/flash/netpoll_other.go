@@ -1,0 +1,30 @@
+//go:build !linux
+
+package flash
+
+import "net"
+
+// The epoll connection engine is Linux-only; Config validation rejects
+// ConnEngineEpoll elsewhere (ErrConnEngineUnsupported), so none of
+// these stubs can be reached with a live epoll conn — they exist to
+// keep the shared engine branch points (queueItem, signalNext, Serve,
+// Shutdown, shard.loop) building portably. The goroutine engine is the
+// portable default.
+
+// epollSupported gates Config.ConnEngine validation.
+const epollSupported = false
+
+// npShard and npConn are never instantiated off Linux; the fields
+// shared code consults (shard.np, conn.np) stay nil.
+type npShard struct{}
+
+type npConn struct{}
+
+func newNpShard() (*npShard, error) { return nil, ErrConnEngineUnsupported }
+
+func (s *shard) npLoop()                                  {}
+func (s *shard) npWake()                                  {}
+func (s *shard) npShutdownIdle()                          {}
+func (s *shard) npQueue(c *conn, _ writeItem)             { panic("flash: epoll conn off linux") }
+func (s *shard) npNext(c *conn, _ bool)                   { panic("flash: epoll conn off linux") }
+func (s *Server) serveEpoll(l net.Listener) (error, bool) { return nil, false }

@@ -19,6 +19,7 @@ import (
 func (s *shard) handleExchange(c *conn, plan exchangePlan) {
 	req := plan.req
 	c.ls = loopState{req: req, status: 200}
+	s.markBusy(c)
 	if s.shutdown {
 		s.errorResponse(c, 503, false)
 		return
@@ -360,6 +361,13 @@ func (s *shard) queueItem(c *conn, item writeItem) {
 		panic("flash: queueItem while an item is in flight")
 	}
 	c.inFlight = true
+	if c.np != nil {
+		// Epoll engine: no writer goroutine. Stage the item on the
+		// conn's netpoll state and push bytes while the socket accepts
+		// them; EAGAIN parks the conn on EPOLLOUT (netpoll_linux.go).
+		s.npQueue(c, item)
+		return
+	}
 	c.writeCh <- item
 }
 
@@ -417,11 +425,31 @@ func (s *shard) finishResponse(c *conn) {
 	s.signalNext(c, keep)
 }
 
-// signalNext releases the reader for the next request.
+// signalNext ends the exchange: under the goroutine engine it releases
+// the parked reader for the next request; under epoll it advances the
+// conn's state machine (drain leftover body bytes, then parse the next
+// head or park idle). Both engines clear the busy gauge here — the one
+// funnel every completed or failed response passes through.
 func (s *shard) signalNext(c *conn, keep bool) {
+	if c.busy {
+		c.busy = false
+		s.busyConns--
+	}
+	if c.np != nil {
+		s.npNext(c, keep)
+		return
+	}
 	select {
 	case c.nextCh <- keep:
 	default:
+	}
+}
+
+// markBusy flips a conn into the busy state for the idle gauge.
+func (s *shard) markBusy(c *conn) {
+	if !c.busy {
+		c.busy = true
+		s.busyConns++
 	}
 }
 
@@ -449,7 +477,8 @@ func (s *shard) failConn(c *conn) {
 	}
 }
 
-// closeWrite closes the writer channel exactly once.
+// closeWrite closes the writer channel exactly once (epoll conns have
+// no channel; the flag alone marks the write side dead).
 func (s *shard) closeWrite(c *conn) {
 	if c.writeDone {
 		return
@@ -459,7 +488,9 @@ func (s *shard) closeWrite(c *conn) {
 		return
 	}
 	c.writeDone = true
-	close(c.writeCh)
+	if c.np == nil {
+		close(c.writeCh)
+	}
 }
 
 // connEnd runs when the reader goroutine exits: the response pipeline
@@ -467,6 +498,11 @@ func (s *shard) closeWrite(c *conn) {
 // holds outside queued items — sources tolerate the abort arriving
 // after a completed response.
 func (s *shard) connEnd(c *conn) {
+	s.stats.OpenConns--
+	if c.busy {
+		c.busy = false
+		s.busyConns--
+	}
 	if src := c.ls.src; src != nil {
 		src.abort(s, c)
 	}
@@ -654,6 +690,7 @@ func headerFor(req *httpmsg.Request, hdr []byte) []byte {
 // version. req may be nil when the bytes never parsed.
 func (s *shard) rejectRequest(c *conn, req *httpmsg.Request, status int) {
 	c.ls = loopState{req: req}
+	s.markBusy(c)
 	s.errorResponse(c, status, false)
 }
 

@@ -27,9 +27,15 @@ type Stats struct {
 	// portable fallback on platforms without sendfile).
 	BytesSendfile int64
 	BytesCopied   int64
-	HelperJobs    uint64
-	PathCache     cache.Stats
-	HeaderCache   cache.Stats
+	// OpenConns and IdleConns are point-in-time gauges of the shard's
+	// connections: open counts every adopted conn, idle the subset
+	// parked between exchanges waiting for a request head. Maintained
+	// by both connection engines (see Config.ConnEngine).
+	OpenConns   int
+	IdleConns   int
+	HelperJobs  uint64
+	PathCache   cache.Stats
+	HeaderCache cache.Stats
 	// MapCache is the chunk-cache view: in a per-shard snapshot it is
 	// that shard's loop-private L1 replica tier; in the server-wide
 	// Stats it additionally folds in the shared segment tier, so it
@@ -54,6 +60,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.BytesSent += o.BytesSent
 	s.BytesSendfile += o.BytesSendfile
 	s.BytesCopied += o.BytesCopied
+	s.OpenConns += o.OpenConns
+	s.IdleConns += o.IdleConns
 	s.HelperJobs += o.HelperJobs
 	s.DynamicCalls += o.DynamicCalls
 	s.PathCache = s.PathCache.Add(o.PathCache)
@@ -119,6 +127,14 @@ type shard struct {
 	// Event-loop-owned state (never touched by other goroutines).
 	stats    Stats
 	shutdown bool
+	// busyConns counts conns with an exchange in flight (between
+	// handleExchange/rejectRequest and signalNext); the idle gauge is
+	// OpenConns minus this.
+	busyConns int
+
+	// np is the shard's epoll readiness engine (ConnEngineEpoll on
+	// Linux); nil under the portable goroutine engine.
+	np *npShard
 
 	msgs     chan loopMsg // the loop's mailbox
 	helpers  *helperPool
@@ -214,12 +230,23 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	for i := 0; i < cfg.EventLoops; i++ {
-		s.shards = append(s.shards, newShard(s, i))
+		sh, err := newShard(s, i)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.helpers.stop()
+				close(prev.msgs)
+				<-prev.loopDone
+				close(prev.clockStop)
+			}
+			store.Close()
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
 	}
 	return s, nil
 }
 
-func newShard(srv *Server, id int) *shard {
+func newShard(srv *Server, id int) (*shard, error) {
 	cfg := &srv.cfg
 	sh := &shard{
 		srv:       srv,
@@ -234,11 +261,18 @@ func newShard(srv *Server, id int) *shard {
 	if srv.mapper != nil {
 		sh.mview = sh.view.(cache.MappedView)
 	}
+	if cfg.ConnEngine == ConnEngineEpoll {
+		np, err := newNpShard()
+		if err != nil {
+			return nil, err
+		}
+		sh.np = np
+	}
 	sh.clock.Store(time.Now().UnixNano())
 	go sh.runClock()
 	sh.helpers = newHelperPool(sh, cfg.NumHelpers)
 	go sh.loop()
-	return sh
+	return sh, nil
 }
 
 // runClock refreshes the shard's coarse clock until the server closes.
@@ -258,6 +292,10 @@ func (s *shard) runClock() {
 // NumShards returns the number of event-loop shards.
 func (s *Server) NumShards() int { return len(s.shards) }
 
+// ConnEngine reports the active connection engine name
+// (ConnEngineGoroutine or ConnEngineEpoll).
+func (s *Server) ConnEngine() string { return s.cfg.ConnEngine }
+
 // String implements fmt.Stringer for debugging.
 func (s *Server) String() string {
 	return fmt.Sprintf("flash.Server{docroot=%s}", s.cfg.DocRoot)
@@ -267,21 +305,33 @@ func (s *Server) String() string {
 // shard's caches and per-request decision state. Every other goroutine
 // communicates with it by posting messages to the mailbox.
 func (s *shard) loop() {
+	if s.np != nil {
+		s.npLoop()
+		return
+	}
 	defer close(s.loopDone)
 	for m := range s.msgs {
-		switch m.kind {
-		case msgExchange:
-			s.handleExchange(m.c, m.plan)
-		case msgItemDone:
-			s.itemDone(m.c, m.item, m.wrote, m.sfWrote, m.ok)
-		default:
-			m.fn()
-		}
+		s.dispatch(m)
+	}
+}
+
+// dispatch runs one mailbox message on the loop (shared by both
+// engines' loop bodies).
+func (s *shard) dispatch(m loopMsg) {
+	switch m.kind {
+	case msgExchange:
+		s.handleExchange(m.c, m.plan)
+	case msgItemDone:
+		s.itemDone(m.c, m.item, m.wrote, m.sfWrote, m.ok)
+	default:
+		m.fn()
 	}
 }
 
 // send delivers a message to the shard's event loop. It reports false
 // after shutdown (the mailbox is closed and the message dropped).
+// Under the epoll engine the loop may be parked in EpollWait rather
+// than on the channel, so every send also tickles the wake pipe.
 func (s *shard) send(m loopMsg) (ok bool) {
 	defer func() {
 		if recover() != nil {
@@ -289,6 +339,7 @@ func (s *shard) send(m loopMsg) (ok bool) {
 		}
 	}()
 	s.msgs <- m
+	s.npWake()
 	return true
 }
 
@@ -328,6 +379,9 @@ func (s *shard) snapshot() Stats {
 	var out Stats
 	s.call(func() {
 		out = s.stats
+		if idle := out.OpenConns - s.busyConns; idle > 0 {
+			out.IdleConns = idle
+		}
 		ls := s.view.LocalStats()
 		out.PathCache = ls.Paths
 		out.HeaderCache = ls.Headers
@@ -441,6 +495,17 @@ func (s *Server) Serve(l net.Listener) error {
 		l.Close()
 	}()
 
+	if s.cfg.ConnEngine == ConnEngineEpoll {
+		// The epoll engine accepts raw non-blocking fds with
+		// accept4(2) and adopts them into the shard readiness loops.
+		// Listeners it cannot take over (non-TCP: tests use net.Pipe
+		// style wrappers) fall back to the goroutine accept path below;
+		// the conn-level engines coexist safely.
+		if err, handled := s.serveEpoll(l); handled {
+			return err
+		}
+	}
+
 	for {
 		nc, err := l.Accept()
 		if err != nil {
@@ -465,22 +530,34 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
-		sh.post(func() { sh.stats.Accepted++ })
+		sh.post(func() {
+			sh.stats.Accepted++
+			sh.stats.OpenConns++
+		})
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			c.serve()
-			s.mu.Lock()
-			delete(s.conns, c)
-			if s.draining && len(s.conns) == 0 {
-				// Last connection out during Shutdown: wake the drain
-				// waiter instead of leaving it to poll.
-				s.draining = false
-				close(s.drainCh)
-			}
-			s.mu.Unlock()
+			s.unregisterConn(c)
 		}()
 	}
+}
+
+// unregisterConn removes c from the connection registry and signals the
+// Shutdown drain waiter when the last one leaves. Called by the
+// goroutine engine's reader on exit and by the epoll engine's npClose —
+// the one funnel both engines share, so the drain channel covers epoll
+// conns too.
+func (s *Server) unregisterConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	if s.draining && len(s.conns) == 0 {
+		// Last connection out during Shutdown: wake the drain waiter
+		// instead of leaving it to poll.
+		s.draining = false
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
 }
 
 // ErrServerClosed is returned by Serve after Close or Shutdown.
@@ -559,9 +636,17 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	s.mu.Unlock()
 
 	// Stop extending keep-alive: finishResponse consults this flag, so
-	// every connection closes after its current response.
+	// every connection closes after its current response. Epoll shards
+	// additionally close their idle conns right away — with no reader
+	// goroutine to notice the flag, an idle keep-alive conn would
+	// otherwise linger until its wheel deadline — while in-flight
+	// exchanges drain through the registry as usual (satisfying the
+	// drain channel via unregisterConn).
 	for _, sh := range s.shards {
-		sh.post(func() { sh.shutdown = true })
+		sh.post(func() {
+			sh.shutdown = true
+			sh.npShutdownIdle()
+		})
 	}
 
 	if !empty && drained != nil {

@@ -38,7 +38,9 @@ func echoRoute(s *Server) {
 // TestTortureBodyPipelinedPosts sends three bodied POSTs and a static
 // GET in one packet on one connection; responses must come back intact
 // and in order, with the bodies delivered to the handler.
-func TestTortureBodyPipelinedPosts(t *testing.T) {
+func TestTortureBodyPipelinedPosts(t *testing.T) { forEachConnEngine(t, testTortureBodyPipelinedPosts) }
+
+func testTortureBodyPipelinedPosts(t *testing.T) {
 	s, base := newTestServer(t, nil, echoRoute)
 	post := func(body, extra string) string {
 		return fmt.Sprintf("POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n%s\r\n%s",
@@ -74,6 +76,10 @@ func TestTortureBodyPipelinedPosts(t *testing.T) {
 // time so the head/body boundary and the body itself land on every
 // possible segment split.
 func TestTortureBodySplitAcrossSegments(t *testing.T) {
+	forEachConnEngine(t, testTortureBodySplitAcrossSegments)
+}
+
+func testTortureBodySplitAcrossSegments(t *testing.T) {
 	_, base := newTestServer(t, nil, echoRoute)
 	body := "split across many tiny segments"
 	script := fmt.Sprintf("POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
@@ -99,6 +105,10 @@ func TestTortureBodySplitAcrossSegments(t *testing.T) {
 // the cap draws an immediate 413 with Connection: close — before the
 // body is read — and that the connection really closes.
 func TestTortureBodyOversized413Closes(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyOversized413Closes)
+}
+
+func testTortureBodyOversized413Closes(t *testing.T) {
 	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 1 << 10 }, echoRoute)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n", 1<<20)
@@ -120,7 +130,9 @@ func TestTortureBodyOversized413Closes(t *testing.T) {
 
 // TestTortureBodyPerRouteLimit asserts Route.MaxBodyBytes overrides
 // the server cap in both directions.
-func TestTortureBodyPerRouteLimit(t *testing.T) {
+func TestTortureBodyPerRouteLimit(t *testing.T) { forEachConnEngine(t, testTortureBodyPerRouteLimit) }
+
+func testTortureBodyPerRouteLimit(t *testing.T) {
 	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 1 << 10 }, func(s *Server) {
 		echo := func(w ResponseWriter, r *Request) {
 			n, _ := io.Copy(io.Discard, r.Body)
@@ -150,6 +162,10 @@ func TestTortureBodyPerRouteLimit(t *testing.T) {
 // whose terminal chunk carries trailer fields; the trailers must be
 // ignored and the next pipelined request must still parse.
 func TestTortureBodyChunkedWithTrailers(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyChunkedWithTrailers)
+}
+
+func testTortureBodyChunkedWithTrailers(t *testing.T) {
 	_, base := newTestServer(t, nil, echoRoute)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n"+
@@ -178,6 +194,10 @@ func TestTortureBodyChunkedWithTrailers(t *testing.T) {
 // error and the connection closes (its framing can no longer be
 // trusted).
 func TestTortureBodyChunkedOverLimitCloses(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyChunkedOverLimitCloses)
+}
+
+func testTortureBodyChunkedOverLimitCloses(t *testing.T) {
 	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 16 }, func(s *Server) {
 		s.HandleFunc("POST", "/sink", func(w ResponseWriter, r *Request) {
 			_, err := io.Copy(io.Discard, r.Body)
@@ -214,6 +234,10 @@ func TestTortureBodyChunkedOverLimitCloses(t *testing.T) {
 // keep-alive promise the reader then revokes would strand a pipelined
 // client.
 func TestTortureBodyUnreadChunkedOverCapAdvertisesClose(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyUnreadChunkedOverCapAdvertisesClose)
+}
+
+func testTortureBodyUnreadChunkedOverCapAdvertisesClose(t *testing.T) {
 	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 16 }, func(s *Server) {
 		s.HandleFunc("POST", "/ignore", func(w ResponseWriter, r *Request) {
 			w.Header().Set("Content-Type", "text/plain")
@@ -246,7 +270,9 @@ func TestTortureBodyUnreadChunkedOverCapAdvertisesClose(t *testing.T) {
 // TestTortureBodyExpectContinue covers the grant arm: the 100 arrives
 // only once the handler reads, then the body flows and the final
 // response follows on a still-alive connection.
-func TestTortureBodyExpectContinue(t *testing.T) {
+func TestTortureBodyExpectContinue(t *testing.T) { forEachConnEngine(t, testTortureBodyExpectContinue) }
+
+func testTortureBodyExpectContinue(t *testing.T) {
 	_, base := newTestServer(t, nil, echoRoute)
 	conn := dialRaw(t, base)
 	body := "authorized payload"
@@ -279,6 +305,10 @@ func TestTortureBodyExpectContinue(t *testing.T) {
 // an oversized Expect request draws its 413 straight away — no 100
 // first — and the connection closes.
 func TestTortureBodyExpectRejectWithoutContinue(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyExpectRejectWithoutContinue)
+}
+
+func testTortureBodyExpectRejectWithoutContinue(t *testing.T) {
 	_, base := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 64 }, echoRoute)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 4096\r\nExpect: 100-continue\r\n\r\n")
@@ -305,6 +335,10 @@ func TestTortureBodyExpectRejectWithoutContinue(t *testing.T) {
 // mid-handshake; the server closes — and must say so in the response
 // header rather than advertising a keep-alive it won't honor.
 func TestTortureBodyStrandedExpectAdvertisesClose(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyStrandedExpectAdvertisesClose)
+}
+
+func testTortureBodyStrandedExpectAdvertisesClose(t *testing.T) {
 	_, base := newTestServer(t, nil, func(s *Server) {
 		s.HandleFunc("POST", "/noread", func(w ResponseWriter, r *Request) {
 			w.Header().Set("Content-Type", "text/plain")
@@ -332,6 +366,10 @@ func TestTortureBodyStrandedExpectAdvertisesClose(t *testing.T) {
 // TestTortureBodyExpectWithEmptyBodyKeepsAlive: an Expect request with
 // Content-Length: 0 strands nothing — the connection must stay usable.
 func TestTortureBodyExpectWithEmptyBodyKeepsAlive(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyExpectWithEmptyBodyKeepsAlive)
+}
+
+func testTortureBodyExpectWithEmptyBodyKeepsAlive(t *testing.T) {
 	_, base := newTestServer(t, nil, echoRoute)
 	conn := dialRaw(t, base)
 	br := bufio.NewReader(conn)
@@ -356,6 +394,10 @@ func TestTortureBodyExpectWithEmptyBodyKeepsAlive(t *testing.T) {
 // TestTortureBodyUnknownExpectation417 asserts a non-100-continue
 // expectation is refused with 417.
 func TestTortureBodyUnknownExpectation417(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyUnknownExpectation417)
+}
+
+func testTortureBodyUnknownExpectation417(t *testing.T) {
 	_, base := newTestServer(t, nil, echoRoute)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nExpect: 200-ok\r\nConnection: close\r\n\r\n")
@@ -371,6 +413,10 @@ func TestTortureBodyUnknownExpectation417(t *testing.T) {
 // TestTortureBodyUnreadIsDrained asserts a handler that ignores its
 // body does not poison the next pipelined request.
 func TestTortureBodyUnreadIsDrained(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyUnreadIsDrained)
+}
+
+func testTortureBodyUnreadIsDrained(t *testing.T) {
 	s, base := newTestServer(t, nil, func(s *Server) {
 		s.HandleFunc("POST", "/ignore", func(w ResponseWriter, r *Request) {
 			w.Header().Set("Content-Type", "text/plain")
@@ -402,6 +448,10 @@ func TestTortureBodyUnreadIsDrained(t *testing.T) {
 // prefix answers 405 with the prefix's Allow set, and on a bodyless
 // request keeps the connection alive.
 func TestTortureBody405CarriesAllow(t *testing.T) {
+	forEachConnEngine(t, testTortureBody405CarriesAllow)
+}
+
+func testTortureBody405CarriesAllow(t *testing.T) {
 	_, base := newTestServer(t, nil, func(s *Server) {
 		s.HandleFunc("POST", "/api/", func(w ResponseWriter, r *Request) {})
 		s.HandleFunc("GET", "/api/", func(w ResponseWriter, r *Request) {})
@@ -438,6 +488,10 @@ func TestTortureBody405CarriesAllow(t *testing.T) {
 // TestTortureBodyPostWithoutLength411 asserts payload methods with
 // neither Content-Length nor chunked framing draw 411.
 func TestTortureBodyPostWithoutLength411(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyPostWithoutLength411)
+}
+
+func testTortureBodyPostWithoutLength411(t *testing.T) {
 	_, base := newTestServer(t, nil, echoRoute)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
@@ -454,6 +508,10 @@ func TestTortureBodyPostWithoutLength411(t *testing.T) {
 // Transfer-Encoding and Content-Length — the classic smuggling vector
 // — is refused outright with a close.
 func TestTortureBodySmugglingRejected(t *testing.T) {
+	forEachConnEngine(t, testTortureBodySmugglingRejected)
+}
+
+func testTortureBodySmugglingRejected(t *testing.T) {
 	_, base := newTestServer(t, nil, echoRoute)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "POST /echo HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\n"+
@@ -475,6 +533,10 @@ func TestTortureBodySmugglingRejected(t *testing.T) {
 // mandatory 400 for Host-less 1.1 requests wins over every other
 // verdict, including a would-be 405/411 on a routed prefix.
 func TestTortureBodyMissingHostBeats405(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyMissingHostBeats405)
+}
+
+func testTortureBodyMissingHostBeats405(t *testing.T) {
 	_, base := newTestServer(t, nil, echoRoute)
 	for _, raw := range []string{
 		"DELETE /echo HTTP/1.1\r\nConnection: close\r\n\r\n", // method miss, no Host
@@ -514,7 +576,9 @@ func TestTortureBodyMissingHostBeats405(t *testing.T) {
 
 // TestTortureBodyZeroLengthRead asserts a handler issuing Read(nil) on
 // a chunked body neither spins nor blocks (io.Reader allows 0,nil).
-func TestTortureBodyZeroLengthRead(t *testing.T) {
+func TestTortureBodyZeroLengthRead(t *testing.T) { forEachConnEngine(t, testTortureBodyZeroLengthRead) }
+
+func testTortureBodyZeroLengthRead(t *testing.T) {
 	_, base := newTestServer(t, nil, func(s *Server) {
 		s.HandleFunc("POST", "/zr", func(w ResponseWriter, r *Request) {
 			if n, err := r.Body.Read(nil); n != 0 || err != nil {
@@ -540,7 +604,9 @@ func TestTortureBodyZeroLengthRead(t *testing.T) {
 // TestTortureBodyTrickleBounded asserts the aggregate BodyReadTimeout
 // cuts off a peer that trickles its body too slowly, even though each
 // individual read stays within ReadTimeout.
-func TestTortureBodyTrickleBounded(t *testing.T) {
+func TestTortureBodyTrickleBounded(t *testing.T) { forEachConnEngine(t, testTortureBodyTrickleBounded) }
+
+func testTortureBodyTrickleBounded(t *testing.T) {
 	readErr := make(chan error, 1)
 	_, base := newTestServer(t, func(c *Config) { c.BodyReadTimeout = 300 * time.Millisecond }, func(s *Server) {
 		s.HandleFunc("POST", "/sink", func(w ResponseWriter, r *Request) {
@@ -574,6 +640,10 @@ func TestTortureBodyTrickleBounded(t *testing.T) {
 // its declared body; the handler sees the read error and the server
 // stays healthy.
 func TestTortureBodyClientDiesMidUpload(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyClientDiesMidUpload)
+}
+
+func testTortureBodyClientDiesMidUpload(t *testing.T) {
 	readErr := make(chan error, 1)
 	_, base := newTestServer(t, nil, func(s *Server) {
 		s.HandleFunc("POST", "/sink", func(w ResponseWriter, r *Request) {
@@ -618,6 +688,10 @@ func TestTortureBodyClientDiesMidUpload(t *testing.T) {
 // cut off mid-chunk reaches the handler as ErrUnexpectedEOF, never a
 // clean EOF (a partial upload must not look complete).
 func TestTortureBodyChunkedTruncationSurfaces(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyChunkedTruncationSurfaces)
+}
+
+func testTortureBodyChunkedTruncationSurfaces(t *testing.T) {
 	readErr := make(chan error, 1)
 	_, base := newTestServer(t, nil, func(s *Server) {
 		s.HandleFunc("POST", "/sink", func(w ResponseWriter, r *Request) {
@@ -645,6 +719,10 @@ func TestTortureBodyChunkedTruncationSurfaces(t *testing.T) {
 // TestTortureBodyConcurrentPosts hammers the body path from many
 // connections at once (run under -race in CI).
 func TestTortureBodyConcurrentPosts(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyConcurrentPosts)
+}
+
+func testTortureBodyConcurrentPosts(t *testing.T) {
 	s, base := newTestServer(t, nil, echoRoute)
 	const clients, rounds = 8, 10
 	errs := make(chan error, clients)
@@ -688,6 +766,10 @@ func TestTortureBodyConcurrentPosts(t *testing.T) {
 // TestTortureBodyHeadToGetRouteSuppressed asserts a HEAD request
 // served by a GET route gets headers but no body bytes.
 func TestTortureBodyHeadToGetRouteSuppressed(t *testing.T) {
+	forEachConnEngine(t, testTortureBodyHeadToGetRouteSuppressed)
+}
+
+func testTortureBodyHeadToGetRouteSuppressed(t *testing.T) {
 	_, base := newTestServer(t, nil, func(s *Server) {
 		s.HandleFunc("GET", "/page", func(w ResponseWriter, r *Request) {
 			w.Header().Set("Content-Type", "text/plain")

@@ -149,6 +149,10 @@ type exchange struct {
 // TestTorturePipelinedMixedBurst writes ≥8 mixed requests in a single
 // packet and asserts byte-exact, in-order responses on one connection.
 func TestTorturePipelinedMixedBurst(t *testing.T) {
+	forEachConnEngine(t, testTorturePipelinedMixedBurst)
+}
+
+func testTorturePipelinedMixedBurst(t *testing.T) {
 	s, base := newTestServer(t, nil)
 	etag := fileETag(t, s, "hello.txt")
 
@@ -221,7 +225,9 @@ func checkExchange(t *testing.T, i int, resp *rawResponse, w exchange) {
 
 // TestTortureSplitWrites feeds requests through the socket a few bytes
 // at a time, crossing every packet boundary the parser could mishandle.
-func TestTortureSplitWrites(t *testing.T) {
+func TestTortureSplitWrites(t *testing.T) { forEachConnEngine(t, testTortureSplitWrites) }
+
+func testTortureSplitWrites(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	script := "GET /hello.txt HTTP/1.1\r\nHost: t\r\n\r\n" +
@@ -250,7 +256,9 @@ func TestTortureSplitWrites(t *testing.T) {
 
 // TestTortureRangeEdgeCases drives every single-range shape through a
 // fresh connection and asserts exact status, body, and Content-Range.
-func TestTortureRangeEdgeCases(t *testing.T) {
+func TestTortureRangeEdgeCases(t *testing.T) { forEachConnEngine(t, testTortureRangeEdgeCases) }
+
+func testTortureRangeEdgeCases(t *testing.T) {
 	s, base := newTestServer(t, nil)
 	etag := fileETag(t, s, "hello.txt")
 	lm := func() string {
@@ -316,7 +324,9 @@ func TestTortureRangeEdgeCases(t *testing.T) {
 
 // TestTortureRangeAcrossChunks requests windows that straddle the 64 KB
 // chunk boundaries of a multi-chunk file.
-func TestTortureRangeAcrossChunks(t *testing.T) {
+func TestTortureRangeAcrossChunks(t *testing.T) { forEachConnEngine(t, testTortureRangeAcrossChunks) }
+
+func testTortureRangeAcrossChunks(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	// big.bin is 300 KB of 'B' (5 chunks of 64 KB).
 	cases := []struct {
@@ -358,7 +368,9 @@ func TestTortureRangeAcrossChunks(t *testing.T) {
 
 // TestTortureOversizedHeader asserts the 400 on a header block that
 // never terminates within MaxHeaderBytes.
-func TestTortureOversizedHeader(t *testing.T) {
+func TestTortureOversizedHeader(t *testing.T) { forEachConnEngine(t, testTortureOversizedHeader) }
+
+func testTortureOversizedHeader(t *testing.T) {
 	_, base := newTestServer(t, func(c *Config) { c.MaxHeaderBytes = 1 << 10 })
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "GET /hello.txt HTTP/1.1\r\nHost: t\r\nX-Junk: %s\r\n", strings.Repeat("j", 4<<10))
@@ -373,7 +385,9 @@ func TestTortureOversizedHeader(t *testing.T) {
 
 // TestTorturePrematureClose closes the client mid-response and asserts
 // the server survives to serve the next connection.
-func TestTorturePrematureClose(t *testing.T) {
+func TestTorturePrematureClose(t *testing.T) { forEachConnEngine(t, testTorturePrematureClose) }
+
+func testTorturePrematureClose(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "GET /big.bin HTTP/1.1\r\nHost: t\r\n\r\n")
@@ -401,7 +415,9 @@ func TestTorturePrematureClose(t *testing.T) {
 
 // TestTortureMissingHost asserts the RFC 7230 §5.4 rule: HTTP/1.1
 // requests must carry Host; 1.0 requests need not.
-func TestTortureMissingHost(t *testing.T) {
+func TestTortureMissingHost(t *testing.T) { forEachConnEngine(t, testTortureMissingHost) }
+
+func testTortureMissingHost(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "GET /hello.txt HTTP/1.1\r\n\r\n")
@@ -426,7 +442,9 @@ func TestTortureMissingHost(t *testing.T) {
 
 // TestTortureLeadingCRLF asserts stray blank lines between pipelined
 // requests are tolerated (RFC 7230 §3.5).
-func TestTortureLeadingCRLF(t *testing.T) {
+func TestTortureLeadingCRLF(t *testing.T) { forEachConnEngine(t, testTortureLeadingCRLF) }
+
+func testTortureLeadingCRLF(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "\r\n\r\nGET /hello.txt HTTP/1.1\r\nHost: t\r\n\r\n"+
@@ -445,7 +463,9 @@ func TestTortureLeadingCRLF(t *testing.T) {
 
 // TestTortureBodyRejected asserts a GET announcing a body is refused
 // with a close (the body would desynchronize pipelining).
-func TestTortureBodyRejected(t *testing.T) {
+func TestTortureBodyRejected(t *testing.T) { forEachConnEngine(t, testTortureBodyRejected) }
+
+func testTortureBodyRejected(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "GET /hello.txt HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello")
@@ -463,7 +483,9 @@ func TestTortureBodyRejected(t *testing.T) {
 
 // TestTortureErrorEchoesProto asserts error responses echo the
 // request's protocol version instead of hardcoding HTTP/1.0.
-func TestTortureErrorEchoesProto(t *testing.T) {
+func TestTortureErrorEchoesProto(t *testing.T) { forEachConnEngine(t, testTortureErrorEchoesProto) }
+
+func testTortureErrorEchoesProto(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
@@ -488,7 +510,9 @@ func TestTortureErrorEchoesProto(t *testing.T) {
 
 // TestTorture404KeepsConnection asserts a correctly framed 404 does not
 // tear down a persistent connection.
-func TestTorture404KeepsConnection(t *testing.T) {
+func TestTorture404KeepsConnection(t *testing.T) { forEachConnEngine(t, testTorture404KeepsConnection) }
+
+func testTorture404KeepsConnection(t *testing.T) {
 	s, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	br := bufio.NewReader(conn)
@@ -515,7 +539,9 @@ func TestTorture404KeepsConnection(t *testing.T) {
 // TestTortureChunkedDynamic asserts dynamic HTTP/1.1 responses are
 // chunk-encoded and keep the connection alive, while 1.0 responses stay
 // close-delimited.
-func TestTortureChunkedDynamic(t *testing.T) {
+func TestTortureChunkedDynamic(t *testing.T) { forEachConnEngine(t, testTortureChunkedDynamic) }
+
+func testTortureChunkedDynamic(t *testing.T) {
 	_, base := newTestServer(t, nil, func(s *Server) {
 		s.HandleDynamic("/dyn", DynamicFunc(
 			func(req *httpmsg.Request) (int, string, io.ReadCloser, error) {
@@ -567,7 +593,9 @@ func TestTortureChunkedDynamic(t *testing.T) {
 // TestTortureDeepPipeline floods one connection with identical
 // pipelined requests and asserts every response arrives intact and in
 // order.
-func TestTortureDeepPipeline(t *testing.T) {
+func TestTortureDeepPipeline(t *testing.T) { forEachConnEngine(t, testTortureDeepPipeline) }
+
+func testTortureDeepPipeline(t *testing.T) {
 	s, base := newTestServer(t, nil)
 	const depth = 64
 	conn := dialRaw(t, base)
@@ -601,7 +629,9 @@ func TestTortureDeepPipeline(t *testing.T) {
 // TestTortureCRLFTrickle asserts a client streaming nothing but CRLF
 // bytes cannot hold the connection open past the header cap (the
 // stripped preamble counts toward MaxHeaderBytes).
-func TestTortureCRLFTrickle(t *testing.T) {
+func TestTortureCRLFTrickle(t *testing.T) { forEachConnEngine(t, testTortureCRLFTrickle) }
+
+func testTortureCRLFTrickle(t *testing.T) {
 	_, base := newTestServer(t, func(c *Config) { c.MaxHeaderBytes = 512 })
 	conn := dialRaw(t, base)
 	for i := 0; i < 40; i++ {
@@ -621,7 +651,9 @@ func TestTortureCRLFTrickle(t *testing.T) {
 // TestTortureRejectResetsState asserts a reader-level rejection on a
 // persistent connection does not reuse the previous exchange's request
 // state: the 413 must echo the *new* request's protocol version.
-func TestTortureRejectResetsState(t *testing.T) {
+func TestTortureRejectResetsState(t *testing.T) { forEachConnEngine(t, testTortureRejectResetsState) }
+
+func testTortureRejectResetsState(t *testing.T) {
 	var mu sync.Mutex
 	var logbuf bytes.Buffer
 	logw := writerFunc(func(p []byte) (int, error) {
@@ -667,6 +699,10 @@ func TestTortureRejectResetsState(t *testing.T) {
 // is re-stamped with each request's protocol version: a 1.1 request
 // served from a header cached by a 1.0 request must still say HTTP/1.1.
 func TestTortureCachedHeaderEchoesProto(t *testing.T) {
+	forEachConnEngine(t, testTortureCachedHeaderEchoesProto)
+}
+
+func testTortureCachedHeaderEchoesProto(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "GET /hello.txt HTTP/1.0\r\n\r\n")
@@ -692,6 +728,10 @@ func TestTortureCachedHeaderEchoesProto(t *testing.T) {
 // ("GET /path" + CRLF, no headers, no blank line) gets a headerless
 // body-only response followed by a close.
 func TestTortureHTTP09SimpleRequest(t *testing.T) {
+	forEachConnEngine(t, testTortureHTTP09SimpleRequest)
+}
+
+func testTortureHTTP09SimpleRequest(t *testing.T) {
 	_, base := newTestServer(t, nil)
 	conn := dialRaw(t, base)
 	fmt.Fprintf(conn, "GET /hello.txt\r\n")
@@ -708,6 +748,10 @@ func TestTortureHTTP09SimpleRequest(t *testing.T) {
 // one file occupy a single header-cache slot instead of minting an
 // entry per window.
 func TestTortureRangeVariantSlotBounded(t *testing.T) {
+	forEachConnEngine(t, testTortureRangeVariantSlotBounded)
+}
+
+func testTortureRangeVariantSlotBounded(t *testing.T) {
 	s, base := newTestServer(t, func(c *Config) { c.EventLoops = 1 })
 	for i := 0; i < 10; i++ {
 		conn := dialRaw(t, base)
@@ -739,6 +783,10 @@ func TestTortureRangeVariantSlotBounded(t *testing.T) {
 // asserts the server stays healthy and the descriptor pin taken for
 // the transfer is released (only the cache's own reference remains).
 func TestTortureSendfilePrematureClose(t *testing.T) {
+	forEachConnEngine(t, testTortureSendfilePrematureClose)
+}
+
+func testTortureSendfilePrematureClose(t *testing.T) {
 	s, base := newTestServer(t, func(c *Config) {
 		c.SendfileThreshold = 1 // every static body takes the transport
 		c.EventLoops = 1        // one shard, so the entry is findable below

@@ -45,6 +45,7 @@ func zcServer(t *testing.T) (addr string) {
 		EventLoops:         1,
 		ChunkBytes:         256,
 		RevalidateInterval: -1,
+		ConnEngine:         testConnEngine,
 		Clock:              func() time.Time { return fixed },
 	})
 	if err != nil {
@@ -198,7 +199,9 @@ func runScript(t *testing.T, addr string, reqs [][]byte, pipelined bool) []byte 
 // uploads, 404s, HTTP/1.0 persistence patches) pipelined into one
 // write must produce exactly the serial stream. The fixed clock makes
 // the comparison byte-exact, Date included.
-func TestTortureZeroCopyAliasing(t *testing.T) {
+func TestTortureZeroCopyAliasing(t *testing.T) { forEachConnEngine(t, testTortureZeroCopyAliasing) }
+
+func testTortureZeroCopyAliasing(t *testing.T) {
 	addr := zcServer(t)
 	etagA := fetchETag(t, addr, "/a.html")
 	etagB := fetchETag(t, addr, "/b.html")
