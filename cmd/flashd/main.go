@@ -14,13 +14,21 @@
 //	       [-cache-map-mb 64] [-cache-chunk-kb 64] [-cache-l1-kb 0]
 //	       [-cache-no-coalesce] [-cache-no-replicate]
 //	       [-sendfile-threshold 262144] [-max-body 8388608] [-demo]
+//	       [-upstream host:port,host:port -upstream-prefix /]
 //
 // The cache knobs mirror flash.Config.Cache: budgets are server-wide
 // (the store owns them; shard count no longer divides the effective
 // cache size). -path-cache and -map-cache-mb remain as deprecated
 // aliases for -cache-path-entries and -cache-map-mb.
 //
-// -demo mounts two dynamic routes that exercise the Handler v2 API:
+// -upstream turns flashd into a caching reverse proxy: requests under
+// -upstream-prefix (default "/") that miss the local docroot routes are
+// fetched from the backend pool (round-robin, keep-alive reuse,
+// circuit breakers, retry-on-idempotent) and cached under the origin's
+// freshness policy. With -status, /server-status reports per-backend
+// health; `?format=json` emits the whole status as JSON.
+//
+// -demo mounts three dynamic routes that exercise the Handler v2 API:
 //
 //	POST /echo    a native flash.Handler that streams the request body
 //	              straight back (Content-Type preserved) — the target
@@ -28,6 +36,12 @@
 //	POST /upload  an unmodified net/http handler behind
 //	              flashhttp.Adapter that counts the uploaded bytes and
 //	              reports them as JSON
+//	GET  /gen     an origin simulator for proxy benchmarking: emits a
+//	              deterministic body with a stable ETag and honors
+//	              If-None-Match with a 304. Query knobs: bytes=N
+//	              (payload size), delay=DUR (pre-response sleep, e.g.
+//	              5ms), ttl=SECS (Cache-Control max-age), cc=VAL (raw
+//	              Cache-Control override, e.g. no-store)
 package main
 
 import (
@@ -40,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -76,7 +91,9 @@ func main() {
 			"minimum body bytes for the zero-copy sendfile transport (0 disables)")
 		maxBody = flag.Int64("max-body", flash.DefaultMaxBodyBytes,
 			"request body cap in bytes (larger bodies draw 413; 0 removes the cap)")
-		demo = flag.Bool("demo", false, "mount the /echo and /upload dynamic demo handlers")
+		demo     = flag.Bool("demo", false, "mount the /echo, /upload and /gen dynamic demo handlers")
+		upstream = flag.String("upstream", "", "comma-separated backend host:port list — serve -upstream-prefix as a caching reverse proxy over this pool")
+		upPrefix = flag.String("upstream-prefix", "/", "path prefix proxied to -upstream backends")
 	)
 	flag.Parse()
 	if *root == "" {
@@ -136,6 +153,14 @@ func main() {
 	if *maxBody == 0 {
 		cfg.MaxBodyBytes = -1 // flag's "0 = uncapped" → negative sentinel
 	}
+	if *upstream != "" {
+		for _, b := range strings.Split(*upstream, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				cfg.Upstream = append(cfg.Upstream, b)
+			}
+		}
+		cfg.UpstreamPrefix = *upPrefix
+	}
 	if *accessLog != "" {
 		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -184,6 +209,49 @@ func main() {
 				w.Header().Set("Content-Type", "application/json")
 				json.NewEncoder(w).Encode(map[string]int64{"bytes": n})
 			})))
+		// An origin simulator for proxy benchmarking: deterministic
+		// body, stable ETag, honest 304s, tunable latency and freshness.
+		srv.HandleFunc("GET", "/gen", func(w flash.ResponseWriter, r *flash.Request) {
+			q := parseQuery(r.Query)
+			n := 1024
+			if v, err := strconv.Atoi(q["bytes"]); err == nil && v >= 0 {
+				n = v
+			}
+			if d, err := time.ParseDuration(q["delay"]); err == nil && d > 0 {
+				time.Sleep(d)
+			}
+			cc := q["cc"]
+			if cc == "" {
+				ttl := 60
+				if v, err := strconv.Atoi(q["ttl"]); err == nil && v >= 0 {
+					ttl = v
+				}
+				cc = fmt.Sprintf("max-age=%d", ttl)
+			}
+			etag := fmt.Sprintf(`"gen-%d"`, n)
+			w.Header().Set("Cache-Control", cc)
+			w.Header().Set("ETag", etag)
+			if strings.Contains(r.Headers["if-none-match"], etag) {
+				w.WriteHeader(304)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", fmt.Sprint(n))
+			block := make([]byte, 32<<10)
+			for i := range block {
+				block[i] = byte('a' + i%26)
+			}
+			for left := n; left > 0; {
+				m := len(block)
+				if left < m {
+					m = left
+				}
+				if _, err := w.Write(block[:m]); err != nil {
+					return
+				}
+				left -= m
+			}
+		})
 	}
 	if *status {
 		srv.HandleDynamic("/server-status", flash.DynamicFunc(
@@ -194,6 +262,18 @@ func main() {
 				// below is a separate snapshot round.
 				st := srv.Stats()
 				shards := srv.ShardStats()
+				if parseQuery(req.Query)["format"] == "json" {
+					js, err := json.MarshalIndent(statusJSON{
+						ConnEngine: srv.ConnEngine(),
+						Stats:      st,
+						Shards:     shards,
+						Proxy:      srv.ProxyStats(),
+					}, "", "  ")
+					if err != nil {
+						return 500, "text/plain", io.NopCloser(strings.NewReader(err.Error())), nil
+					}
+					return 200, "application/json", io.NopCloser(strings.NewReader(string(js) + "\n")), nil
+				}
 				var b strings.Builder
 				fmt.Fprintf(&b, "flashd status\n=============\n")
 				fmt.Fprintf(&b, "conn engine:   %s\n", srv.ConnEngine())
@@ -216,6 +296,19 @@ func main() {
 					100*st.SharedChunks.HitRate(), st.SharedChunks.BytesMapped-st.SharedChunks.BytesUnmapped)
 				fmt.Fprintf(&b, "fills:         started=%d joined=%d completed=%d failed=%d\n",
 					st.Fills.Started, st.Fills.Joined, st.Fills.Completed, st.Fills.Failed)
+				if proxies := srv.ProxyStats(); len(proxies) > 0 {
+					fmt.Fprintf(&b, "\nreverse proxy\n")
+					fmt.Fprintf(&b, "requests:      %d (hits: %d, fills: %d, revalidated: %d, pass-through: %d, errors: %d)\n",
+						st.ProxyRequests, st.ProxyHits, st.ProxyFills,
+						st.ProxyRevalidated, st.ProxyPassThrough, st.ProxyErrors)
+					for _, p := range proxies {
+						for _, bk := range p.Pool.Backends {
+							fmt.Fprintf(&b, "%s %s: breaker=%s reqs=%d fail=%d dials=%d reuses=%d retries=%d idle=%d\n",
+								p.Prefix, bk.Addr, bk.Breaker, bk.Requests, bk.Failures,
+								bk.Dials, bk.Reuses, bk.Retries, bk.IdleConns)
+						}
+					}
+				}
 				fmt.Fprintf(&b, "\nper-shard (%d event loops)\n", srv.NumShards())
 				for i, ss := range shards {
 					fmt.Fprintf(&b, "shard %2d: accepted=%d open=%d idle=%d responses=%d bytes=%d path-hit=%.1f%%\n",
@@ -237,7 +330,35 @@ func main() {
 
 	log.Printf("flashd: serving %s on %s (%d shards, %d helpers each)",
 		*root, *addr, srv.NumShards(), *helpers)
+	if len(cfg.Upstream) > 0 {
+		log.Printf("flashd: proxying %s to %s", cfg.UpstreamPrefix, strings.Join(cfg.Upstream, ", "))
+	}
 	if err := srv.ListenAndServe(*addr); err != nil && err != flash.ErrServerClosed {
 		log.Fatalf("flashd: %v", err)
 	}
+}
+
+// statusJSON is the ?format=json shape of /server-status.
+type statusJSON struct {
+	ConnEngine string                 `json:"conn_engine"`
+	Stats      flash.Stats            `json:"stats"`
+	Shards     []flash.Stats          `json:"shards"`
+	Proxy      []flash.ProxyPoolStats `json:"proxy,omitempty"`
+}
+
+// parseQuery splits a raw query string into a key→value map; repeated
+// keys keep the first value, un-valued keys map to "". No %-decoding —
+// the status/demo knobs never need it.
+func parseQuery(raw string) map[string]string {
+	q := map[string]string{}
+	for _, kv := range strings.Split(raw, "&") {
+		if kv == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		if _, dup := q[k]; !dup {
+			q[k] = v
+		}
+	}
+	return q
 }

@@ -32,7 +32,9 @@
 // request-bound one; -post-frac diverts that fraction to POSTs of
 // -post-bytes bytes against -post-path (a Handler-v2 route — e.g.
 // `flashd -demo` mounts /echo), exercising the request-body path. The
-// summary reports 206, 304, POST 2xx, and 413 counts alongside
+// summary reports per-class status counts (2xx/3xx/4xx/5xx, with 502
+// and 504 broken out — the statuses a caching proxy tier sheds under
+// origin failure) plus 206, 304, POST 2xx, and 413 counts alongside
 // throughput in both requests/s and MB/s — large-file workloads are
 // byte-bound, so the request rate alone hides transport effects —
 // plus latency percentiles. -json additionally writes the whole
@@ -77,6 +79,36 @@ type counters struct {
 	notModified atomic.Uint64 // 304 responses
 	postOK      atomic.Uint64 // 2xx responses to POSTs
 	tooLarge    atomic.Uint64 // 413 responses (body refused)
+
+	// Status classes, plus the two gateway statuses a caching proxy
+	// tier sheds under origin failure — the numbers a failover run is
+	// judged by (zero 502/504 with a survivor up).
+	class2xx   atomic.Uint64
+	class3xx   atomic.Uint64
+	class4xx   atomic.Uint64
+	class5xx   atomic.Uint64
+	badGateway atomic.Uint64 // 502 responses
+	gwTimeout  atomic.Uint64 // 504 responses
+}
+
+// classify buckets one response status into its class counters.
+func (c *counters) classify(status int) {
+	switch {
+	case status >= 200 && status < 300:
+		c.class2xx.Add(1)
+	case status >= 300 && status < 400:
+		c.class3xx.Add(1)
+	case status >= 400 && status < 500:
+		c.class4xx.Add(1)
+	case status >= 500:
+		c.class5xx.Add(1)
+	}
+	switch status {
+	case 502:
+		c.badGateway.Add(1)
+	case 504:
+		c.gwTimeout.Add(1)
+	}
 }
 
 func main() {
@@ -208,6 +240,9 @@ func main() {
 	}
 	fmt.Printf("duration:    %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("responses:   %d (%.1f req/s)\n", sum.Responses, sum.RequestsPerSec())
+	fmt.Printf("status:      2xx=%d 3xx=%d 4xx=%d 5xx=%d (502=%d 504=%d)\n",
+		c.class2xx.Load(), c.class3xx.Load(), c.class4xx.Load(), c.class5xx.Load(),
+		c.badGateway.Load(), c.gwTimeout.Load())
 	fmt.Printf("partial:     %d (206 range responses)\n", c.partial.Load())
 	fmt.Printf("revalidated: %d (304 not-modified responses)\n", c.notModified.Load())
 	if *postFrac > 0 {
@@ -240,10 +275,16 @@ func main() {
 			MbitPerSec:     sum.MbitPerSec(),
 			Errors:         sum.Errors,
 			Status: statusCounts{
+				Class2xx:       c.class2xx.Load(),
+				Class3xx:       c.class3xx.Load(),
+				Class4xx:       c.class4xx.Load(),
+				Class5xx:       c.class5xx.Load(),
 				Partial206:     c.partial.Load(),
 				NotModified304: c.notModified.Load(),
 				PostOK2xx:      c.postOK.Load(),
 				TooLarge413:    c.tooLarge.Load(),
+				BadGateway502:  c.badGateway.Load(),
+				GwTimeout504:   c.gwTimeout.Load(),
 			},
 			LatencyUsec: latencySummary{
 				Mean: hist.Mean().Microseconds(),
@@ -293,10 +334,16 @@ type jsonSummary struct {
 }
 
 type statusCounts struct {
+	Class2xx       uint64 `json:"status_2xx"`
+	Class3xx       uint64 `json:"status_3xx"`
+	Class4xx       uint64 `json:"status_4xx"`
+	Class5xx       uint64 `json:"status_5xx"`
 	Partial206     uint64 `json:"partial_206"`
 	NotModified304 uint64 `json:"not_modified_304"`
 	PostOK2xx      uint64 `json:"post_ok_2xx"`
 	TooLarge413    uint64 `json:"too_large_413"`
+	BadGateway502  uint64 `json:"bad_gateway_502"`
+	GwTimeout504   uint64 `json:"gateway_timeout_504"`
 }
 
 type latencySummary struct {
@@ -411,6 +458,7 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 		observe(time.Since(begin))
 		c.responses.Add(1)
 		c.bytes.Add(res.bodyBytes)
+		c.classify(res.status)
 		switch {
 		case res.status == 206:
 			c.partial.Add(1)
@@ -476,6 +524,7 @@ func runFleetConn(addr string, next func() string, idle bool, think time.Duratio
 			}
 			c.responses.Add(1)
 			c.bytes.Add(res.bodyBytes)
+			c.classify(res.status)
 			// The priming exchange set a 30s deadline; clear it so the
 			// parked conn does not trip it while idle.
 			conn.SetDeadline(time.Time{})
@@ -501,6 +550,7 @@ func runFleetConn(addr string, next func() string, idle bool, think time.Duratio
 		}
 		c.responses.Add(1)
 		c.bytes.Add(res.bodyBytes)
+		c.classify(res.status)
 		conn.SetDeadline(time.Time{})
 	}
 }

@@ -20,8 +20,17 @@ type PathEntry struct {
 	CheckedAt int64
 	// ETag is the entity tag derived from (Size, ModTime), precomputed
 	// at insertion so the per-request conditional checks never build
-	// strings. Empty when the owner disables entity tags.
+	// strings. Empty when the owner disables entity tags. For
+	// reverse-proxy entries it is the origin's ETag verbatim.
 	ETag string
+
+	// Reverse-proxy extras, zero for filesystem entries: Expires is the
+	// owner-clock instant the entry turns stale (a stale hit
+	// revalidates against the origin), ContentType and LastModified are
+	// the origin's header values echoed to clients.
+	Expires      int64
+	ContentType  string
+	LastModified string
 }
 
 // PathCache is the pathname translation cache (§5.2). It avoids running

@@ -10,6 +10,7 @@
 //     paper argues for SPED/AMPED (§4.2) — no locks guard any
 //     per-request state on the warm path. The paper's single-process
 //     design is EventLoops=1.
+//
 //   - Below the L1s sits one shared chunk tier (cache architecture
 //     v2): chunk bytes live once, in a hash-partitioned owner segment
 //     keyed by hash(path), so the configured byte budget is not split
@@ -21,14 +22,17 @@
 //     subscribers get a loop message per published chunk and stream
 //     the file in lockstep with the disk, first byte out before the
 //     last byte is read.
+//
 //   - An acceptor distributes incoming connections round-robin across
 //     the shards; a connection lives on one shard for its whole life,
 //     so keep-alive requests always see that shard's warm caches.
+//
 //   - Each shard has a pool of helper goroutines performing every
 //     filesystem operation (stat, open, chunk reads). The loop never
 //     blocks on disk: misses are dispatched to helpers and the request
 //     parks until the completion message arrives, like the paper's
 //     helper processes notifying the server over a pipe.
+//
 //   - Two connection engines drive sockets (Config.ConnEngine). The
 //     portable default parks per-connection reader and writer
 //     goroutines on Go's netpoller, standing in for select-driven
@@ -40,9 +44,11 @@
 //     idle keep-alive connection holds no goroutines at all. Both
 //     engines feed the same parser/cache/transport pipeline and are
 //     byte-identical on the wire.
+//
 //   - File chunks are immutable []byte buffers; cache eviction drops
 //     the reference while in-flight writers keep theirs, so the garbage
 //     collector plays the role of munmap.
+//
 //   - The steady-state request path is allocation-free: requests parse
 //     zero-copy into a per-connection recycled httpmsg.Request (views
 //     over a reusable head buffer), the carry-over read buffer shifts
@@ -54,6 +60,7 @@
 //     per-shard coarse clock only when they drift. AllocsPerRun guard
 //     tests pin the budget: 0 allocs/request on warm static-hit and
 //     revalidation paths.
+//
 //   - Every response is produced by one bodySource — the unified
 //     pipeline the loop drives and the writer consumes. Static bodies
 //     pick a transport per response (Config.SendfileThreshold): below
@@ -63,6 +70,18 @@
 //     off Linux). Descriptors are refcounted (cache.FileRef), so
 //     eviction never closes a file under an in-flight pread or
 //     sendfile.
+//
+//   - A caching reverse-proxy tier (Server.HandleProxy, or
+//     Config.Upstream for the built-in mount) serves origin content
+//     through the same three caches, with internal/upstream's backend
+//     pool — keep-alive origin connections, circuit breakers, active
+//     probes, bounded retries — in place of the disk. Metadata fetches
+//     are single-flight per entry (one owner shard coalesces all
+//     shards' misses), cacheable bodies stream chunk-by-chunk into the
+//     shared tier while coalesced clients serve (the fill machinery,
+//     unchanged), stale entries revalidate with If-None-Match /
+//     If-Modified-Since, and responses the RFC 7234 freshness rules
+//     refuse relay pass-through on the dynamic pipeline.
 //
 // The three caches and the 32-byte response-header alignment are the
 // paper's §5 optimizations, byte-for-byte the same data structures the
@@ -77,6 +96,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/cache"
@@ -225,6 +245,18 @@ type Config struct {
 	// are trusted until chunk reloads notice a change).
 	RevalidateInterval time.Duration
 
+	// Upstream lists origin backends ("host:port") for the built-in
+	// caching reverse-proxy tier; empty disables it. When set, New
+	// builds an upstream.Pool with default tuning, mounts it at
+	// UpstreamPrefix, and closes it with the server. For custom pool
+	// tuning (timeouts, breaker thresholds), build the pool yourself
+	// and call Server.HandleProxy.
+	Upstream []string
+	// UpstreamPrefix is the route prefix the built-in pool serves
+	// (default "/": every request not matching a longer route is
+	// proxied). Must start with "/". Ignored when Upstream is empty.
+	UpstreamPrefix string
+
 	// AccessLog, if non-nil, receives one Common Log Format line per
 	// completed request. Writes happen on the event loop; use an
 	// in-memory or buffered writer.
@@ -312,6 +344,9 @@ var (
 	// ErrConnEngineUnsupported reports ConnEngineEpoll on a platform
 	// without epoll (the goroutine engine is the portable fallback).
 	ErrConnEngineUnsupported = errors.New("flash: ConnEngine epoll is only supported on linux")
+	// ErrBadUpstreamPrefix reports an UpstreamPrefix that does not
+	// start with "/".
+	ErrBadUpstreamPrefix = errors.New(`flash: Config.UpstreamPrefix must start with "/"`)
 	// ErrCacheConfigConflict reports a deprecated flat cache field and
 	// its grouped Cache counterpart set to different non-zero values.
 	// The grouped spelling wins by contract, but a disagreement is
@@ -399,6 +434,14 @@ func (cfg Config) withDefaults() (Config, error) {
 	cfg.HeaderCacheEntries = cfg.Cache.HeaderEntries
 	cfg.MapCacheBytes = cfg.Cache.MapBytes
 	cfg.ChunkBytes = cfg.Cache.ChunkBytes
+	if len(cfg.Upstream) > 0 {
+		if cfg.UpstreamPrefix == "" {
+			cfg.UpstreamPrefix = "/"
+		}
+		if !strings.HasPrefix(cfg.UpstreamPrefix, "/") {
+			return cfg, ErrBadUpstreamPrefix
+		}
+	}
 	if cfg.SendfileThreshold == 0 {
 		cfg.SendfileThreshold = DefaultSendfileThreshold
 	}

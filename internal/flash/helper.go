@@ -25,6 +25,10 @@ const (
 	// chunk, no matter how many requests coalesced onto it. The job
 	// reports through the fill, not a done callback.
 	jobFill
+	// jobProxy runs a reverse-proxy origin round trip (metadata fetch
+	// or body refill); the closure reports through its own loop posts
+	// and fills, like jobFill.
+	jobProxy
 )
 
 // testDiskRead, when non-nil, observes every chunk-sized disk read
@@ -49,6 +53,8 @@ type helperJob struct {
 	file *cache.FileRef
 	// fill is the jobFill target; results flow through it directly.
 	fill *cache.Fill
+	// fn is the jobProxy closure (an origin fetch).
+	fn func()
 	// done is posted to the event loop with the result (nil for
 	// jobFill, whose subscribers are woken through the fill).
 	done func(helperResult)
@@ -160,6 +166,9 @@ func (p *helperPool) execute(job helperJob) helperResult {
 		return chunkJob(job.fsPath, job.file, job.off, job.n, p.sh.srv.mapper)
 	case jobFill:
 		fillJob(job.fsPath, job.file, job.fill, p.sh.srv.mapper)
+		return helperResult{}
+	case jobProxy:
+		job.fn()
 		return helperResult{}
 	default:
 		return helperResult{err: os.ErrInvalid, status: 500}

@@ -49,6 +49,16 @@ func (s *shard) handleExchange(c *conn, plan exchangePlan) {
 		return
 	}
 	if plan.rt != nil {
+		if ph, ok := plan.rt.Handler.(*proxyHandler); ok {
+			s.stats.ProxyRequests++
+			if (req.Method == "GET" || req.Method == "HEAD") && plan.body == nil {
+				s.handleProxy(c, req, ph)
+				return
+			}
+			// Request shapes the cache cannot serve (methods with side
+			// effects, request bodies) relay pass-through.
+			s.stats.ProxyPassThrough++
+		}
 		s.startHandler(c, req, plan.rt.Handler, plan.body)
 		return
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/httpmsg"
+	"repro/internal/upstream"
 )
 
 // Stats is a snapshot of server counters. Server.Stats merges the
@@ -47,6 +48,19 @@ type Stats struct {
 	// Fills counts the single-flight fill lifecycle (server-wide).
 	Fills        cache.FillStats
 	DynamicCalls uint64
+	// Reverse-proxy tier counters (zero unless HandleProxy mounted a
+	// pool): ProxyRequests counts every request routed to a proxy
+	// mount; ProxyHits the subset served from a fresh cached entry
+	// without any origin traffic; ProxyRevalidated origin 304s that
+	// refreshed an entry; ProxyFills origin bodies streamed into the
+	// cache; ProxyPassThrough requests relayed without caching;
+	// ProxyErrors 502/504 verdicts.
+	ProxyRequests    uint64
+	ProxyHits        uint64
+	ProxyRevalidated uint64
+	ProxyFills       uint64
+	ProxyPassThrough uint64
+	ProxyErrors      uint64
 }
 
 // Add returns the field-wise sum of two snapshots (merging shard views
@@ -64,6 +78,12 @@ func (s Stats) Add(o Stats) Stats {
 	s.IdleConns += o.IdleConns
 	s.HelperJobs += o.HelperJobs
 	s.DynamicCalls += o.DynamicCalls
+	s.ProxyRequests += o.ProxyRequests
+	s.ProxyHits += o.ProxyHits
+	s.ProxyRevalidated += o.ProxyRevalidated
+	s.ProxyFills += o.ProxyFills
+	s.ProxyPassThrough += o.ProxyPassThrough
+	s.ProxyErrors += o.ProxyErrors
 	s.PathCache = s.PathCache.Add(o.PathCache)
 	s.HeaderCache = s.HeaderCache.Add(o.HeaderCache)
 	s.MapCache = s.MapCache.Add(o.MapCache)
@@ -92,6 +112,12 @@ type Server struct {
 	// connection readers consult it without locks.
 	routes  router
 	started atomic.Bool // set by Serve; freezes the route table
+
+	// proxyMounts records HandleProxy registrations (for ProxyStats);
+	// ownedPool is the pool New built from Config.Upstream, closed with
+	// the server (pools passed to HandleProxy stay caller-owned).
+	proxyMounts []proxyMount
+	ownedPool   *upstream.Pool
 
 	nextShard atomic.Uint64 // round-robin accept distribution
 
@@ -131,6 +157,11 @@ type shard struct {
 	// handleExchange/rejectRequest and signalNext); the idle gauge is
 	// OpenConns minus this.
 	busyConns int
+
+	// proxyPending coalesces reverse-proxy metadata fetches for keys
+	// this shard owns: one in-flight origin round trip per key, with
+	// the waiters (possibly from other shards) parked on its verdict.
+	proxyPending map[string][]proxyWaiter
 
 	// np is the shard's epoll readiness engine (ConnEngineEpoll on
 	// Linux); nil under the portable goroutine engine.
@@ -229,6 +260,15 @@ func New(cfg Config) (*Server, error) {
 			s.mapper = cm
 		}
 	}
+	if len(cfg.Upstream) > 0 {
+		pool, err := upstream.New(upstream.Config{Backends: cfg.Upstream})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		s.ownedPool = pool
+		s.HandleProxy(cfg.UpstreamPrefix, pool)
+	}
 	for i := 0; i < cfg.EventLoops; i++ {
 		sh, err := newShard(s, i)
 		if err != nil {
@@ -237,6 +277,9 @@ func New(cfg Config) (*Server, error) {
 				close(prev.msgs)
 				<-prev.loopDone
 				close(prev.clockStop)
+			}
+			if s.ownedPool != nil {
+				s.ownedPool.Close()
 			}
 			store.Close()
 			return nil, err
@@ -604,6 +647,9 @@ func (s *Server) Close() error {
 		close(sh.msgs)
 		<-sh.loopDone
 		close(sh.clockStop)
+	}
+	if s.ownedPool != nil {
+		s.ownedPool.Close()
 	}
 	s.store.Close()
 	return nil

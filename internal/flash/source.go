@@ -80,6 +80,10 @@ type chunkSource struct {
 	ref  *cache.FileRef // the walk's pin on the entry descriptor; may be nil
 	hdr  []byte         // pending header bytes for the first item
 	fill *cache.Fill    // the fill this walk subscribed to, if any
+	// proxy marks a walk over a reverse-proxied entry (set after init,
+	// which wholesale-resets the source): misses refill from the origin
+	// pool instead of the disk, and restarts re-enter handleProxy.
+	proxy *proxyHandler
 	// gen distinguishes this walk from earlier ones on the same pooled
 	// source: a fill wake posted for a finished response must not
 	// drive the source after init re-arms it.
@@ -138,7 +142,10 @@ func (cs *chunkSource) next(s *shard, c *conn) {
 		cs.queueChunk(s, c, ch, last)
 		return
 	}
-	if !s.cfg.Cache.DisableCoalescing {
+	// Proxied entries always coalesce: their only per-chunk fallback is
+	// a full origin refetch, so an unjoinable fill must converge onto a
+	// joinable one rather than fan out round trips.
+	if !s.cfg.Cache.DisableCoalescing || cs.proxy != nil {
 		if cs.fill == nil {
 			if f, started := s.view.JoinFill(pe.Translated, pe.Size, pe.ModTime); f != nil {
 				cs.fill = f
@@ -199,10 +206,21 @@ func (cs *chunkSource) fillWake(s *shard, c *conn, gen uint32) {
 func (cs *chunkSource) fillError(s *shard, c *conn, err error) {
 	pe := cs.pe
 	cs.fill = nil
-	s.invalidateFile(c.ls.req.Path, pe)
+	reqPath := c.ls.req.Path
+	if cs.proxy != nil {
+		// Proxy entries key the path cache by the cache key, not the
+		// request path.
+		reqPath = pe.Translated
+	}
+	s.invalidateFile(reqPath, pe)
 	if err == cache.ErrFillStale && cs.nextChunk == cs.firstChunk &&
 		!c.inFlight && !c.failed && !c.writeDone && c.ls.src == bodySource(cs) {
+		ph := cs.proxy
 		cs.dropRef() // the restart builds its own pipeline
+		if ph != nil {
+			s.handleProxy(c, c.ls.req, ph)
+			return
+		}
 		s.handleRequest(c, c.ls.req)
 		return
 	}
@@ -214,6 +232,28 @@ func (cs *chunkSource) fillError(s *shard, c *conn, err error) {
 // fill has a different identity. The loop never touches the disk.
 func (cs *chunkSource) loadChunk(s *shard, c *conn, idx int, last bool) {
 	pe := cs.pe
+	if cs.proxy != nil {
+		// No per-chunk origin read exists. Before the first byte the
+		// walk can restart cleanly — the posted re-entry re-joins (or
+		// restarts) a fill; posting rather than recursing keeps a
+		// conflicting in-flight fill (about to fail stale) from turning
+		// the restart into unbounded recursion. Mid-walk, the committed
+		// Content-Length is unmeetable.
+		if idx == cs.firstChunk && !c.inFlight && !c.failed &&
+			!c.writeDone && c.ls.src == bodySource(cs) {
+			ph := cs.proxy
+			cs.dropRef()
+			s.post(func() {
+				if c.failed || c.writeDone || c.ls.src != bodySource(cs) {
+					return
+				}
+				s.handleProxy(c, c.ls.req, ph)
+			})
+			return
+		}
+		s.failConn(c)
+		return
+	}
 	key := cache.ChunkKey{Path: pe.Translated, Index: idx}
 	off, n := s.store.ChunkRange(pe.Size, idx)
 	ref := cs.ref
@@ -273,6 +313,10 @@ func (s *shard) insertChunk(key cache.ChunkKey, res *helperResult, modTime int64
 // jobFill on the helper pool of the shard that owns the path (by
 // hash), so every shard agrees on who performs the single disk pass.
 func (s *shard) startFill(f *cache.Fill, pe cache.PathEntry) {
+	if ph, ok := pe.File.(*proxyHandler); ok {
+		s.startProxyRefill(ph, f)
+		return
+	}
 	ref := entryRef(pe)
 	if ref != nil {
 		// The producer's own descriptor pin: the fill survives path

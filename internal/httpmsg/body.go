@@ -17,6 +17,11 @@ const (
 	BodyLength
 	// BodyChunked: the body is chunk-encoded and self-delimiting.
 	BodyChunked
+	// BodyUntilClose: the body extends to the connection's close —
+	// no Content-Length, no Transfer-Encoding. Responses only
+	// (Response.BodyFraming); a request body can never be framed this
+	// way.
+	BodyUntilClose
 )
 
 // Body-framing errors.

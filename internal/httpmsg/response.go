@@ -61,6 +61,8 @@ func StatusText(code int) string {
 		return "Bad Gateway"
 	case 503:
 		return "Service Unavailable"
+	case 504:
+		return "Gateway Timeout"
 	default:
 		return "Unknown"
 	}

@@ -1,0 +1,140 @@
+package upstream
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/httpmsg"
+)
+
+// heuristicCap bounds heuristic freshness (RFC 7234 §4.2.2 suggests
+// caches cap it; a day is the conventional ceiling).
+const heuristicCap = 24 * time.Hour
+
+// heuristicFraction: a response with only a Last-Modified validator is
+// considered fresh for 10% of its age, the fraction RFC 7234 blesses.
+const heuristicFraction = 10
+
+// Freshness is the cacheability verdict for an origin response.
+type Freshness struct {
+	// Storable reports the response may enter the cache at all.
+	Storable bool
+	// TTL is how long the entry serves without revalidation. Zero with
+	// Storable=true means "store, but revalidate every hit" — cheap
+	// when the origin answers 304.
+	TTL time.Duration
+}
+
+// cacheControl is the parsed subset of Cache-Control the proxy acts on.
+type cacheControl struct {
+	noStore bool
+	noCache bool
+	private bool
+	maxAge  int64 // seconds, -1 when absent
+	sMaxage int64 // seconds, -1 when absent
+}
+
+func parseCacheControl(v string) cacheControl {
+	cc := cacheControl{maxAge: -1, sMaxage: -1}
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		key, val, hasVal := strings.Cut(part, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		switch key {
+		case "no-store":
+			cc.noStore = true
+		case "no-cache":
+			cc.noCache = true
+		case "private":
+			cc.private = true
+		case "max-age", "s-maxage":
+			if !hasVal {
+				continue
+			}
+			val = strings.Trim(strings.TrimSpace(val), `"`)
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				n = 0 // unparseable ages read as "already stale"
+			}
+			if key == "max-age" {
+				cc.maxAge = n
+			} else {
+				cc.sMaxage = n
+			}
+		}
+	}
+	return cc
+}
+
+// EvalFreshness decides whether an origin response may be cached and
+// for how long. Precedence follows RFC 7234: s-maxage beats max-age
+// beats Expires−Date beats the Last-Modified heuristic (10% of age,
+// capped at a day). A shared cache refuses no-store and private
+// outright; no-cache stores but with TTL 0 (every hit revalidates).
+// Only 200 and 304 responses are storable — 304 so a revalidation can
+// compute the refreshed TTL with the same rules.
+func EvalFreshness(resp *httpmsg.Response, now time.Time) Freshness {
+	if resp.Status != 200 && resp.Status != 304 {
+		return Freshness{}
+	}
+	var cc cacheControl
+	if v, ok := resp.Header("cache-control"); ok {
+		cc = parseCacheControl(v)
+	} else {
+		cc = cacheControl{maxAge: -1, sMaxage: -1}
+	}
+	if cc.noStore || cc.private {
+		return Freshness{}
+	}
+	f := Freshness{Storable: true}
+	if cc.noCache {
+		return f // TTL 0: revalidate every hit
+	}
+	if cc.sMaxage >= 0 {
+		f.TTL = time.Duration(cc.sMaxage) * time.Second
+		return f
+	}
+	if cc.maxAge >= 0 {
+		f.TTL = time.Duration(cc.maxAge) * time.Second
+		return f
+	}
+	// Origin clock, for the header-derived lifetimes below.
+	date := now
+	if v, ok := resp.Header("date"); ok {
+		if t, err := httpmsg.ParseHTTPTime(v); err == nil {
+			date = t
+		}
+	}
+	if v, ok := resp.Header("expires"); ok {
+		t, err := httpmsg.ParseHTTPTime(v)
+		if err != nil {
+			return f // invalid Expires means "already expired" (RFC 7234 §5.3)
+		}
+		if ttl := t.Sub(date); ttl > 0 {
+			f.TTL = ttl
+		}
+		return f
+	}
+	if v, ok := resp.Header("last-modified"); ok {
+		if t, err := httpmsg.ParseHTTPTime(v); err == nil {
+			f.TTL = HeuristicTTL(t, date)
+		}
+	}
+	return f
+}
+
+// HeuristicTTL is the Last-Modified freshness heuristic by itself: 10%
+// of the response's age, capped at a day. Exposed so a revalidation
+// that gets a bare 304 (no Cache-Control, no Expires) can re-derive a
+// lifetime from the stored entry's validator.
+func HeuristicTTL(lastModified, now time.Time) time.Duration {
+	if age := now.Sub(lastModified); age > 0 {
+		ttl := age / heuristicFraction
+		if ttl > heuristicCap {
+			ttl = heuristicCap
+		}
+		return ttl
+	}
+	return 0
+}

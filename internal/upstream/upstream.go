@@ -1,0 +1,744 @@
+// Package upstream is the client half of the proxy tier: a pool of
+// origin backends spoken to over persistent HTTP/1.1 connections.
+//
+// The design transplants the paper's AMPED split onto the reverse-proxy
+// problem: the origin plays the role of the disk. Everything here runs
+// on helper goroutines (an origin fetch is a blocking "disk read"), so
+// this package is free to use ordinary blocking I/O; the event loops
+// never call into it directly.
+//
+// Per backend the pool keeps a small LIFO stack of idle connections
+// (keep-alive reuse), passive failure accounting feeding a half-open
+// circuit breaker, and a background prober that re-dials opened
+// backends so recovery does not wait for live traffic. Retries are
+// idempotent-only (GET/HEAD without a body), go to one alternate
+// backend, and draw from a token budget so a dying fleet cannot double
+// its own load.
+package upstream
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpmsg"
+)
+
+// Defaults and internal tuning knobs.
+const (
+	defaultDialTimeout     = 2 * time.Second
+	defaultResponseTimeout = 10 * time.Second
+	defaultIdleTimeout     = 60 * time.Second
+	defaultMaxIdle         = 4
+	defaultFailThreshold   = 3
+	defaultProbeInterval   = 500 * time.Millisecond
+
+	// drainLimit bounds how many unread body bytes Close will consume
+	// to salvage a connection for reuse; past it, closing the socket is
+	// cheaper than reading.
+	drainLimit = 256 << 10
+
+	// Retry budget, in tenths of a retry: each request earns 0.1 retry
+	// (capped), a retry spends 1.0. Steady state this allows retrying
+	// ~10% of traffic, the classic budget that stops retry storms.
+	retryTokenCap  = 100
+	retryTokenCost = 10
+)
+
+// Errors surfaced to the proxy layer (mapped to 502 there).
+var (
+	ErrNoBackends       = errors.New("upstream: no backends configured")
+	ErrNoHealthyBackend = errors.New("upstream: no healthy backend")
+	ErrPoolClosed       = errors.New("upstream: pool closed")
+)
+
+// IsTimeout reports whether an exchange error was a timeout (the proxy
+// maps these to 504 rather than 502).
+func IsTimeout(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return os.IsTimeout(err)
+}
+
+// Config configures a Pool. The zero value of every field but Backends
+// gets a sensible default.
+type Config struct {
+	// Backends is the static "host:port" list requests are spread over
+	// (round-robin among healthy backends).
+	Backends []string
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// ResponseTimeout bounds each wait for origin bytes: the write of
+	// the request, the read of the response head, and every body read.
+	ResponseTimeout time.Duration
+	// IdleTimeout is how long a pooled connection may sit idle before
+	// it is considered stale and closed instead of reused.
+	IdleTimeout time.Duration
+	// MaxIdlePerBackend caps the per-backend idle stack.
+	MaxIdlePerBackend int
+	// FailThreshold is the consecutive-failure count that trips a
+	// backend's circuit breaker.
+	FailThreshold int
+	// ProbeInterval is both the breaker's open→half-open cooldown and
+	// the active prober's re-dial period.
+	ProbeInterval time.Duration
+	// Dial overrides the dialer (tests count dials through this).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Breaker states.
+const (
+	breakerClosed   int32 = iota // healthy, requests flow
+	breakerOpen                  // tripped, requests shed
+	breakerHalfOpen              // one trial in flight
+)
+
+func breakerName(s int32) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Backend is one origin server plus its health and reuse state.
+type Backend struct {
+	addr string
+
+	mu   sync.Mutex
+	idle []*pconn // LIFO: the most recently used conn is the warmest
+
+	state    atomic.Int32 // breaker state
+	openedAt atomic.Int64 // unix nanos when the breaker last opened
+	consec   atomic.Int32 // consecutive transport failures
+
+	requests atomic.Int64
+	failures atomic.Int64
+	dials    atomic.Int64
+	reuses   atomic.Int64
+	retries  atomic.Int64
+}
+
+// Addr returns the backend's "host:port".
+func (b *Backend) Addr() string { return b.addr }
+
+// fail records a transport failure: bump counters, trip the breaker at
+// the threshold, and re-open it immediately if a half-open trial died.
+func (b *Backend) fail(threshold int) {
+	b.failures.Add(1)
+	n := b.consec.Add(1)
+	if b.state.CompareAndSwap(breakerHalfOpen, breakerOpen) {
+		b.openedAt.Store(time.Now().UnixNano())
+		return
+	}
+	if int(n) >= threshold && b.state.CompareAndSwap(breakerClosed, breakerOpen) {
+		b.openedAt.Store(time.Now().UnixNano())
+	}
+}
+
+// succeed records a completed exchange, closing the breaker from any
+// state.
+func (b *Backend) succeed() {
+	b.consec.Store(0)
+	if b.state.Load() != breakerClosed {
+		b.state.Store(breakerClosed)
+	}
+}
+
+// BackendStats is a point-in-time snapshot of one backend, shaped for
+// the /server-status?format=json endpoint.
+type BackendStats struct {
+	Addr      string `json:"addr"`
+	Breaker   string `json:"breaker"` // closed | open | half-open
+	Requests  int64  `json:"requests"`
+	Failures  int64  `json:"failures"`
+	Dials     int64  `json:"dials"`
+	Reuses    int64  `json:"reuses"`
+	Retries   int64  `json:"retries"`
+	IdleConns int    `json:"idle_conns"`
+}
+
+// PoolStats snapshots a whole pool.
+type PoolStats struct {
+	Backends []BackendStats `json:"backends"`
+}
+
+// Pool spreads requests over a static backend list with keep-alive
+// reuse, breakers, and a shared retry budget. All methods are safe for
+// concurrent use from many helper goroutines.
+type Pool struct {
+	cfg      Config
+	backends []*Backend
+	rr       atomic.Uint64 // round-robin cursor
+	tokens   atomic.Int64  // retry budget, in tenths
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// New builds a pool and starts its prober.
+func New(cfg Config) (*Pool, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = defaultDialTimeout
+	}
+	if cfg.ResponseTimeout <= 0 {
+		cfg.ResponseTimeout = defaultResponseTimeout
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = defaultIdleTimeout
+	}
+	if cfg.MaxIdlePerBackend <= 0 {
+		cfg.MaxIdlePerBackend = defaultMaxIdle
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = defaultFailThreshold
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	if cfg.Dial == nil {
+		to := cfg.DialTimeout
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, to)
+		}
+	}
+	p := &Pool{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.tokens.Store(retryTokenCap)
+	for _, a := range cfg.Backends {
+		p.backends = append(p.backends, &Backend{addr: a})
+	}
+	go p.probeLoop()
+	return p, nil
+}
+
+// Close stops the prober and closes every idle connection. In-flight
+// exchanges finish; their connections are closed instead of pooled.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+	for _, b := range p.backends {
+		b.mu.Lock()
+		for _, pc := range b.idle {
+			pc.c.Close()
+		}
+		b.idle = nil
+		b.mu.Unlock()
+	}
+}
+
+// Hostname returns the first configured backend address — the default
+// Host header value a caching tier sends on origin fetches, so one
+// logical origin served by several replicas caches under one name.
+func (p *Pool) Hostname() string { return p.backends[0].addr }
+
+func (p *Pool) closed() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stats snapshots every backend.
+func (p *Pool) Stats() PoolStats {
+	var s PoolStats
+	for _, b := range p.backends {
+		b.mu.Lock()
+		idle := len(b.idle)
+		b.mu.Unlock()
+		s.Backends = append(s.Backends, BackendStats{
+			Addr:      b.addr,
+			Breaker:   breakerName(b.state.Load()),
+			Requests:  b.requests.Load(),
+			Failures:  b.failures.Load(),
+			Dials:     b.dials.Load(),
+			Reuses:    b.reuses.Load(),
+			Retries:   b.retries.Load(),
+			IdleConns: idle,
+		})
+	}
+	return s
+}
+
+// probeLoop actively re-dials opened backends so recovery does not
+// depend on live traffic sacrificing requests.
+func (p *Pool) probeLoop() {
+	defer close(p.done)
+	t := time.NewTicker(p.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now().UnixNano()
+		for _, b := range p.backends {
+			if b.state.Load() != breakerOpen {
+				continue
+			}
+			if now-b.openedAt.Load() < int64(p.cfg.ProbeInterval) {
+				continue
+			}
+			if !b.state.CompareAndSwap(breakerOpen, breakerHalfOpen) {
+				continue
+			}
+			c, err := p.cfg.Dial(b.addr)
+			if err != nil {
+				b.state.Store(breakerOpen)
+				b.openedAt.Store(time.Now().UnixNano())
+				continue
+			}
+			// The backend accepts connections again: close the breaker
+			// and donate the probe's connection to the idle stack.
+			b.dials.Add(1)
+			b.succeed()
+			p.putIdle(b, newPconn(c, b))
+		}
+	}
+}
+
+// pick chooses a backend for a request: round-robin over breaker-closed
+// backends, skipping exclude. When everything is tripped, an open
+// backend whose cooldown has elapsed is promoted to a half-open trial
+// so traffic itself can force recovery. Returns nil when no backend is
+// usable.
+func (p *Pool) pick(exclude *Backend) *Backend {
+	n := len(p.backends)
+	start := int(p.rr.Add(1))
+	var trial *Backend
+	for i := 0; i < n; i++ {
+		b := p.backends[(start+i)%n]
+		if b == exclude {
+			continue
+		}
+		switch b.state.Load() {
+		case breakerClosed:
+			return b
+		case breakerOpen:
+			if trial == nil &&
+				time.Now().UnixNano()-b.openedAt.Load() >= int64(p.cfg.ProbeInterval) {
+				trial = b
+			}
+		}
+	}
+	if trial != nil && trial.state.CompareAndSwap(breakerOpen, breakerHalfOpen) {
+		return trial
+	}
+	return nil
+}
+
+// Retry budget: every request deposits a tenth (clamped), a retry
+// withdraws ten tenths or is denied.
+func (p *Pool) earnToken() {
+	if p.tokens.Load() < retryTokenCap {
+		p.tokens.Add(1)
+	}
+}
+
+func (p *Pool) spendToken() bool {
+	if p.tokens.Add(-retryTokenCost) >= 0 {
+		return true
+	}
+	p.tokens.Add(retryTokenCost)
+	return false
+}
+
+// Request is one proxied exchange. Header carries pre-sanitized
+// (lower-cased key, value) pairs — the caller strips hop-by-hop fields;
+// this layer writes them verbatim.
+type Request struct {
+	Method string
+	Target string
+	Host   string // Host header value sent to the origin
+	Header [][2]string
+	// Body, when non-nil, is the request body (ContentLength bytes).
+	// Requests with bodies are never retried.
+	Body          io.Reader
+	ContentLength int64
+}
+
+func (r *Request) idempotent() bool {
+	return (r.Method == "GET" || r.Method == "HEAD") && r.Body == nil
+}
+
+// RoundTrip sends the request to one healthy backend, retrying once on
+// a single alternate backend when the exchange fails at the transport
+// level, the request is idempotent, and the retry budget allows it.
+// The caller owns the returned Response and must Close or Abandon it.
+func (p *Pool) RoundTrip(req *Request) (*Response, error) {
+	if p.closed() {
+		return nil, ErrPoolClosed
+	}
+	p.earnToken()
+	b := p.pick(nil)
+	if b == nil {
+		return nil, ErrNoHealthyBackend
+	}
+	b.requests.Add(1)
+	resp, err := p.exchange(b, req)
+	if err == nil {
+		b.succeed()
+		return resp, nil
+	}
+	b.fail(p.cfg.FailThreshold)
+	if !req.idempotent() || !p.spendToken() {
+		return nil, err
+	}
+	alt := p.pick(b)
+	if alt == nil {
+		return nil, err
+	}
+	alt.requests.Add(1)
+	alt.retries.Add(1)
+	resp, err2 := p.exchange(alt, req)
+	if err2 != nil {
+		alt.fail(p.cfg.FailThreshold)
+		return nil, err2
+	}
+	alt.succeed()
+	return resp, nil
+}
+
+// exchange runs one request on one backend. A reused idle connection
+// that dies before yielding a single response byte is the classic
+// keep-alive race (the origin closed it while it sat pooled); that one
+// case is retried on a freshly dialed connection without counting as a
+// backend failure.
+func (p *Pool) exchange(b *Backend, req *Request) (*Response, error) {
+	for attempt := 0; ; attempt++ {
+		pc, reusedConn, err := p.conn(b)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := p.do(pc, req)
+		if err != nil {
+			pc.c.Close()
+			if reusedConn && req.Body == nil && !pc.sawResponseByte && attempt == 0 {
+				continue // stale pooled conn, not the backend's fault
+			}
+			return nil, err
+		}
+		return resp, nil
+	}
+}
+
+// conn returns a live connection to b: the warmest idle one, else a
+// fresh dial. The bool reports reuse.
+func (p *Pool) conn(b *Backend) (*pconn, bool, error) {
+	now := time.Now()
+	b.mu.Lock()
+	for len(b.idle) > 0 {
+		pc := b.idle[len(b.idle)-1]
+		b.idle = b.idle[:len(b.idle)-1]
+		if now.Sub(pc.lastUsed) > p.cfg.IdleTimeout {
+			pc.c.Close()
+			continue
+		}
+		b.mu.Unlock()
+		b.reuses.Add(1)
+		return pc, true, nil
+	}
+	b.mu.Unlock()
+	c, err := p.cfg.Dial(b.addr)
+	if err != nil {
+		return nil, false, err
+	}
+	b.dials.Add(1)
+	return newPconn(c, b), false, nil
+}
+
+// putIdle returns a connection to its backend's idle stack, closing it
+// instead when the stack is full or the pool is shutting down.
+func (p *Pool) putIdle(b *Backend, pc *pconn) {
+	pc.lastUsed = time.Now()
+	pc.sawResponseByte = false
+	b.mu.Lock()
+	if p.closed() || len(b.idle) >= p.cfg.MaxIdlePerBackend {
+		b.mu.Unlock()
+		pc.c.Close()
+		return
+	}
+	b.idle = append(b.idle, pc)
+	b.mu.Unlock()
+}
+
+// pconn is one persistent origin connection with its read buffer and a
+// recycled head buffer + Response, so steady-state exchanges allocate
+// nothing.
+type pconn struct {
+	c        net.Conn
+	br       *bufio.Reader
+	b        *Backend
+	wbuf     []byte // request head assembly
+	hbuf     []byte // response head accumulation
+	resp     httpmsg.Response
+	lastUsed time.Time
+	// sawResponseByte distinguishes "origin answered then broke" from
+	// "pooled conn was already dead" for the stale-reuse retry.
+	sawResponseByte bool
+}
+
+func newPconn(c net.Conn, b *Backend) *pconn {
+	return &pconn{c: c, br: bufio.NewReaderSize(c, 16<<10), b: b}
+}
+
+// do writes the request and reads + parses the response head,
+// returning a Response whose body streams from the connection.
+func (p *Pool) do(pc *pconn, req *Request) (*Response, error) {
+	w := pc.wbuf[:0]
+	w = append(w, req.Method...)
+	w = append(w, ' ')
+	w = append(w, req.Target...)
+	w = append(w, " HTTP/1.1\r\nHost: "...)
+	w = append(w, req.Host...)
+	w = append(w, "\r\n"...)
+	for _, kv := range req.Header {
+		w = append(w, kv[0]...)
+		w = append(w, ": "...)
+		w = append(w, kv[1]...)
+		w = append(w, "\r\n"...)
+	}
+	if req.Body != nil {
+		w = append(w, "Content-Length: "...)
+		w = strconv.AppendInt(w, req.ContentLength, 10)
+		w = append(w, "\r\n"...)
+	}
+	w = append(w, "Connection: keep-alive\r\n\r\n"...)
+	pc.wbuf = w
+
+	pc.c.SetWriteDeadline(time.Now().Add(p.cfg.ResponseTimeout))
+	if _, err := pc.c.Write(w); err != nil {
+		return nil, err
+	}
+	if req.Body != nil {
+		if _, err := io.Copy(pc.c, io.LimitReader(req.Body, req.ContentLength)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Read heads until a final (non-1xx) one arrives; an origin may
+	// interject "100 Continue" style interim responses.
+	for interim := 0; ; interim++ {
+		head, err := pc.readHead(p.cfg.ResponseTimeout)
+		if err != nil {
+			return nil, err
+		}
+		pc.resp.Reset()
+		if err := pc.resp.ParseBytes(head); err != nil {
+			return nil, err
+		}
+		if pc.resp.Status >= 200 || interim >= 4 {
+			break
+		}
+	}
+
+	kind, n, err := pc.resp.BodyFraming(req.Method)
+	if err != nil {
+		return nil, err
+	}
+	r := &Response{
+		Status:        pc.resp.Status,
+		Head:          &pc.resp,
+		ContentLength: -1,
+		kind:          kind,
+		pc:            pc,
+		p:             p,
+	}
+	if kind == httpmsg.BodyLength {
+		r.ContentLength = n
+		r.remain = n
+	}
+	if kind == httpmsg.BodyNone {
+		r.ContentLength = 0
+		r.done = true
+	}
+	return r, nil
+}
+
+// readHead accumulates response-head lines (never over-reading past
+// the blank line) into pc.hbuf and returns the head slice.
+func (pc *pconn) readHead(timeout time.Duration) ([]byte, error) {
+	pc.hbuf = pc.hbuf[:0]
+	pc.c.SetReadDeadline(time.Now().Add(timeout))
+	for {
+		line, err := pc.br.ReadSlice('\n')
+		if len(line) > 0 {
+			pc.sawResponseByte = true
+			pc.hbuf = append(pc.hbuf, line...)
+		}
+		if err == bufio.ErrBufferFull {
+			if len(pc.hbuf) > httpmsg.MaxHeaderLen {
+				return nil, httpmsg.ErrHeaderTooBig
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if end := httpmsg.HeaderEnd(pc.hbuf); end >= 0 {
+			return pc.hbuf[:end], nil
+		}
+		if len(pc.hbuf) > httpmsg.MaxHeaderLen {
+			return nil, httpmsg.ErrHeaderTooBig
+		}
+	}
+}
+
+// Response is a proxied origin response. Head (and everything reachable
+// from it) is valid only until Close or Abandon — it views buffers
+// recycled with the connection. Read streams the body with the framing
+// already stripped (chunked decoding included).
+type Response struct {
+	Status int
+	Head   *httpmsg.Response
+	// ContentLength is the declared body length, or -1 when the body is
+	// chunked or close-delimited.
+	ContentLength int64
+
+	kind   httpmsg.BodyKind
+	remain int64 // BodyLength: bytes left
+	dec    httpmsg.ChunkedDecoder
+	pc     *pconn
+	p      *Pool
+	done   bool // body fully consumed, framing intact
+	err    error
+}
+
+// Read implements io.Reader over the decoded body bytes.
+func (r *Response) Read(out []byte) (int, error) {
+	if r.done {
+		return 0, io.EOF
+	}
+	if r.err != nil {
+		return 0, r.err
+	}
+	if len(out) == 0 {
+		return 0, nil
+	}
+	pc := r.pc
+	pc.c.SetReadDeadline(time.Now().Add(r.p.cfg.ResponseTimeout))
+	switch r.kind {
+	case httpmsg.BodyLength:
+		n := int64(len(out))
+		if n > r.remain {
+			n = r.remain
+		}
+		m, err := pc.br.Read(out[:n])
+		r.remain -= int64(m)
+		if r.remain == 0 {
+			r.done = true
+			err = nil
+		} else if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			r.err = err
+		}
+		return m, err
+	case httpmsg.BodyChunked:
+		for {
+			// Feed the decoder only buffered bytes so it never
+			// over-reads into the next pipelined response.
+			if pc.br.Buffered() == 0 {
+				if _, err := pc.br.Peek(1); err != nil {
+					if err == io.EOF {
+						err = io.ErrUnexpectedEOF
+					}
+					r.err = err
+					return 0, err
+				}
+			}
+			src, _ := pc.br.Peek(pc.br.Buffered())
+			nsrc, ndst, done, err := r.dec.Next(src, out)
+			pc.br.Discard(nsrc)
+			if err != nil {
+				r.err = err
+				return ndst, err
+			}
+			if done {
+				r.done = true
+				return ndst, nil
+			}
+			if ndst > 0 {
+				return ndst, nil
+			}
+		}
+	default: // BodyUntilClose
+		m, err := pc.br.Read(out)
+		if err == io.EOF {
+			r.done = true
+			err = nil
+			if m == 0 {
+				return 0, io.EOF
+			}
+		} else if err != nil {
+			r.err = err
+		}
+		return m, err
+	}
+}
+
+// Close finishes with the response: a fully consumed body on a
+// keep-alive connection returns the connection to the pool; a small
+// unread remainder is drained first; anything else closes the socket.
+// Close may block on the drain — call it from helper goroutines only
+// (event loops use Abandon).
+func (r *Response) Close() error {
+	pc := r.pc
+	if pc == nil {
+		return nil
+	}
+	r.pc = nil
+	reusable := r.err == nil && r.kind != httpmsg.BodyUntilClose && r.Head.KeepAlive()
+	if reusable && !r.done {
+		// Drain a bounded remainder to salvage the connection.
+		var buf [8 << 10]byte
+		for drained := 0; !r.done && r.err == nil; {
+			r.pc = pc // Read needs it back
+			n, err := r.Read(buf[:])
+			r.pc = nil
+			drained += n
+			if err != nil || drained > drainLimit {
+				break
+			}
+		}
+		reusable = r.done && r.err == nil
+	}
+	if !reusable {
+		return pc.c.Close()
+	}
+	r.p.putIdle(pc.b, pc)
+	return nil
+}
+
+// Abandon closes the underlying socket without draining. It never
+// blocks, so it is the one Response method safe to call from an event
+// loop.
+func (r *Response) Abandon() {
+	pc := r.pc
+	if pc == nil {
+		return
+	}
+	r.pc = nil
+	pc.c.Close()
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# bench_proxy.sh — reverse-proxy tier sweep: warm-hit vs proxied-miss
+# vs revalidate, the three costs a caching proxy can charge for the
+# same byte count.
+#
+# Topology: loadgen -> flashd proxy (-upstream) -> flashd origin
+# (-demo's /gen origin simulator: deterministic body, stable ETag,
+# honest 304s, per-request freshness knobs in the query string). All
+# three processes share the box, so compare the modes against each
+# other, not against isolated-host numbers.
+#
+# Modes (all keep-alive, same 16 KiB payload):
+#   warm_hit   one hot target, ttl=3600: request 1 fills, the rest are
+#              local cache hits — the proxy's ceiling, no origin I/O.
+#   miss       near-uniform Zipf over 50k distinct targets: virtually
+#              every request is a cold fill (origin fetch + cache
+#              insert + stream-through) — the proxy's floor.
+#   revalidate Zipf over 2k no-cache targets: entries cache but every
+#              stale hit costs a conditional GET answered 304 — body
+#              bytes from local cache, freshness from the origin. (The
+#              shard clock ticks at 100ms, so a just-revalidated entry
+#              serves fresh for up to that long: the mode is a hit/
+#              revalidate mix, which is exactly how no-cache content
+#              behaves in production.)
+#
+# After each run the proxy's /server-status?format=json is saved too
+# (per-backend dials/reuses: reuse ratio should be ~1 — the origin leg
+# rides keep-alive conns, not per-request dials).
+#
+# Usage: scripts/bench_proxy.sh
+#   CLIENTS=64 DURATION=10s BYTES=16384 variables override the shape.
+
+set -euo pipefail
+
+CLIENTS=${CLIENTS:-64}
+DURATION=${DURATION:-10s}
+BYTES=${BYTES:-16384}
+ORIGIN_ADDR=${ORIGIN_ADDR:-127.0.0.1:8097}
+PROXY_ADDR=${PROXY_ADDR:-127.0.0.1:8098}
+OUT=${OUT:-/tmp/flash-proxy-bench}
+
+cd "$(dirname "$0")/.."
+go build -o "$OUT-flashd" ./cmd/flashd
+go build -o "$OUT-loadgen" ./cmd/loadgen
+
+ROOT=$(mktemp -d /tmp/flash-proxy-root.XXXXXX)
+echo ok >"$ROOT/index.html"
+
+"$OUT-flashd" -root "$ROOT" -addr "$ORIGIN_ADDR" -demo \
+    >"$OUT-origin.log" 2>&1 &
+ORIGIN=$!
+"$OUT-flashd" -root "$ROOT" -addr "$PROXY_ADDR" -status \
+    -upstream "$ORIGIN_ADDR" -upstream-prefix /gen \
+    >"$OUT-proxy.log" 2>&1 &
+PROXY=$!
+trap 'kill $ORIGIN $PROXY 2>/dev/null || true' EXIT
+sleep 0.5
+
+run() { # run <mode> <loadgen args...>
+    local mode=$1
+    shift
+    echo "=== mode=$mode ==="
+    "$OUT-loadgen" -addr "$PROXY_ADDR" -clients "$CLIENTS" \
+        -duration "$DURATION" -keepalive -json "$OUT-$mode.json" "$@" |
+        sed 's/^/  /'
+    curl -s "http://$PROXY_ADDR/server-status?format=json" \
+        >"$OUT-$mode.status.json" || true
+    echo "  summary json: $OUT-$mode.json"
+}
+
+run warm_hit -path "/gen?bytes=$BYTES&ttl=3600"
+run miss -zipf-files 50000 -zipf-skew 1.02 \
+    -zipf-path-fmt "/gen?bytes=$BYTES&ttl=3600&r=%05d"
+run revalidate -zipf-files 2000 -zipf-skew 1.02 \
+    -zipf-path-fmt "/gen?bytes=$BYTES&cc=no-cache&r=%04d"
+
+echo
+echo "Compare requests/s and p99 across $OUT-{warm_hit,miss,revalidate}.json."
+echo "Proxy counters (hits/fills/revalidated, per-backend reuse ratio) are"
+echo "in the matching *.status.json snapshots."
