@@ -15,6 +15,16 @@
 //	       [-cache-no-coalesce] [-cache-no-replicate]
 //	       [-sendfile-threshold 262144] [-max-body 8388608] [-demo]
 //	       [-upstream host:port,host:port -upstream-prefix /]
+//	       [-max-conns N] [-max-conns-per-ip N] [-shed-queue N]
+//	       [-retry-after 1] [-stale-if-error 30s]
+//
+// The overload knobs mirror flash.Config's admission-control layer:
+// -max-conns and -max-conns-per-ip reject excess connections with a
+// 503 + Retry-After, -shed-queue sheds new cache-miss work once the
+// helper queue passes that depth (warm hits keep serving), and
+// -stale-if-error lets the proxy tier answer origin failures from
+// expired cache entries for that long past expiry. The /server-status
+// "overload" line reports the reject/shed/reap counters.
 //
 // The cache knobs mirror flash.Config.Cache: budgets are server-wide
 // (the store owns them; shard count no longer divides the effective
@@ -91,9 +101,14 @@ func main() {
 			"minimum body bytes for the zero-copy sendfile transport (0 disables)")
 		maxBody = flag.Int64("max-body", flash.DefaultMaxBodyBytes,
 			"request body cap in bytes (larger bodies draw 413; 0 removes the cap)")
-		demo     = flag.Bool("demo", false, "mount the /echo, /upload and /gen dynamic demo handlers")
-		upstream = flag.String("upstream", "", "comma-separated backend host:port list — serve -upstream-prefix as a caching reverse proxy over this pool")
-		upPrefix = flag.String("upstream-prefix", "/", "path prefix proxied to -upstream backends")
+		maxConns     = flag.Int("max-conns", 0, "admission cap on concurrent connections (0 = unlimited); excess conns get 503 + Retry-After")
+		maxConnsIP   = flag.Int("max-conns-per-ip", 0, "per-client-IP connection cap (0 = unlimited)")
+		shedQueue    = flag.Int("shed-queue", 0, "helper-queue depth watermark above which new cache-miss work sheds with 503 (0 = never shed)")
+		retryAfter   = flag.Int("retry-after", 0, "Retry-After seconds advertised on overload 503s (0 = default 1)")
+		staleIfError = flag.Duration("stale-if-error", 0, "serve expired proxy entries this long past expiry when the origin fails (0 = only explicit origin stale-if-error directives; negative disables)")
+		demo         = flag.Bool("demo", false, "mount the /echo, /upload and /gen dynamic demo handlers")
+		upstream     = flag.String("upstream", "", "comma-separated backend host:port list — serve -upstream-prefix as a caching reverse proxy over this pool")
+		upPrefix     = flag.String("upstream-prefix", "/", "path prefix proxied to -upstream backends")
 	)
 	flag.Parse()
 	if *root == "" {
@@ -144,6 +159,11 @@ func main() {
 		DisableHeaderAlign: *noAlign,
 		SendfileThreshold:  *sfThresh,
 		MaxBodyBytes:       *maxBody,
+		MaxConns:           *maxConns,
+		MaxConnsPerIP:      *maxConnsIP,
+		ShedQueueDepth:     *shedQueue,
+		RetryAfter:         *retryAfter,
+		StaleIfError:       *staleIfError,
 	}
 	if *sfThresh == 0 {
 		// The flag's "0 = off" maps to the config's negative sentinel
@@ -296,11 +316,15 @@ func main() {
 					100*st.SharedChunks.HitRate(), st.SharedChunks.BytesMapped-st.SharedChunks.BytesUnmapped)
 				fmt.Fprintf(&b, "fills:         started=%d joined=%d completed=%d failed=%d\n",
 					st.Fills.Started, st.Fills.Joined, st.Fills.Completed, st.Fills.Failed)
+				fmt.Fprintf(&b, "overload:      rejected=%d shed=%d shed-reval=%d fd-pressure=%d idle-reaped=%d\n",
+					st.ConnsRejected, st.ShedRequests, st.ShedRevalidates,
+					st.FdPressure, st.IdleReaped)
 				if proxies := srv.ProxyStats(); len(proxies) > 0 {
 					fmt.Fprintf(&b, "\nreverse proxy\n")
-					fmt.Fprintf(&b, "requests:      %d (hits: %d, fills: %d, revalidated: %d, pass-through: %d, errors: %d)\n",
+					fmt.Fprintf(&b, "requests:      %d (hits: %d, fills: %d, revalidated: %d, pass-through: %d, errors: %d, stale-served: %d)\n",
 						st.ProxyRequests, st.ProxyHits, st.ProxyFills,
-						st.ProxyRevalidated, st.ProxyPassThrough, st.ProxyErrors)
+						st.ProxyRevalidated, st.ProxyPassThrough, st.ProxyErrors,
+						st.ProxyStale)
 					for _, p := range proxies {
 						for _, bk := range p.Pool.Backends {
 							fmt.Fprintf(&b, "%s %s: breaker=%s reqs=%d fail=%d dials=%d reuses=%d retries=%d idle=%d\n",

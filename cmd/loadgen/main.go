@@ -13,6 +13,7 @@
 //	        [-large-frac 0.1 -large-path /large.bin]
 //	        [-post-frac 0.1 -post-bytes 1024 -post-path /echo]
 //	        [-open-conns 10000 -idle-frac 1.0 -think 1s]
+//	        [-slow-write-bps 100] [-abort-frac 0.3] [-honor-retry-after]
 //	        [-json out.json]
 //
 // -open-conns holds that many extra keep-alive connections open for
@@ -40,6 +41,17 @@
 // plus latency percentiles. -json additionally writes the whole
 // summary as machine-readable JSON ("-" for stdout), which is how the
 // committed BENCH_*.json trajectory files are produced.
+//
+// The abusive-client knobs model the traffic an overload drill throws
+// at the server: -slow-write-bps throttles every request write to that
+// byte rate (a slowloris-style slow writer holding server-side state
+// open); -abort-frac abandons that fraction of responses mid-body,
+// closing the connection with bytes still in flight. -honor-retry-after
+// makes clients well-behaved on the other side of the exchange: a 503
+// carrying Retry-After parks the client for that many seconds before
+// its next request, so a shedding server sees offered load actually
+// back off. The summary counts throttled writes, aborted responses,
+// 503s, and honored backoff waits.
 //
 // -zipf-files draws request paths from a Zipf distribution over N
 // synthetic file names (rank 0 the hottest) — the bigger-than-RAM
@@ -89,6 +101,12 @@ type counters struct {
 	class5xx   atomic.Uint64
 	badGateway atomic.Uint64 // 502 responses
 	gwTimeout  atomic.Uint64 // 504 responses
+	svcUnavail atomic.Uint64 // 503 responses (overload sheds)
+
+	// Abusive-client and backoff accounting.
+	slowWrites atomic.Uint64 // requests written under -slow-write-bps
+	aborted    atomic.Uint64 // responses abandoned mid-body (-abort-frac)
+	retryWaits atomic.Uint64 // Retry-After backoffs honored
 }
 
 // classify buckets one response status into its class counters.
@@ -106,6 +124,8 @@ func (c *counters) classify(status int) {
 	switch status {
 	case 502:
 		c.badGateway.Add(1)
+	case 503:
+		c.svcUnavail.Add(1)
 	case 504:
 		c.gwTimeout.Add(1)
 	}
@@ -113,27 +133,30 @@ func (c *counters) classify(status int) {
 
 func main() {
 	var (
-		addr      = flag.String("addr", "localhost:8080", "server host:port")
-		clients   = flag.Int("clients", 64, "concurrent closed-loop clients")
-		duration  = flag.Duration("duration", 10*time.Second, "measurement duration")
-		path      = flag.String("path", "/index.html", "single path to request")
-		traceFile = flag.String("trace", "", "CLF access log to replay (overrides -path)")
-		keepAlive = flag.Bool("keepalive", false, "use persistent connections")
-		rangeFrac = flag.Float64("range-frac", 0, "fraction of requests sent as Range requests (0..1)")
-		revalFrac = flag.Float64("revalidate-frac", 0, "fraction of requests sent as If-None-Match revalidations (0..1)")
-		largeFrac = flag.Float64("large-frac", 0, "fraction of requests diverted to -large-path (0..1)")
-		largePath = flag.String("large-path", "/large.bin", "path requested by the -large-frac share of the mix")
-		postFrac  = flag.Float64("post-frac", 0, "fraction of requests sent as POSTs with a body (0..1)")
-		postBytes = flag.Int("post-bytes", 1024, "body size of generated POSTs")
-		postPath  = flag.String("post-path", "/echo", "path POSTed to by the -post-frac share of the mix")
-		zipfFiles = flag.Int("zipf-files", 0, "draw paths Zipf-distributed over this many synthetic files (overrides -path/-trace)")
-		zipfSkew  = flag.Float64("zipf-skew", 1.1, "Zipf exponent (> 1) for -zipf-files; larger = more skew")
-		zipfFmt   = flag.String("zipf-path-fmt", "/zipf/f%05d.bin", "printf pattern mapping a Zipf rank to a request path")
-		zipfSeed  = flag.Int64("zipf-seed", 1, "PRNG seed for the -zipf-files request stream")
-		openConns = flag.Int("open-conns", 0, "background keep-alive connections held open for the whole run (idle-conn fleet)")
-		idleFrac  = flag.Float64("idle-frac", 1.0, "fraction of -open-conns that stay fully idle after one priming exchange (0..1); the rest re-request with Poisson think time")
-		thinkTime = flag.Duration("think", time.Second, "mean think time (exponential) for the non-idle share of -open-conns")
-		jsonOut   = flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
+		addr       = flag.String("addr", "localhost:8080", "server host:port")
+		clients    = flag.Int("clients", 64, "concurrent closed-loop clients")
+		duration   = flag.Duration("duration", 10*time.Second, "measurement duration")
+		path       = flag.String("path", "/index.html", "single path to request")
+		traceFile  = flag.String("trace", "", "CLF access log to replay (overrides -path)")
+		keepAlive  = flag.Bool("keepalive", false, "use persistent connections")
+		rangeFrac  = flag.Float64("range-frac", 0, "fraction of requests sent as Range requests (0..1)")
+		revalFrac  = flag.Float64("revalidate-frac", 0, "fraction of requests sent as If-None-Match revalidations (0..1)")
+		largeFrac  = flag.Float64("large-frac", 0, "fraction of requests diverted to -large-path (0..1)")
+		largePath  = flag.String("large-path", "/large.bin", "path requested by the -large-frac share of the mix")
+		postFrac   = flag.Float64("post-frac", 0, "fraction of requests sent as POSTs with a body (0..1)")
+		postBytes  = flag.Int("post-bytes", 1024, "body size of generated POSTs")
+		postPath   = flag.String("post-path", "/echo", "path POSTed to by the -post-frac share of the mix")
+		zipfFiles  = flag.Int("zipf-files", 0, "draw paths Zipf-distributed over this many synthetic files (overrides -path/-trace)")
+		zipfSkew   = flag.Float64("zipf-skew", 1.1, "Zipf exponent (> 1) for -zipf-files; larger = more skew")
+		zipfFmt    = flag.String("zipf-path-fmt", "/zipf/f%05d.bin", "printf pattern mapping a Zipf rank to a request path")
+		zipfSeed   = flag.Int64("zipf-seed", 1, "PRNG seed for the -zipf-files request stream")
+		slowBps    = flag.Int("slow-write-bps", 0, "throttle request writes to this byte rate (slowloris-style slow clients)")
+		abortFrac  = flag.Float64("abort-frac", 0, "fraction of responses abandoned mid-body with a connection close (0..1)")
+		honorRetry = flag.Bool("honor-retry-after", false, "back off for Retry-After seconds after a 503 before the next request")
+		openConns  = flag.Int("open-conns", 0, "background keep-alive connections held open for the whole run (idle-conn fleet)")
+		idleFrac   = flag.Float64("idle-frac", 1.0, "fraction of -open-conns that stay fully idle after one priming exchange (0..1); the rest re-request with Poisson think time")
+		thinkTime  = flag.Duration("think", time.Second, "mean think time (exponential) for the non-idle share of -open-conns")
+		jsonOut    = flag.String("json", "", "write a machine-readable JSON summary to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -191,13 +214,16 @@ func main() {
 	}
 
 	mix := clientMix{
-		rangeFrac: *rangeFrac,
-		revalFrac: *revalFrac,
-		largeFrac: *largeFrac,
-		largePath: *largePath,
-		postFrac:  *postFrac,
-		postBytes: *postBytes,
-		postPath:  *postPath,
+		rangeFrac:  *rangeFrac,
+		revalFrac:  *revalFrac,
+		largeFrac:  *largeFrac,
+		largePath:  *largePath,
+		postFrac:   *postFrac,
+		postBytes:  *postBytes,
+		postPath:   *postPath,
+		slowBps:    *slowBps,
+		abortFrac:  *abortFrac,
+		honorRetry: *honorRetry,
 	}
 	start := time.Now()
 	if *openConns > 0 {
@@ -249,6 +275,17 @@ func main() {
 		fmt.Printf("posted:      %d accepted (2xx), %d refused (413)\n",
 			c.postOK.Load(), c.tooLarge.Load())
 	}
+	if *slowBps > 0 {
+		fmt.Printf("slow-write:  %d requests throttled to %d B/s\n",
+			c.slowWrites.Load(), *slowBps)
+	}
+	if *abortFrac > 0 {
+		fmt.Printf("aborted:     %d responses abandoned mid-body\n", c.aborted.Load())
+	}
+	if *honorRetry {
+		fmt.Printf("backoff:     %d Retry-After waits honored (503=%d)\n",
+			c.retryWaits.Load(), c.svcUnavail.Load())
+	}
 	// Both units: large-file workloads are byte-bound, so MB/s is the
 	// number that moves when the transport does; req/s hides it.
 	fmt.Printf("throughput:  %.2f MB/s (%.2f Mb/s)\n",
@@ -284,8 +321,13 @@ func main() {
 				PostOK2xx:      c.postOK.Load(),
 				TooLarge413:    c.tooLarge.Load(),
 				BadGateway502:  c.badGateway.Load(),
+				SvcUnavail503:  c.svcUnavail.Load(),
 				GwTimeout504:   c.gwTimeout.Load(),
 			},
+			SlowWriteBps: *slowBps,
+			SlowWrites:   c.slowWrites.Load(),
+			Aborted:      c.aborted.Load(),
+			RetryWaits:   c.retryWaits.Load(),
 			LatencyUsec: latencySummary{
 				Mean: hist.Mean().Microseconds(),
 				P50:  hist.Quantile(0.5).Microseconds(),
@@ -326,6 +368,10 @@ type jsonSummary struct {
 	MBPerSec       float64        `json:"mb_per_sec"`
 	MbitPerSec     float64        `json:"mbit_per_sec"`
 	Errors         uint64         `json:"errors"`
+	SlowWriteBps   int            `json:"slow_write_bps,omitempty"`
+	SlowWrites     uint64         `json:"slow_writes,omitempty"`
+	Aborted        uint64         `json:"aborted,omitempty"`
+	RetryWaits     uint64         `json:"retry_waits,omitempty"`
 	Status         statusCounts   `json:"status_counts"`
 	LatencyUsec    latencySummary `json:"latency_usec"`
 	GOOS           string         `json:"goos"`
@@ -343,6 +389,7 @@ type statusCounts struct {
 	PostOK2xx      uint64 `json:"post_ok_2xx"`
 	TooLarge413    uint64 `json:"too_large_413"`
 	BadGateway502  uint64 `json:"bad_gateway_502"`
+	SvcUnavail503  uint64 `json:"service_unavailable_503"`
 	GwTimeout504   uint64 `json:"gateway_timeout_504"`
 }
 
@@ -359,13 +406,16 @@ type latencySummary struct {
 // Range requests, sent as conditional revalidations, or sent as
 // bodied POSTs.
 type clientMix struct {
-	rangeFrac float64
-	revalFrac float64
-	largeFrac float64
-	largePath string
-	postFrac  float64
-	postBytes int
-	postPath  string
+	rangeFrac  float64
+	revalFrac  float64
+	largeFrac  float64
+	largePath  string
+	postFrac   float64
+	postBytes  int
+	postPath   string
+	slowBps    int     // throttle request writes to this byte rate
+	abortFrac  float64 // abandon this fraction of responses mid-body
+	honorRetry bool    // back off on 503 + Retry-After
 }
 
 // runClient is one closed-loop client. All mix fractions use error
@@ -375,7 +425,7 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 	next func() string, stop <-chan struct{}, c *counters, observe func(time.Duration)) {
 	var conn net.Conn
 	var br *bufio.Reader
-	var rangeAcc, revalAcc, largeAcc, postAcc float64
+	var rangeAcc, revalAcc, largeAcc, postAcc, abortAcc float64
 	etags := make(map[string]string)
 	var postBody string
 	if mix.postFrac > 0 {
@@ -447,8 +497,16 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 				extra = "Range: bytes=0-1023\r\n"
 			}
 		}
+		opts := reqOpts{slowBps: mix.slowBps}
+		if mix.abortFrac > 0 {
+			abortAcc += mix.abortFrac
+			if abortAcc >= 1 {
+				abortAcc--
+				opts.abort = true
+			}
+		}
 		begin := time.Now()
-		res, err := doRequest(conn, br, method, path, body, keepAlive, extra)
+		res, err := doRequest(conn, br, method, path, body, keepAlive, extra, opts)
 		if err != nil {
 			c.errors.Add(1)
 			conn.Close()
@@ -456,6 +514,12 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 			continue
 		}
 		observe(time.Since(begin))
+		if mix.slowBps > 0 {
+			c.slowWrites.Add(1)
+		}
+		if res.aborted {
+			c.aborted.Add(1)
+		}
 		c.responses.Add(1)
 		c.bytes.Add(res.bodyBytes)
 		c.classify(res.status)
@@ -477,6 +541,20 @@ func runClient(addr string, keepAlive bool, mix clientMix,
 		if !res.keep {
 			conn.Close()
 			conn = nil
+		}
+		if mix.honorRetry && res.status == 503 {
+			// A well-behaved client takes the server's shed seriously:
+			// park for the advertised window before offering more load.
+			wait := time.Duration(res.retryAfter) * time.Second
+			if wait <= 0 {
+				wait = time.Second
+			}
+			c.retryWaits.Add(1)
+			select {
+			case <-stop:
+				return
+			case <-time.After(wait):
+			}
 		}
 	}
 }
@@ -515,7 +593,7 @@ func runFleetConn(addr string, next func() string, idle bool, think time.Duratio
 				continue
 			}
 			conn, br = nc, bufio.NewReader(nc)
-			res, err := doRequest(conn, br, "GET", next(), "", true, "")
+			res, err := doRequest(conn, br, "GET", next(), "", true, "", reqOpts{})
 			if err != nil || !res.keep {
 				c.errors.Add(1)
 				conn.Close()
@@ -539,7 +617,7 @@ func runFleetConn(addr string, next func() string, idle bool, think time.Duratio
 			return
 		case <-time.After(gap):
 		}
-		res, err := doRequest(conn, br, "GET", next(), "", true, "")
+		res, err := doRequest(conn, br, "GET", next(), "", true, "", reqOpts{})
 		if err != nil || !res.keep {
 			if err != nil {
 				c.errors.Add(1)
@@ -557,15 +635,52 @@ func runFleetConn(addr string, next func() string, idle bool, think time.Duratio
 
 // respResult summarizes one exchange.
 type respResult struct {
-	status    int
-	bodyBytes int64
-	etag      string
-	keep      bool
+	status     int
+	bodyBytes  int64
+	etag       string
+	keep       bool
+	retryAfter int  // Retry-After seconds on a reject, 0 when absent
+	aborted    bool // response abandoned mid-body (reqOpts.abort)
+}
+
+// reqOpts carries the abusive-client behaviors one exchange applies.
+type reqOpts struct {
+	slowBps int  // > 0: throttle the request write to this byte rate
+	abort   bool // abandon the response mid-body and close
+}
+
+// writeThrottled writes data at roughly bps bytes per second, in small
+// bursts — the slow-writer shape that holds a server-side connection
+// in its header-read state for seconds.
+func writeThrottled(conn net.Conn, data []byte, bps int) error {
+	if bps <= 0 {
+		_, err := conn.Write(data)
+		return err
+	}
+	const interval = 100 * time.Millisecond
+	chunk := bps / 10
+	if chunk < 1 {
+		chunk = 1
+	}
+	for len(data) > 0 {
+		n := chunk
+		if n > len(data) {
+			n = len(data)
+		}
+		if _, err := conn.Write(data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+		if len(data) > 0 {
+			time.Sleep(interval)
+		}
+	}
+	return nil
 }
 
 // doRequest writes one request (plus optional extra headers and body)
 // and reads the complete response.
-func doRequest(conn net.Conn, br *bufio.Reader, method, path, body string, keepAlive bool, extra string) (respResult, error) {
+func doRequest(conn net.Conn, br *bufio.Reader, method, path, body string, keepAlive bool, extra string, opts reqOpts) (respResult, error) {
 	connHdr := "close"
 	proto := "HTTP/1.0"
 	if keepAlive {
@@ -573,8 +688,9 @@ func doRequest(conn net.Conn, br *bufio.Reader, method, path, body string, keepA
 		proto = "HTTP/1.1"
 	}
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
-	if _, err := fmt.Fprintf(conn, "%s %s %s\r\nHost: loadgen\r\n%sConnection: %s\r\n\r\n%s",
-		method, path, proto, extra, connHdr, body); err != nil {
+	req := fmt.Sprintf("%s %s %s\r\nHost: loadgen\r\n%sConnection: %s\r\n\r\n%s",
+		method, path, proto, extra, connHdr, body)
+	if err := writeThrottled(conn, []byte(req), opts.slowBps); err != nil {
 		return respResult{}, err
 	}
 
@@ -624,12 +740,32 @@ func doRequest(conn net.Conn, br *bufio.Reader, method, path, body string, keepA
 			res.keep = strings.Contains(strings.ToLower(val), "keep-alive")
 		case "etag":
 			res.etag = val
+		case "retry-after":
+			if v, err := strconv.Atoi(val); err == nil && v > 0 {
+				res.retryAfter = v
+			}
 		}
 	}
 	res.keep = res.keep && keepAlive
 
 	if res.status == 304 || res.status == 204 {
 		return res, nil // no body by definition
+	}
+	if opts.abort && (chunked || !hasLength || length > 0) {
+		// Abandon mid-body: take at most 1 KB of a known-length body
+		// (never more than the server will send, so this cannot block),
+		// then leave the rest in flight — the caller closes on !keep.
+		if hasLength {
+			take := length
+			if take > 1024 {
+				take = 1024
+			}
+			n, _ := io.CopyN(io.Discard, br, take)
+			res.bodyBytes = n
+		}
+		res.keep = false
+		res.aborted = true
+		return res, nil
 	}
 	if chunked {
 		n, err := discardChunked(br)

@@ -31,6 +31,11 @@ type PathEntry struct {
 	Expires      int64
 	ContentType  string
 	LastModified string
+	// StaleUntil is the owner-clock instant the entry stops being
+	// usable for RFC 5861 stale-if-error serving: between Expires and
+	// StaleUntil an origin failure may be answered with this (stale)
+	// entry. Zero means never stale-servable.
+	StaleUntil int64
 }
 
 // PathCache is the pathname translation cache (§5.2). It avoids running

@@ -1,0 +1,134 @@
+// Package failpoint provides named, runtime-armed fault-injection
+// points for tests and chaos drills.
+//
+// A failpoint is a named site in production code where a test can
+// splice in a hook: an error return (simulating a failed disk read or
+// a dead origin), a latency injection (simulating a slow disk or a
+// stalled peer), or a counter. Points are armed and disarmed entirely
+// at runtime — no build tags — so the chaos suite can flip faults on
+// and off mid-load against a live server.
+//
+// The design keeps disarmed sites near zero cost. Call sites guard
+// every evaluation with the package-level Armed() check:
+//
+//	if failpoint.Armed() {
+//		if err := fpDiskRead.Eval(path, off); err != nil {
+//			return err
+//		}
+//	}
+//
+// Armed() is a single atomic load of a global counter and inlines
+// into the caller; when nothing is armed the hot path pays one load
+// and one predictable branch, and the variadic args of Eval are never
+// materialized. Do not call Eval unguarded on a hot path: building
+// the ...any slice allocates even when the point is disarmed.
+package failpoint
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hook is the callback run when an armed point is evaluated. The args
+// are whatever the call site passed to Eval (documented per point). A
+// non-nil return is interpreted by the call site as the injected
+// failure; returning nil lets execution continue (useful for
+// latency-only or counting hooks).
+type Hook func(args ...any) error
+
+// Point is a single named injection site. Obtain one with New at
+// package init of the instrumented code; tests arm it by name.
+type Point struct {
+	name string
+	hook atomic.Pointer[Hook]
+}
+
+var (
+	// armedCount tracks how many points currently have a hook
+	// installed. Armed() reads it on every guarded call site.
+	armedCount atomic.Int64
+
+	regMu    sync.Mutex
+	registry = make(map[string]*Point)
+)
+
+// New returns the Point registered under name, creating it if needed.
+// Calling New twice with the same name returns the same Point, so
+// instrumented packages and tests can both resolve it independently.
+func New(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Armed reports whether any failpoint in the process is armed. It is
+// the cheap guard call sites use before paying for Eval.
+func Armed() bool { return armedCount.Load() > 0 }
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Eval runs the point's hook, if armed, and returns its result.
+// Disarmed points return nil.
+func (p *Point) Eval(args ...any) error {
+	h := p.hook.Load()
+	if h == nil {
+		return nil
+	}
+	return (*h)(args...)
+}
+
+// Arm installs hook on the named point, creating the point if it does
+// not exist yet. Re-arming an already-armed point replaces its hook.
+func Arm(name string, hook Hook) {
+	p := New(name)
+	if p.hook.Swap(&hook) == nil {
+		armedCount.Add(1)
+	}
+}
+
+// Disarm removes the hook from the named point, if present.
+func Disarm(name string) {
+	regMu.Lock()
+	p := registry[name]
+	regMu.Unlock()
+	if p == nil {
+		return
+	}
+	if p.hook.Swap(nil) != nil {
+		armedCount.Add(-1)
+	}
+}
+
+// DisarmAll removes every installed hook. Tests should defer this so
+// a failed assertion cannot leak faults into later tests.
+func DisarmAll() {
+	regMu.Lock()
+	pts := make([]*Point, 0, len(registry))
+	for _, p := range registry {
+		pts = append(pts, p)
+	}
+	regMu.Unlock()
+	for _, p := range pts {
+		if p.hook.Swap(nil) != nil {
+			armedCount.Add(-1)
+		}
+	}
+}
+
+// ErrHook returns a hook that always injects err.
+func ErrHook(err error) Hook {
+	return func(...any) error { return err }
+}
+
+// SleepHook returns a hook that injects d of latency and then lets
+// execution continue.
+func SleepHook(d time.Duration) Hook {
+	return func(...any) error { time.Sleep(d); return nil }
+}

@@ -1,0 +1,79 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedIsFreeAndNil(t *testing.T) {
+	defer DisarmAll()
+	p := New("test/disarmed")
+	if Armed() {
+		t.Fatal("Armed() true with no hooks installed")
+	}
+	if err := p.Eval("x", 42); err != nil {
+		t.Fatalf("disarmed Eval returned %v", err)
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	defer DisarmAll()
+	p := New("test/armdisarm")
+	boom := errors.New("boom")
+	var gotArgs []any
+	Arm("test/armdisarm", func(args ...any) error {
+		gotArgs = args
+		return boom
+	})
+	if !Armed() {
+		t.Fatal("Armed() false after Arm")
+	}
+	if err := p.Eval("path", int64(7)); !errors.Is(err, boom) {
+		t.Fatalf("Eval = %v, want boom", err)
+	}
+	if len(gotArgs) != 2 || gotArgs[0] != "path" || gotArgs[1] != int64(7) {
+		t.Fatalf("hook args = %v", gotArgs)
+	}
+	Disarm("test/armdisarm")
+	if Armed() {
+		t.Fatal("Armed() true after Disarm")
+	}
+	if err := p.Eval(); err != nil {
+		t.Fatalf("Eval after Disarm = %v", err)
+	}
+}
+
+func TestRearmDoesNotLeakArmedCount(t *testing.T) {
+	defer DisarmAll()
+	Arm("test/rearm", ErrHook(errors.New("a")))
+	Arm("test/rearm", ErrHook(errors.New("b"))) // replace, not stack
+	Disarm("test/rearm")
+	if Armed() {
+		t.Fatal("armed count leaked by re-arm")
+	}
+	Disarm("test/rearm") // double disarm is a no-op
+	if Armed() {
+		t.Fatal("armed count went negative")
+	}
+}
+
+func TestDisarmAll(t *testing.T) {
+	Arm("test/a", ErrHook(errors.New("a")))
+	Arm("test/b", ErrHook(errors.New("b")))
+	DisarmAll()
+	if Armed() {
+		t.Fatal("Armed() true after DisarmAll")
+	}
+	if err := New("test/a").Eval(); err != nil {
+		t.Fatalf("Eval after DisarmAll = %v", err)
+	}
+}
+
+func TestNewIsIdempotent(t *testing.T) {
+	defer DisarmAll()
+	a := New("test/same")
+	b := New("test/same")
+	if a != b {
+		t.Fatal("New returned distinct points for one name")
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 // BenchmarkMissStorm measures cold-start tail latency under the
@@ -48,12 +50,13 @@ func BenchmarkMissStorm(b *testing.B) {
 	// redundant reads cost what they cost on hardware — queueing. This
 	// is the regime the paper's Figure 6 and the redesign target.
 	diskQueue := make(chan struct{}, 4)
-	testDiskRead = func(string, int64) {
+	failpoint.Arm(fpDiskRead.Name(), func(...any) error {
 		diskQueue <- struct{}{}
 		time.Sleep(100 * time.Microsecond)
 		<-diskQueue
-	}
-	b.Cleanup(func() { testDiskRead = nil })
+		return nil
+	})
+	b.Cleanup(func() { failpoint.Disarm(fpDiskRead.Name()) })
 
 	root := b.TempDir()
 	body := bytes.Repeat([]byte("z"), fileSize)

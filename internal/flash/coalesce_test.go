@@ -11,16 +11,21 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 // installDiskHook wires a test observer into the helper pool's disk
-// reads. It must run before newTestServer so the LIFO cleanup order
-// clears the hook only after the server (and its helper goroutines)
-// have stopped.
+// reads via the flash/disk-read failpoint. It must run before
+// newTestServer so the LIFO cleanup order clears the hook only after
+// the server (and its helper goroutines) have stopped.
 func installDiskHook(t *testing.T, fn func(fsPath string, off int64)) {
 	t.Helper()
-	testDiskRead = fn
-	t.Cleanup(func() { testDiskRead = nil })
+	failpoint.Arm(fpDiskRead.Name(), func(args ...any) error {
+		fn(args[0].(string), args[1].(int64))
+		return nil
+	})
+	t.Cleanup(func() { failpoint.Disarm(fpDiskRead.Name()) })
 }
 
 // waitFor polls a condition that the server reaches asynchronously.

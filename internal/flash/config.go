@@ -71,6 +71,25 @@
 //     eviction never closes a file under an in-flight pread or
 //     sendfile.
 //
+//   - An overload-control layer keeps the loops alive when resources
+//     run out rather than letting the kernel pick a failure mode: both
+//     acceptors survive fd exhaustion (EMFILE/ENFILE) with a reserve
+//     descriptor — close the spare, accept the pending connection,
+//     close it immediately so the peer sees a reset instead of a SYN
+//     black hole, re-arm — plus idle-connection reaping and backoff;
+//     Config.MaxConns and MaxConnsPerIP reject surplus connections
+//     with a preformatted 503 + Retry-After before a conn object is
+//     ever built; and a helper-queue watermark (Config.ShedQueueDepth)
+//     sheds new cache-miss work with fast 503s while warm hits — whose
+//     path takes no new branches beyond one atomic load — keep
+//     serving. The reverse proxy degrades before it fails: when the
+//     origin leg errors (dial failure, breaker open, 5xx) and a stale
+//     copy is within its RFC 5861 stale-if-error window, the stale
+//     copy is served. Every shed/reap/stale event is a Stats counter,
+//     and internal/failpoint injection points (disk read, origin
+//     dial/read/response, accept, conn alloc, conn write) let the
+//     chaos suite arm real faults against a live server.
+//
 //   - A caching reverse-proxy tier (Server.HandleProxy, or
 //     Config.Upstream for the built-in mount) serves origin content
 //     through the same three caches, with internal/upstream's backend
@@ -237,6 +256,45 @@ type Config struct {
 	IdleTimeout  time.Duration
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
+
+	// MaxConns bounds concurrently open client connections across the
+	// whole server. Beyond it, new connections are turned away at
+	// accept time with a preformatted "503 Service Unavailable" +
+	// Retry-After response and an immediate close (counted in
+	// Stats.ConnsRejected). Zero or negative means unlimited.
+	MaxConns int
+
+	// MaxConnsPerIP bounds concurrently open connections from one
+	// remote IP address — a cheap guard against a single abusive
+	// client exhausting MaxConns or the fd budget. Rejections look
+	// exactly like MaxConns rejections. Zero or negative means
+	// unlimited.
+	MaxConnsPerIP int
+
+	// ShedQueueDepth is the helper-queue watermark for load shedding:
+	// when a shard's pending helper-job queue is deeper than this,
+	// new cache-miss and proxy-miss work is answered with an
+	// immediate 503 + Retry-After instead of queueing (counted in
+	// Stats.ShedRequests), and stale-but-cached static entries are
+	// served without revalidation (Stats.ShedRevalidates). Warm cache
+	// hits are never shed. Zero disables shedding; the queue then
+	// grows without bound, as before.
+	ShedQueueDepth int
+
+	// RetryAfter is the hint, in seconds, sent on shed responses as
+	// the Retry-After header (default 1). Well-behaved clients
+	// (loadgen -honor-retry-after) back off by it.
+	RetryAfter int
+
+	// StaleIfError is the default stale-if-error window for proxied
+	// entries whose origin response carried no stale-if-error
+	// Cache-Control directive (RFC 5861): after an entry expires, an
+	// origin failure (dial error, breaker open, 5xx) within this
+	// window serves the stale cached copy instead of a 502 (counted
+	// in Stats.ProxyStale). Zero means only entries with an explicit
+	// origin directive are eligible; negative disables stale-if-error
+	// serving entirely.
+	StaleIfError time.Duration
 
 	// RevalidateInterval bounds how stale a pathname-cache entry may
 	// be before the next request re-stats the file (detecting size and
@@ -474,6 +532,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.RevalidateInterval == 0 {
 		cfg.RevalidateInterval = 2 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 1
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now

@@ -6,8 +6,17 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/failpoint"
 	"repro/internal/httpmsg"
 )
+
+// fpConnWrite injects into response transmission (args: remote addr).
+// Under the goroutine engine a latency hook stalls the conn's writer
+// goroutine — a simulated slow client — while an error hook fails the
+// write. The epoll engine transmits on the shard loop, so only error
+// hooks are sensible there (a sleeping hook would stall the shard, by
+// design visible in chaos drills).
+var fpConnWrite = failpoint.New("flash/conn-write")
 
 // writeItem is the pipeline's wire format: one unit of work handed
 // from a response's bodySource to the connection's writer goroutine.
@@ -53,6 +62,10 @@ type conn struct {
 	sh     *shard
 	nc     net.Conn
 	remote string // RemoteAddr().String(), computed once for logging
+	// ipKey is the remote IP under per-IP accounting (Config.
+	// MaxConnsPerIP); "" otherwise. Guarded by Server.mu with the
+	// registry.
+	ipKey string
 
 	writeCh chan writeItem
 	nextCh  chan bool // loop → reader: response done; proceed if true
@@ -127,9 +140,24 @@ func newConn(sh *shard, nc net.Conn) *conn {
 
 // abort force-closes the connection (server shutdown).
 func (c *conn) abort() {
-	defer func() { recover() }() // double close(done) race on shutdown
+	defer recoverClosedChannel() // double close(done) race on shutdown
 	close(c.done)
 	c.nc.Close()
+}
+
+// recoverClosedChannel swallows exactly the panic a racing double
+// close(done) raises — the one race abort/closeDone tolerate by
+// design — and re-panics on anything else, so a real bug inside the
+// guarded close path is never silently dropped.
+func recoverClosedChannel() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if err, ok := r.(error); ok && err.Error() == "close of closed channel" {
+		return
+	}
+	panic(r)
 }
 
 // window returns the unread carry-over bytes.
@@ -508,6 +536,11 @@ func (c *conn) writeLoop() {
 			return
 		}
 		var wrote, sfWrote int64
+		if !failed && failpoint.Armed() {
+			if err := fpConnWrite.Eval(c.remote); err != nil {
+				failed = true
+			}
+		}
 		if !failed {
 			if item.sf != nil {
 				// Transport item: header first, then the descriptor

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/failpoint"
 )
 
 // jobKind selects the helper operation.
@@ -31,12 +32,16 @@ const (
 	jobProxy
 )
 
-// testDiskRead, when non-nil, observes every chunk-sized disk read
-// (per-chunk preads and fill passes alike) before it happens. Tests
-// install it to count reads — proving miss storms coalesce — or to
-// gate a fill's progress; it must be set before the server starts and
-// cleared only after it stops.
-var testDiskRead func(fsPath string, off int64)
+// fpDiskRead intercepts every chunk-sized disk read (per-chunk preads
+// and fill passes alike) before it happens, with args (fsPath string,
+// off int64). A nil-returning hook observes reads — counting them to
+// prove miss storms coalesce, or gating a fill's progress — while an
+// error-returning hook injects a read failure: the per-chunk path
+// answers 500, a fill fails with the error (waking every coalesced
+// subscriber). Latency hooks model a slow disk; they run on the
+// helper goroutine, never the loop. This generalizes the old
+// testDiskRead test hook into the failpoint registry.
+var fpDiskRead = failpoint.New("flash/disk-read")
 
 // helperJob is one unit of potentially blocking filesystem work.
 type helperJob struct {
@@ -121,6 +126,16 @@ func (p *helperPool) submit(job helperJob) {
 	p.q = append(p.q, job)
 	p.mu.Unlock()
 	p.cv.Signal()
+}
+
+// depth reports the pending-job backlog — the shedding watermark
+// signal (Config.ShedQueueDepth). Called only on miss paths, so the
+// brief lock never taxes warm hits.
+func (p *helperPool) depth() int {
+	p.mu.Lock()
+	n := len(p.q)
+	p.mu.Unlock()
+	return n
 }
 
 // stop terminates the pool after the queue drains.
@@ -248,8 +263,10 @@ func chunkJob(fsPath string, ref *cache.FileRef, off, n int64, mapper cache.Chun
 	if err != nil {
 		return helperResult{err: err, status: 404}
 	}
-	if testDiskRead != nil {
-		testDiskRead(fsPath, off)
+	if failpoint.Armed() {
+		if err := fpDiskRead.Eval(fsPath, off); err != nil {
+			return helperResult{err: err, status: 500}
+		}
 	}
 	if mapper != nil {
 		if mr, err := mapper.MapChunk(f, off, n, false); err == nil {
@@ -328,8 +345,11 @@ func fillJob(fsPath string, ref *cache.FileRef, fill *cache.Fill, mapper cache.C
 			return
 		}
 		off, n := fill.ChunkRange(i)
-		if testDiskRead != nil {
-			testDiskRead(fsPath, off)
+		if failpoint.Armed() {
+			if err := fpDiskRead.Eval(fsPath, off); err != nil {
+				fill.Fail(err)
+				return
+			}
 		}
 		if mapping != nil {
 			sub := mapping.Slice(off, n)

@@ -31,6 +31,7 @@ package flash
 // deadlines instead and keep exact semantics.
 
 import (
+	"errors"
 	"io"
 	"net"
 	"os"
@@ -41,6 +42,7 @@ import (
 	"time"
 	"unsafe"
 
+	"repro/internal/failpoint"
 	"repro/internal/httpmsg"
 )
 
@@ -445,6 +447,14 @@ func (s *shard) npPump(c *conn) {
 func (s *shard) npTransmit(c *conn) error {
 	np := c.np
 	item := &np.cur
+	if failpoint.Armed() {
+		// Error hooks only here: transmission runs on the shard loop,
+		// so a sleeping hook would stall every conn on the shard (which
+		// a chaos drill may of course intend).
+		if err := fpConnWrite.Eval(c.remote); err != nil {
+			return err
+		}
+	}
 	for np.dataOff < len(item.data) || np.bodyOff < len(item.body) {
 		var iov [2]syscall.Iovec
 		n := 0
@@ -835,8 +845,9 @@ func (s *Server) serveEpoll(l net.Listener) (err error, handled bool) {
 				syscall.EpollWait(epfd, events[:], 200)
 			case syscall.ECONNABORTED, syscall.EINTR:
 			case syscall.EMFILE, syscall.ENFILE:
-				// Out of descriptors: back off instead of spinning.
-				time.Sleep(10 * time.Millisecond)
+				// Out of descriptors: burn the reserve fd to shed the
+				// pending connection, reap idle conns, back off.
+				s.surviveFdExhaustionEpoll(rc)
 			default:
 				s.mu.Lock()
 				closed := s.closed
@@ -848,19 +859,33 @@ func (s *Server) serveEpoll(l net.Listener) (err error, handled bool) {
 			}
 			continue
 		}
+		if failpoint.Armed() {
+			if ferr := fpAccept.Eval(); ferr != nil {
+				syscall.Close(nfd)
+				if errors.Is(ferr, syscall.EMFILE) || errors.Is(ferr, syscall.ENFILE) {
+					s.surviveFdExhaustionEpoll(rc)
+				}
+				continue
+			}
+			if ferr := fpConnAlloc.Eval(); ferr != nil {
+				syscall.Close(nfd)
+				s.connsRejected.Add(1)
+				continue
+			}
+		}
 		// Match the net package's TCP defaults so the engines compare
 		// apples to apples.
 		syscall.SetsockoptInt(nfd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
 		sh := s.shards[s.nextShard.Add(1)%uint64(len(s.shards))]
 		c := newNpConnState(sh, nfd, sockaddrString(sa))
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			syscall.Close(nfd)
-			return ErrServerClosed, true
+		if rerr := s.registerConn(c); rerr != nil {
+			if rerr == ErrServerClosed {
+				syscall.Close(nfd)
+				return ErrServerClosed, true
+			}
+			s.rejectFd(nfd)
+			continue
 		}
-		s.conns[c] = struct{}{}
-		s.mu.Unlock()
 		if !sh.post(func() { sh.npAdopt(c) }) {
 			// Mailbox closed in the shutdown race: the loop will never
 			// see this fd, so release it here.
@@ -903,8 +928,65 @@ func sockaddrString(sa syscall.Sockaddr) string {
 
 // closeDone closes c.done exactly once (abort may race shutdown).
 func closeDone(c *conn) {
-	defer func() { recover() }()
+	defer recoverClosedChannel()
 	close(c.done)
+}
+
+// rejectFd is rejectConn for a raw accepted fd: best-effort write of
+// the preformatted 503 (the socket is non-blocking and the response
+// fits any send buffer), then close.
+func (s *Server) rejectFd(fd int) {
+	syscall.Write(fd, s.reject503)
+	syscall.Close(fd)
+}
+
+// surviveFdExhaustionEpoll is surviveFdExhaustion for the raw accept4
+// loop: the same reserve-fd dance against the listener's RawConn.
+func (s *Server) surviveFdExhaustionEpoll(rc syscall.RawConn) {
+	s.fdPressure.Add(1)
+	s.reserveMu.Lock()
+	if s.reserve != nil {
+		s.reserve.Close()
+		s.reserve = nil
+		rc.Control(func(fd uintptr) {
+			nfd, _, err := syscall.Accept4(int(fd),
+				syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
+			if err == nil {
+				syscall.Close(nfd)
+				s.connsRejected.Add(1)
+			}
+		})
+		if f, err := os.Open(os.DevNull); err == nil {
+			s.reserve = f
+		}
+	}
+	s.reserveMu.Unlock()
+	s.reapIdle(reapBatch)
+	time.Sleep(emfileBackoff)
+}
+
+// npReapIdle closes up to budget conns parked idle between exchanges —
+// reapIdle's epoll leg, run on the shard loop. Selection walks the fd
+// table (approximate LRU: long-idle conns are as likely as any to be
+// hit first; exact recency is not worth per-conn bookkeeping on the
+// warm path).
+func (s *shard) npReapIdle(budget *atomic.Int64) {
+	if s.np == nil {
+		return
+	}
+	for _, c := range s.np.conns {
+		if budget.Load() <= 0 {
+			return
+		}
+		if c == nil || c.np.closed {
+			continue
+		}
+		if c.np.state == npStateHead && c.re == c.rs && c.np.preamble == 0 {
+			budget.Add(-1)
+			s.stats.IdleReaped++
+			s.npClose(c)
+		}
+	}
 }
 
 // --- raw syscall helpers ---

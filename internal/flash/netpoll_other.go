@@ -2,7 +2,10 @@
 
 package flash
 
-import "net"
+import (
+	"net"
+	"sync/atomic"
+)
 
 // The epoll connection engine is Linux-only; Config validation rejects
 // ConnEngineEpoll elsewhere (ErrConnEngineUnsupported), so none of
@@ -25,6 +28,7 @@ func newNpShard() (*npShard, error) { return nil, ErrConnEngineUnsupported }
 func (s *shard) npLoop()                                  {}
 func (s *shard) npWake()                                  {}
 func (s *shard) npShutdownIdle()                          {}
+func (s *shard) npReapIdle(_ *atomic.Int64)               {}
 func (s *shard) npQueue(c *conn, _ writeItem)             { panic("flash: epoll conn off linux") }
 func (s *shard) npNext(c *conn, _ bool)                   { panic("flash: epoll conn off linux") }
 func (s *Server) serveEpoll(l net.Listener) (error, bool) { return nil, false }

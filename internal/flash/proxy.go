@@ -114,9 +114,25 @@ type proxyWaiter func(proxyVerdict)
 func (s *shard) handleProxy(c *conn, req *httpmsg.Request, ph *proxyHandler) {
 	c.ls = loopState{req: req, status: 200}
 	key := ph.cacheKey(req.Target)
-	if pe, ok := s.view.GetPath(key); ok && pe.Expires > s.clock.Load() {
-		s.stats.ProxyHits++
-		s.serveProxyEntry(c, ph, pe)
+	if pe, ok := s.view.GetPath(key); ok {
+		if pe.Expires > s.clock.Load() {
+			s.stats.ProxyHits++
+			s.serveProxyEntry(c, ph, pe)
+			return
+		}
+		if s.overloaded() && s.cfg.StaleIfError >= 0 && pe.StaleUntil > s.clock.Load() {
+			// Degrade under pressure: the entry is expired but inside
+			// its stale window, and the origin leg would join a helper
+			// backlog that has already lost the latency battle. Serve
+			// the stale copy; a calmer moment revalidates.
+			s.stats.ShedRevalidates++
+			s.serveProxyEntry(c, ph, pe)
+			return
+		}
+	} else if s.overloaded() {
+		// A cold key needs an origin round trip through the backlog:
+		// shed fast instead.
+		s.shedRequest(c, req.KeepAlive)
 		return
 	}
 	s.proxyEnsure(c, req, ph, key)
@@ -283,6 +299,57 @@ func (s *shard) adoptProxyEntry(key string, pe, old cache.PathEntry, haveOld boo
 
 // --- helper-side origin fetches (jobProxy closures) ---
 
+// proxyStaleHoldoff is how long a stale-if-error serve refreshes the
+// entry's Expires: while the origin stays dead, each key retries it at
+// most about once a second instead of on every request, and the
+// requests in between are plain warm hits on the stale entry.
+const proxyStaleHoldoff = int64(time.Second)
+
+// staleWindow resolves the RFC 5861 stale-if-error window for a fetch:
+// the origin's explicit directive wins (including an explicit 0,
+// which forbids stale serving), else the server-wide Config.
+// StaleIfError default; a negative config disables the feature.
+func proxyStaleWindow(cfg *Config, fr upstream.Freshness) int64 {
+	if cfg.StaleIfError < 0 {
+		return 0
+	}
+	if fr.StaleIfErrorSet {
+		return int64(fr.StaleIfError)
+	}
+	return int64(cfg.StaleIfError)
+}
+
+// staleFallback decides whether an origin failure may be masked by the
+// stale cached entry (RFC 5861 stale-if-error): the entry must exist,
+// stale serving must be enabled, and now must fall inside the entry's
+// stale window. The returned copy carries a short Expires holdoff so a
+// dead origin is retried about once a second per key, never per
+// request.
+func staleFallback(cfg *Config, old cache.PathEntry, haveOld bool, nowNano int64) (cache.PathEntry, bool) {
+	if !haveOld || cfg.StaleIfError < 0 || old.StaleUntil <= nowNano {
+		return cache.PathEntry{}, false
+	}
+	pe := old
+	pe.CheckedAt = nowNano
+	exp := nowNano + proxyStaleHoldoff
+	if exp > old.StaleUntil {
+		exp = old.StaleUntil
+	}
+	pe.Expires = exp
+	return pe, true
+}
+
+// resolveStale delivers a stale-if-error verdict: the stale entry is
+// re-adopted (with its holdoff Expires) and every coalesced waiter
+// serves it, byte-identical to the fresh serve it replaces.
+func (ph *proxyHandler) resolveStale(owner *shard, key string, pe cache.PathEntry) {
+	owner.post(func() {
+		owner.stats.ProxyStale++
+		owner.putEntry(key, pe)
+		owner.resolveProxy(key, proxyVerdict{kind: verdictEntry, pe: pe})
+	})
+}
+
 // fetch is the single-flight metadata fetch for one key: a GET
 // carrying the stale entry's validators, run on the owner shard's
 // helper pool. A 304 refreshes the stored entry without moving the
@@ -301,6 +368,12 @@ func (ph *proxyHandler) fetch(owner *shard, key string, old cache.PathEntry, hav
 	}
 	resp, err := ph.pool.RoundTrip(&ureq)
 	if err != nil {
+		// Origin leg failed (dial error, breaker open, timeout): serve
+		// the stale copy when RFC 5861 allows, else surface the error.
+		if pe, ok := staleFallback(owner.cfg, old, haveOld, time.Now().UnixNano()); ok {
+			ph.resolveStale(owner, key, pe)
+			return
+		}
 		status := 502
 		if upstream.IsTimeout(err) {
 			status = 504
@@ -309,6 +382,15 @@ func (ph *proxyHandler) fetch(owner *shard, key string, old cache.PathEntry, hav
 			owner.resolveProxy(key, proxyVerdict{kind: verdictError, status: status})
 		})
 		return
+	}
+	if resp.Status >= 500 {
+		// The origin answered, but with a server failure — the other
+		// face of "the origin leg failed" for stale-if-error purposes.
+		if pe, ok := staleFallback(owner.cfg, old, haveOld, time.Now().UnixNano()); ok {
+			resp.Close() // drain politely; the conn goes back idle
+			ph.resolveStale(owner, key, pe)
+			return
+		}
 	}
 
 	now := time.Now()
@@ -329,6 +411,17 @@ func (ph *proxyHandler) fetch(owner *shard, key string, old cache.PathEntry, hav
 		pe := old
 		pe.CheckedAt = nowNano
 		pe.Expires = nowNano + ttl
+		// Refresh the stale window too: the 304's own directive wins;
+		// a bare 304 keeps the length the stored entry had (the origin
+		// said "unchanged", and that includes its caching policy).
+		w := proxyStaleWindow(owner.cfg, fr)
+		if !fr.StaleIfErrorSet && old.StaleUntil > old.Expires {
+			w = old.StaleUntil - old.Expires
+		}
+		pe.StaleUntil = 0
+		if w > 0 {
+			pe.StaleUntil = pe.Expires + w
+		}
 		owner.post(func() {
 			owner.stats.ProxyRevalidated++
 			owner.putEntry(key, pe)
@@ -360,6 +453,9 @@ func (ph *proxyHandler) fetch(owner *shard, key string, old cache.PathEntry, hav
 			Expires:      nowNano + ttl,
 			ContentType:  ct,
 			LastModified: lm,
+		}
+		if w := proxyStaleWindow(owner.cfg, fr); w > 0 {
+			pe.StaleUntil = pe.Expires + w
 		}
 		if pe.Size == 0 {
 			resp.Close()

@@ -85,6 +85,14 @@ func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 			s.afterTranslate(c, pe)
 			return
 		}
+		if s.overloaded() {
+			// Degrade instead of queueing: the entry is merely past its
+			// revalidation interval, not known-bad. Serve it as-is and
+			// let a calmer moment re-stat the file.
+			s.stats.ShedRevalidates++
+			s.afterTranslate(c, pe)
+			return
+		}
 		// The stat submission lives in its own method so its completion
 		// closure — which captures pe — cannot force the fresh-hit
 		// path's pe to escape: the cache hit above must stay free of
@@ -95,6 +103,12 @@ func (s *shard) handleRequest(c *conn, req *httpmsg.Request) {
 	fsPath, ok := s.translate(req.Path)
 	if !ok {
 		s.errorResponse(c, 404, req.KeepAlive)
+		return
+	}
+	if s.overloaded() {
+		// A true miss needs a helper stat; under a deep backlog that
+		// queue wait dwarfs any useful response time. Shed fast.
+		s.shedRequest(c, req.KeepAlive)
 		return
 	}
 	s.helpers.submit(helperJob{
@@ -707,6 +721,23 @@ func (s *shard) rejectRequest(c *conn, req *httpmsg.Request, status int) {
 // errorResponse sends a complete error response.
 func (s *shard) errorResponse(c *conn, status int, keepAlive bool) {
 	s.errorResponseExtra(c, status, keepAlive, nil)
+}
+
+// overloaded reports whether this shard should shed new disk- or
+// origin-bound work: the helper backlog is past the configured
+// watermark. Consulted only on miss and revalidation paths — a warm
+// cache hit never pays for it.
+func (s *shard) overloaded() bool {
+	d := s.cfg.ShedQueueDepth
+	return d > 0 && s.helpers.depth() > d
+}
+
+// shedRequest answers one request with the overload verdict: a fast
+// 503 carrying Retry-After, instead of joining a backlog that has
+// already lost the latency battle.
+func (s *shard) shedRequest(c *conn, keepAlive bool) {
+	s.stats.ShedRequests++
+	s.errorResponseExtra(c, 503, keepAlive, s.retryHdr)
 }
 
 // errorResponseExtra sends a complete error response carrying

@@ -1,16 +1,32 @@
 package flash
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/failpoint"
 	"repro/internal/httpmsg"
 	"repro/internal/upstream"
+)
+
+// Failpoints in the accept path (see internal/failpoint). fpAccept is
+// evaluated once per accepted connection; a returned EMFILE/ENFILE is
+// treated exactly like the kernel refusing the accept, any other error
+// drops the connection. fpConnAlloc simulates allocation pressure
+// while building per-connection state: an error closes the fresh
+// connection before a conn object exists.
+var (
+	fpAccept    = failpoint.New("flash/accept")
+	fpConnAlloc = failpoint.New("flash/conn-alloc")
 )
 
 // Stats is a snapshot of server counters. Server.Stats merges the
@@ -61,6 +77,24 @@ type Stats struct {
 	ProxyFills       uint64
 	ProxyPassThrough uint64
 	ProxyErrors      uint64
+	// ProxyStale counts stale-if-error serves: origin-leg failures
+	// (dial error, breaker open, 5xx) answered from an expired cached
+	// entry still inside its RFC 5861 stale window instead of a 502.
+	ProxyStale uint64
+	// Overload-control counters. FdPressure counts accept attempts
+	// that hit EMFILE/ENFILE (each survived via the reserve-fd trick);
+	// ConnsRejected counts connections turned away at accept time
+	// (MaxConns, MaxConnsPerIP, or as the shed victim of an fd-
+	// exhaustion recovery); ShedRequests counts requests answered 503
+	// + Retry-After by the helper-queue watermark; ShedRevalidates
+	// counts stale static entries served without revalidation under
+	// that same pressure; IdleReaped counts parked idle connections
+	// closed to free descriptors.
+	FdPressure      uint64
+	ConnsRejected   uint64
+	ShedRequests    uint64
+	ShedRevalidates uint64
+	IdleReaped      uint64
 }
 
 // Add returns the field-wise sum of two snapshots (merging shard views
@@ -84,6 +118,12 @@ func (s Stats) Add(o Stats) Stats {
 	s.ProxyFills += o.ProxyFills
 	s.ProxyPassThrough += o.ProxyPassThrough
 	s.ProxyErrors += o.ProxyErrors
+	s.ProxyStale += o.ProxyStale
+	s.FdPressure += o.FdPressure
+	s.ConnsRejected += o.ConnsRejected
+	s.ShedRequests += o.ShedRequests
+	s.ShedRevalidates += o.ShedRevalidates
+	s.IdleReaped += o.IdleReaped
 	s.PathCache = s.PathCache.Add(o.PathCache)
 	s.HeaderCache = s.HeaderCache.Add(o.HeaderCache)
 	s.MapCache = s.MapCache.Add(o.MapCache)
@@ -126,9 +166,32 @@ type Server struct {
 	mu        sync.Mutex // guards listeners/conns registry and closed
 	listeners map[net.Listener]struct{}
 	conns     map[*conn]struct{}
-	closed    bool
-	drainCh   chan struct{} // closed when the last conn unregisters during Shutdown
-	draining  bool
+	// ipConns counts open connections per remote IP (maintained only
+	// when MaxConnsPerIP is set). Guarded by mu with the registry.
+	ipConns  map[string]int
+	closed   bool
+	drainCh  chan struct{} // closed when the last conn unregisters during Shutdown
+	draining bool
+
+	// reject503 is the preformatted response written to connections
+	// turned away at accept time (admission limits, fd-exhaustion
+	// victims): a well-formed 503 with Retry-After and Connection:
+	// close, built once so rejection costs one write and one close.
+	reject503 []byte
+
+	// reserve is the spare descriptor for the classic EMFILE recovery
+	// trick: when accept fails with EMFILE/ENFILE, closing the reserve
+	// frees exactly one fd, the pending connection is accepted and
+	// immediately closed (the peer sees a reset instead of a SYN
+	// black hole), and the reserve is re-armed. Guarded by reserveMu;
+	// both acceptors (goroutine and epoll) share it.
+	reserveMu sync.Mutex
+	reserve   *os.File
+
+	// Acceptor-side overload counters (off-loop, so atomic): folded
+	// into Stats alongside the shard counters.
+	fdPressure    atomic.Uint64
+	connsRejected atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -170,6 +233,10 @@ type shard struct {
 	msgs     chan loopMsg // the loop's mailbox
 	helpers  *helperPool
 	loopDone chan struct{}
+
+	// retryHdr is the preformatted Retry-After extra-header line for
+	// shed 503s (built once from Config.RetryAfter).
+	retryHdr []string
 
 	// clock is the shard's coarse wall clock: unix nanos, refreshed by a
 	// ticker goroutine every coarseTick. Deadline arming on the request
@@ -253,6 +320,17 @@ func New(cfg Config) (*Server, error) {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
 	}
+	if cfg.MaxConnsPerIP > 0 {
+		s.ipConns = make(map[string]int)
+	}
+	s.reject503 = []byte("HTTP/1.1 503 Service Unavailable\r\n" +
+		"Server: " + cfg.ServerName + "\r\n" +
+		"Retry-After: " + strconv.Itoa(cfg.RetryAfter) + "\r\n" +
+		"Content-Length: 0\r\n" +
+		"Connection: close\r\n\r\n")
+	if f, err := os.Open(os.DevNull); err == nil {
+		s.reserve = f // spare fd for EMFILE recovery; nil is tolerated
+	}
 	if cm, ok := store.(cache.ChunkMapper); ok && cm.MmapBacked() {
 		// Mapped inserts need MappedView on every shard's view; a
 		// store advertising the mapper without it stays on reads.
@@ -311,6 +389,7 @@ func newShard(srv *Server, id int) (*shard, error) {
 		}
 		sh.np = np
 	}
+	sh.retryHdr = []string{"Retry-After: " + strconv.Itoa(cfg.RetryAfter)}
 	sh.clock.Store(time.Now().UnixNano())
 	go sh.runClock()
 	sh.helpers = newHelperPool(sh, cfg.NumHelpers)
@@ -449,6 +528,8 @@ func (s *Server) Stats() Stats {
 	out.SharedChunks = shared.Chunks
 	out.Fills = shared.Fills
 	out.Active = s.Active()
+	out.FdPressure += s.fdPressure.Load()
+	out.ConnsRejected += s.connsRejected.Load()
 	return out
 }
 
@@ -561,18 +642,36 @@ func (s *Server) Serve(l net.Listener) error {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
+			if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
+				s.surviveFdExhaustion(l)
+				continue
+			}
 			return err
+		}
+		if failpoint.Armed() {
+			if ferr := fpAccept.Eval(); ferr != nil {
+				nc.Close()
+				if errors.Is(ferr, syscall.EMFILE) || errors.Is(ferr, syscall.ENFILE) {
+					s.surviveFdExhaustion(l)
+				}
+				continue
+			}
+			if ferr := fpConnAlloc.Eval(); ferr != nil {
+				nc.Close()
+				s.connsRejected.Add(1)
+				continue
+			}
 		}
 		sh := s.shards[s.nextShard.Add(1)%uint64(len(s.shards))]
 		c := newConn(sh, nc)
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			nc.Close()
-			return ErrServerClosed
+		if err := s.registerConn(c); err != nil {
+			if err == ErrServerClosed {
+				nc.Close()
+				return ErrServerClosed
+			}
+			s.rejectConn(nc)
+			continue
 		}
-		s.conns[c] = struct{}{}
-		s.mu.Unlock()
 		sh.post(func() {
 			sh.stats.Accepted++
 			sh.stats.OpenConns++
@@ -586,6 +685,138 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// Admission-control errors (internal: callers reject the conn).
+var (
+	errMaxConns      = errors.New("flash: MaxConns exceeded")
+	errMaxConnsPerIP = errors.New("flash: MaxConnsPerIP exceeded")
+)
+
+// connIPKey extracts the host part of a remote address for per-IP
+// accounting ("" when unparseable).
+func connIPKey(remote string) string {
+	if h, _, err := net.SplitHostPort(remote); err == nil {
+		return h
+	}
+	return remote
+}
+
+// registerConn admits c into the connection registry, enforcing
+// MaxConns and MaxConnsPerIP. On an admission error the caller owns
+// the socket and should reject it; on ErrServerClosed the server is
+// shutting down.
+func (s *Server) registerConn(c *conn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	if max := s.cfg.MaxConns; max > 0 && len(s.conns) >= max {
+		s.mu.Unlock()
+		s.connsRejected.Add(1)
+		// Make room for the next attempt: close parked idle conns.
+		s.reapIdle(reapBatch)
+		return errMaxConns
+	}
+	if max := s.cfg.MaxConnsPerIP; max > 0 {
+		ip := connIPKey(c.remote)
+		if ip != "" {
+			if s.ipConns[ip] >= max {
+				s.mu.Unlock()
+				s.connsRejected.Add(1)
+				return errMaxConnsPerIP
+			}
+			s.ipConns[ip]++
+			c.ipKey = ip
+		}
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	return nil
+}
+
+// rejectConn answers a connection the server will not serve with the
+// preformatted 503 + Retry-After and closes it. Bounded by a short
+// write deadline so a zero-window peer cannot stall the acceptor.
+func (s *Server) rejectConn(nc net.Conn) {
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	nc.Write(s.reject503)
+	nc.Close()
+}
+
+// Overload-recovery tuning: how many idle conns one reap pass may
+// close, and how long the acceptor backs off after an EMFILE round.
+const (
+	reapBatch     = 64
+	emfileBackoff = 10 * time.Millisecond
+)
+
+// surviveFdExhaustion is the acceptor's EMFILE/ENFILE recovery: burn
+// the reserve fd to accept-and-close the pending connection (the peer
+// sees an immediate reset instead of hanging in the SYN backlog),
+// re-arm the reserve, reap idle connections to free descriptors, and
+// back off briefly so a persistent exhaustion cannot spin the loop.
+func (s *Server) surviveFdExhaustion(l net.Listener) {
+	s.fdPressure.Add(1)
+	s.reserveMu.Lock()
+	if s.reserve != nil {
+		s.reserve.Close()
+		s.reserve = nil
+		if nc, err := l.Accept(); err == nil {
+			nc.Close()
+			s.connsRejected.Add(1)
+		}
+		if f, err := os.Open(os.DevNull); err == nil {
+			s.reserve = f
+		}
+	}
+	s.reserveMu.Unlock()
+	s.reapIdle(reapBatch)
+	time.Sleep(emfileBackoff)
+}
+
+// reapIdle closes up to max parked idle connections across all shards
+// to free descriptors under fd or connection pressure. Selection is
+// approximate LRU: epoll shards walk their fd table closing conns
+// parked between requests (ring empty, waiting for a head), the
+// goroutine engine scans the registry for conns with no exchange in
+// flight. The shared budget is atomic, so concurrent shard passes
+// never over-reap by more than a handful.
+func (s *Server) reapIdle(max int) {
+	budget := new(atomic.Int64)
+	budget.Store(int64(max))
+	for _, sh := range s.shards {
+		if sh.np == nil {
+			continue
+		}
+		sh := sh
+		sh.post(func() { sh.npReapIdle(budget) })
+	}
+	if s.cfg.ConnEngine == ConnEngineEpoll {
+		return
+	}
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		if c.np == nil {
+			conns = append(conns, c)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c := c
+		c.sh.post(func() {
+			// busy is loop-owned: an exchange is in flight. Reap only
+			// conns parked between requests.
+			if budget.Load() <= 0 || c.busy {
+				return
+			}
+			budget.Add(-1)
+			c.sh.stats.IdleReaped++
+			c.abort()
+		})
+	}
+}
+
 // unregisterConn removes c from the connection registry and signals the
 // Shutdown drain waiter when the last one leaves. Called by the
 // goroutine engine's reader on exit and by the epoll engine's npClose —
@@ -594,6 +825,14 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) unregisterConn(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
+	if c.ipKey != "" {
+		if n := s.ipConns[c.ipKey]; n <= 1 {
+			delete(s.ipConns, c.ipKey)
+		} else {
+			s.ipConns[c.ipKey] = n - 1
+		}
+		c.ipKey = ""
+	}
 	if s.draining && len(s.conns) == 0 {
 		// Last connection out during Shutdown: wake the drain waiter
 		// instead of leaving it to poll.
@@ -652,6 +891,12 @@ func (s *Server) Close() error {
 		s.ownedPool.Close()
 	}
 	s.store.Close()
+	s.reserveMu.Lock()
+	if s.reserve != nil {
+		s.reserve.Close()
+		s.reserve = nil
+	}
+	s.reserveMu.Unlock()
 	return nil
 }
 

@@ -24,19 +24,27 @@ type Freshness struct {
 	// Storable=true means "store, but revalidate every hit" — cheap
 	// when the origin answers 304.
 	TTL time.Duration
+	// StaleIfError is the origin's RFC 5861 stale-if-error window:
+	// after the entry expires, an origin failure within this window
+	// may be answered with the stale copy. Meaningful only when
+	// StaleIfErrorSet — an explicit "stale-if-error=0" forbids stale
+	// serving and must not fall back to a cache-wide default.
+	StaleIfError    time.Duration
+	StaleIfErrorSet bool
 }
 
 // cacheControl is the parsed subset of Cache-Control the proxy acts on.
 type cacheControl struct {
-	noStore bool
-	noCache bool
-	private bool
-	maxAge  int64 // seconds, -1 when absent
-	sMaxage int64 // seconds, -1 when absent
+	noStore      bool
+	noCache      bool
+	private      bool
+	maxAge       int64 // seconds, -1 when absent
+	sMaxage      int64 // seconds, -1 when absent
+	staleIfError int64 // seconds, -1 when absent (RFC 5861 §4)
 }
 
 func parseCacheControl(v string) cacheControl {
-	cc := cacheControl{maxAge: -1, sMaxage: -1}
+	cc := cacheControl{maxAge: -1, sMaxage: -1, staleIfError: -1}
 	for _, part := range strings.Split(v, ",") {
 		part = strings.TrimSpace(part)
 		key, val, hasVal := strings.Cut(part, "=")
@@ -48,7 +56,7 @@ func parseCacheControl(v string) cacheControl {
 			cc.noCache = true
 		case "private":
 			cc.private = true
-		case "max-age", "s-maxage":
+		case "max-age", "s-maxage", "stale-if-error":
 			if !hasVal {
 				continue
 			}
@@ -57,10 +65,13 @@ func parseCacheControl(v string) cacheControl {
 			if err != nil || n < 0 {
 				n = 0 // unparseable ages read as "already stale"
 			}
-			if key == "max-age" {
+			switch key {
+			case "max-age":
 				cc.maxAge = n
-			} else {
+			case "s-maxage":
 				cc.sMaxage = n
+			default:
+				cc.staleIfError = n
 			}
 		}
 	}
@@ -82,12 +93,16 @@ func EvalFreshness(resp *httpmsg.Response, now time.Time) Freshness {
 	if v, ok := resp.Header("cache-control"); ok {
 		cc = parseCacheControl(v)
 	} else {
-		cc = cacheControl{maxAge: -1, sMaxage: -1}
+		cc = cacheControl{maxAge: -1, sMaxage: -1, staleIfError: -1}
 	}
 	if cc.noStore || cc.private {
 		return Freshness{}
 	}
 	f := Freshness{Storable: true}
+	if cc.staleIfError >= 0 {
+		f.StaleIfError = time.Duration(cc.staleIfError) * time.Second
+		f.StaleIfErrorSet = true
+	}
 	if cc.noCache {
 		return f // TTL 0: revalidate every hit
 	}

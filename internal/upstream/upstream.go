@@ -27,7 +27,24 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/httpmsg"
+)
+
+// Failpoints on the origin leg (see internal/failpoint). All three run
+// on helper goroutines, so latency hooks are safe. fpDial (args:
+// backend addr) replaces the dial — an error hook simulates a dead or
+// unreachable origin. fpReadHead (args: backend addr) runs before the
+// response head is read — a latency hook simulates an origin that
+// accepted the request and went silent, an error hook a mid-response
+// connection loss. fpResponse (args: *int pointing at the parsed
+// status) runs after the head parses — a hook may rewrite the status
+// through the pointer (e.g. to 503) to simulate an origin advertising
+// failure, or return an error to poison the exchange.
+var (
+	fpDial     = failpoint.New("upstream/dial")
+	fpReadHead = failpoint.New("upstream/read-head")
+	fpResponse = failpoint.New("upstream/response")
 )
 
 // Defaults and internal tuning knobs.
@@ -459,6 +476,11 @@ func (p *Pool) conn(b *Backend) (*pconn, bool, error) {
 		return pc, true, nil
 	}
 	b.mu.Unlock()
+	if failpoint.Armed() {
+		if err := fpDial.Eval(b.addr); err != nil {
+			return nil, false, err
+		}
+	}
 	c, err := p.cfg.Dial(b.addr)
 	if err != nil {
 		return nil, false, err
@@ -539,6 +561,11 @@ func (p *Pool) do(pc *pconn, req *Request) (*Response, error) {
 	// Read heads until a final (non-1xx) one arrives; an origin may
 	// interject "100 Continue" style interim responses.
 	for interim := 0; ; interim++ {
+		if failpoint.Armed() {
+			if err := fpReadHead.Eval(pc.b.addr); err != nil {
+				return nil, err
+			}
+		}
 		head, err := pc.readHead(p.cfg.ResponseTimeout)
 		if err != nil {
 			return nil, err
@@ -549,6 +576,14 @@ func (p *Pool) do(pc *pconn, req *Request) (*Response, error) {
 		}
 		if pc.resp.Status >= 200 || interim >= 4 {
 			break
+		}
+	}
+	if failpoint.Armed() {
+		// The hook may rewrite the parsed status in place (the body
+		// framing below still follows the real head, so the exchange
+		// stays well-formed on the wire).
+		if err := fpResponse.Eval(&pc.resp.Status); err != nil {
+			return nil, err
 		}
 	}
 

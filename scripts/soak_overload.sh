@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# soak_overload.sh — graceful-degradation drill: a well-behaved
+# keep-alive fleet shares the server with an abusive minority (~30% of
+# clients) while the admission-control knobs are armed. The question
+# the soak answers: what does abuse cost the well-behaved tenants, and
+# does the server degrade by shedding (fast, well-formed 503 +
+# Retry-After) rather than by collapsing (timeouts, stuck accept loop,
+# OOM)?
+#
+# Two phases against one flashd:
+#   baseline  the normal fleet alone — warm-hit throughput and latency
+#             with no abuse, the comparison point.
+#   overload  the normal fleet plus the abusive minority:
+#               - a miss-storm fleet drawing Zipf over more cold files
+#                 than the chunk cache can hold, aborting a fraction of
+#                 responses mid-body (-abort-frac) and honoring
+#                 Retry-After backoff on every 503,
+#               - a slowloris fleet trickling request bytes at a few
+#                 hundred B/s (-slow-write-bps).
+#
+# The server runs one event loop and one disk helper so the abusive
+# miss storm actually backs up the helper queue (shed watermark), and
+# -max-conns sits at the combined steady-state fleet size so the
+# abort/reconnect churn trips accept-time rejects. Overload events land
+# as counters on /server-status (ConnsRejected / ShedRequests /
+# IdleReaped ...); snapshots are saved after each phase so the deltas
+# attribute every 503 on the wire to a server-side decision.
+#
+# Usage: scripts/soak_overload.sh
+#   DURATION=20s NORMAL=28 ABUSIVE=8 SLOW=4 MAX_CONNS=40 SHED_QUEUE=4
+#   ADDR=127.0.0.1:8094 variables override.
+
+set -euo pipefail
+
+DURATION=${DURATION:-20s}
+NORMAL=${NORMAL:-28}    # well-behaved keep-alive clients
+ABUSIVE=${ABUSIVE:-8}   # miss-storm + mid-body-abort clients
+SLOW=${SLOW:-4}         # slowloris clients (slow request writes)
+MAX_CONNS=${MAX_CONNS:-$((NORMAL + ABUSIVE + SLOW))}
+SHED_QUEUE=${SHED_QUEUE:-1}
+ZIPF_FILES=${ZIPF_FILES:-2048}
+ADDR=${ADDR:-127.0.0.1:8094}
+OUT=${OUT:-/tmp/flash-overload-soak}
+
+cd "$(dirname "$0")/.."
+go build -o "$OUT-flashd" ./cmd/flashd
+go build -o "$OUT-loadgen" ./cmd/loadgen
+
+# Docroot: one hot file for the warm path, plus a cold set bigger than
+# the chunk-cache budget below so the abusive fleet's Zipf draw keeps
+# the single disk helper busy.
+ROOT=$(mktemp -d /tmp/flash-overload-root.XXXXXX)
+echo "hello, overload world" >"$ROOT/index.html"
+mkdir -p "$ROOT/zipf"
+python3 - "$ROOT/zipf" "$ZIPF_FILES" <<'EOF'
+import os, sys
+root, n = sys.argv[1], int(sys.argv[2])
+body = bytes(range(256)) * 128  # 32 KiB per file
+for i in range(n):
+    with open(os.path.join(root, "f%05d.bin" % i), "wb") as f:
+        f.write(body)
+EOF
+
+"$OUT-flashd" -root "$ROOT" -addr "$ADDR" -status \
+    -loops 1 -helpers 1 -cache-map-mb 8 \
+    -max-conns "$MAX_CONNS" -shed-queue "$SHED_QUEUE" -retry-after 1 \
+    >"$OUT-flashd.log" 2>&1 &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true' EXIT
+sleep 0.5
+if ! kill -0 "$SRV" 2>/dev/null; then
+    echo "server failed to start:" && sed 's/^/  /' "$OUT-flashd.log"
+    exit 1
+fi
+
+snapshot() { curl -s "http://$ADDR/server-status?format=json" >"$OUT-$1.status.json"; }
+
+echo "=== phase 1: baseline ($NORMAL keep-alive clients, no abuse) ==="
+"$OUT-loadgen" -addr "$ADDR" -clients "$NORMAL" -keepalive \
+    -duration "$DURATION" -json "$OUT-baseline.json" | sed 's/^/  /'
+snapshot baseline
+
+echo "=== phase 2: overload ($NORMAL normal + $ABUSIVE miss-storm + $SLOW slowloris) ==="
+"$OUT-loadgen" -addr "$ADDR" -clients "$ABUSIVE" -keepalive \
+    -zipf-files "$ZIPF_FILES" -zipf-skew 1.02 -zipf-path-fmt "/zipf/f%05d.bin" \
+    -abort-frac 0.4 -honor-retry-after \
+    -duration "$DURATION" -json "$OUT-abusive.json" >"$OUT-abusive.log" 2>&1 &
+ABUSE=$!
+"$OUT-loadgen" -addr "$ADDR" -clients "$SLOW" \
+    -slow-write-bps 300 -honor-retry-after \
+    -duration "$DURATION" -json "$OUT-slowloris.json" >"$OUT-slowloris.log" 2>&1 &
+LORIS=$!
+"$OUT-loadgen" -addr "$ADDR" -clients "$NORMAL" -keepalive \
+    -duration "$DURATION" -json "$OUT-normal.json" | sed 's/^/  /'
+wait $ABUSE $LORIS || true
+snapshot final
+
+kill $SRV 2>/dev/null || true
+wait $SRV 2>/dev/null || true
+
+echo
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+load = lambda n: json.load(open(f"{out}-{n}.json"))
+base, norm = load("baseline"), load("normal")
+abuse, loris = load("abusive"), load("slowloris")
+s0 = json.load(open(f"{out}-baseline.status.json"))["stats"]
+s1 = json.load(open(f"{out}-final.status.json"))["stats"]
+d = {k: s1[k] - s0[k] for k in
+     ("ConnsRejected", "ShedRequests", "ShedRevalidates", "FdPressure",
+      "IdleReaped", "Responses", "Errors")}
+
+print("well-behaved fleet, baseline vs under 30% abusive traffic:")
+for name, j in (("baseline", base), ("overload", norm)):
+    l = j["latency_usec"]
+    print(f"  {name:9s} {j['requests_per_sec']:9.1f} req/s   "
+          f"p50 {l['p50']/1000:.2f} ms   p99 {l['p99']/1000:.2f} ms   "
+          f"errors {j['errors']}")
+keep = 100 * norm["requests_per_sec"] / base["requests_per_sec"]
+print(f"  retained {keep:.1f}% of baseline throughput")
+
+print("abusive fleets (what the server did to them):")
+for name, j in (("miss-storm", abuse), ("slowloris", loris)):
+    sc = j["status_counts"]
+    print(f"  {name:10s} {j['responses']} responses, "
+          f"503={sc.get('service_unavailable_503', 0)}, "
+          f"aborted={j.get('aborted', 0)}, "
+          f"retry-waits={j.get('retry_waits', 0)}, "
+          f"p50 {j['latency_usec']['p50']/1000:.2f} ms")
+
+print("server-side overload decisions (overload-phase deltas):")
+print("  " + "  ".join(f"{k}={v}" for k, v in d.items()))
+json.dump({"baseline": base, "normal_under_abuse": norm,
+           "abusive": abuse, "slowloris": loris, "server_deltas": d},
+          open(f"{out}-summary.json", "w"), indent=1)
+print(f"\ncombined summary: {out}-summary.json")
+EOF
